@@ -1,0 +1,72 @@
+//! Benches of the ablation kernels: the gating-interval sensitivity
+//! (footnote 5), the Walking-Pads-style placement optimisation
+//! (Section 5), and the ΔT = θ·ΔP predictor calibration (Section 6.3).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use floorplan::reference::power8_like;
+use pdn::placement::optimize_placement;
+use pdn::PdnConfig;
+use simkit::units::{Seconds, Watts};
+use std::hint::black_box;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+fn ablation_interval(c: &mut Criterion) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(
+        &chip,
+        EngineConfig {
+            decision_interval: Seconds::from_micros(100.0),
+            thermal_step: Seconds::from_micros(20.0),
+            ..bench_config()
+        },
+    );
+    let mut group = c.benchmark_group("ablation_interval/10x_shorter");
+    group.sample_size(10);
+    group.bench_function("lu_ncb_oract", |b| {
+        b.iter(|| black_box(engine.run(Benchmark::LuNcb, PolicyKind::OracT).unwrap()))
+    });
+    group.finish();
+}
+
+fn ablation_placement(c: &mut Criterion) {
+    let chip = power8_like();
+    let powers: Vec<Watts> = chip
+        .blocks()
+        .iter()
+        .map(|b| {
+            if b.kind().is_logic() {
+                Watts::new(2.0)
+            } else {
+                Watts::new(0.5)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_placement/one_pass");
+    group.sample_size(10);
+    group.bench_function("walking_pads", |b| {
+        b.iter(|| {
+            let mut local = chip.clone();
+            black_box(
+                optimize_placement(&mut local, &PdnConfig::reference(), &powers, 0.5, 1)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_r2(c: &mut Criterion) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, bench_config());
+    let mut group = c.benchmark_group("ablation_r2/calibration");
+    group.sample_size(10);
+    group.bench_function("lu_ncb", |b| {
+        b.iter(|| black_box(engine.calibrate_predictor(Benchmark::LuNcb).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_interval, ablation_placement, ablation_r2);
+criterion_main!(benches);

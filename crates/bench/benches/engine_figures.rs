@@ -1,0 +1,54 @@
+//! Benches of the engine-driven thermal/power artefacts at reduced
+//! scale: Fig. 6 (active-count tracking), Fig. 7 (loss savings), Fig. 8
+//! (Naïve oscillation), Figs. 9/10 (thermal sweeps), Fig. 12 (heat
+//! maps), and Fig. 13 (regulator activity).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use floorplan::reference::power8_like;
+use std::hint::black_box;
+use thermogater::{PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+fn run_cell(c: &mut Criterion, id: &str, benchmark: Benchmark, policy: PolicyKind) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, bench_config());
+    let mut group = c.benchmark_group(id);
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter(|| black_box(engine.run(benchmark, policy).unwrap()))
+    });
+    group.finish();
+}
+
+fn fig06(c: &mut Criterion) {
+    // Active-count tracking: lu_ncb under thermally-aware gating.
+    run_cell(c, "fig06/lu_ncb_oract", Benchmark::LuNcb, PolicyKind::OracT);
+}
+
+fn fig07(c: &mut Criterion) {
+    // Loss savings need the all-on baseline as well.
+    run_cell(c, "fig07/raytrace_allon", Benchmark::Raytrace, PolicyKind::AllOn);
+    run_cell(c, "fig07/raytrace_gated", Benchmark::Raytrace, PolicyKind::OracT);
+}
+
+fn fig08(c: &mut Criterion) {
+    run_cell(c, "fig08/lu_ncb_naive", Benchmark::LuNcb, PolicyKind::Naive);
+}
+
+fn fig09_fig10(c: &mut Criterion) {
+    // One representative cell per policy class of the thermal sweeps.
+    run_cell(c, "fig09_10/chol_offchip", Benchmark::Cholesky, PolicyKind::OffChip);
+    run_cell(c, "fig09_10/chol_oracvt", Benchmark::Cholesky, PolicyKind::OracVT);
+}
+
+fn fig12(c: &mut Criterion) {
+    run_cell(c, "fig12/chol_oracv_heatmap", Benchmark::Cholesky, PolicyKind::OracV);
+}
+
+fn fig13(c: &mut Criterion) {
+    run_cell(c, "fig13/lu_ncb_oracv_activity", Benchmark::LuNcb, PolicyKind::OracV);
+}
+
+criterion_group!(benches, fig06, fig07, fig08, fig09_fig10, fig12, fig13);
+criterion_main!(benches);

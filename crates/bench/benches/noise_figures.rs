@@ -1,0 +1,72 @@
+//! Benches of the voltage-noise artefacts at reduced scale: Fig. 11
+//! (noise sweep), Fig. 14 (worst-window traces), Fig. 15 (LDO vs. FIVR),
+//! and Table 2 (emergency residency).
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use floorplan::reference::power8_like;
+use std::hint::black_box;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use vreg::RegulatorDesign;
+use workload::Benchmark;
+
+fn fig11(c: &mut Criterion) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, bench_config());
+    let mut group = c.benchmark_group("fig11/fft_noise_cells");
+    group.sample_size(10);
+    for policy in [PolicyKind::OracT, PolicyKind::PracVT, PolicyKind::AllOn] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(engine.run(Benchmark::Fft, policy).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn fig14(c: &mut Criterion) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, bench_config());
+    let mut group = c.benchmark_group("fig14/fft_worst_window_trace");
+    group.sample_size(10);
+    group.bench_function("oract", |b| {
+        b.iter(|| {
+            let r = engine.run(Benchmark::Fft, PolicyKind::OracT).unwrap();
+            black_box(r.worst_window_trace().map(<[f64]>::to_vec))
+        })
+    });
+    group.finish();
+}
+
+fn fig15(c: &mut Criterion) {
+    let chip = power8_like();
+    let ldo = SimulationEngine::new(
+        &chip,
+        EngineConfig {
+            design: RegulatorDesign::power8_ldo(),
+            ..bench_config()
+        },
+    );
+    let mut group = c.benchmark_group("fig15/ldo_allon");
+    group.sample_size(10);
+    group.bench_function("barnes", |b| {
+        b.iter(|| black_box(ldo.run(Benchmark::Barnes, PolicyKind::AllOn).unwrap()))
+    });
+    group.finish();
+}
+
+fn table2(c: &mut Criterion) {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, bench_config());
+    let mut group = c.benchmark_group("table2/emergency_residency");
+    group.sample_size(10);
+    group.bench_function("fft_oract", |b| {
+        b.iter(|| {
+            let r = engine.run(Benchmark::Fft, PolicyKind::OracT).unwrap();
+            black_box(r.emergency_cycle_fraction())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig11, fig14, fig15, table2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benches of the regulator-characteristic artefacts: Fig. 1 (ISSCC
+//! survey), Fig. 2 (16-phase family), and Fig. 5 (calibration family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::regulator::{fig01_curves, fig02_family, fig05_family};
+use std::hint::black_box;
+
+fn fig01(c: &mut Criterion) {
+    c.bench_function("fig01/survey_curves", |b| {
+        b.iter(|| black_box(fig01_curves()))
+    });
+}
+
+fn fig02(c: &mut Criterion) {
+    c.bench_function("fig02/16_phase_family", |b| {
+        b.iter(|| black_box(fig02_family()))
+    });
+}
+
+fn fig05(c: &mut Criterion) {
+    c.bench_function("fig05/calibration_family", |b| {
+        b.iter(|| black_box(fig05_family()))
+    });
+}
+
+criterion_group!(benches, fig01, fig02, fig05);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the numerical kernels every experiment leans on:
+//! the thermal steady-state CG solve, the backward-Euler transient step,
+//! the PDN IR-drop solve, the transient-noise convolution, and workload
+//! trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use floorplan::reference::power8_like;
+use pdn::transient::{peak_transient_fraction, TransientParams};
+use pdn::{PdnConfig, PdnModel};
+use simkit::units::{Amps, Hertz, Seconds, Watts};
+use simkit::DeterministicRng;
+use std::hint::black_box;
+use thermal::{PowerMap, ThermalConfig, ThermalModel};
+use vreg::GatingState;
+use workload::microtrace::generate_window;
+use workload::{Benchmark, TraceGenerator};
+
+fn thermal_solvers(c: &mut Criterion) {
+    let chip = power8_like();
+    let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+    let mut pm = PowerMap::new(&model);
+    for block in chip.blocks() {
+        pm.add_block(block.id(), Watts::new(2.0)).unwrap();
+    }
+    c.bench_function("thermal/steady_state_cg_32x32", |b| {
+        b.iter(|| model.steady_state(black_box(&pm)).unwrap())
+    });
+
+    let stepper = model.stepper(Seconds::from_micros(20.0));
+    let mut state = model.steady_state(&pm).unwrap();
+    c.bench_function("thermal/transient_step_32x32", |b| {
+        b.iter(|| stepper.step(black_box(&mut state), &pm).unwrap())
+    });
+}
+
+fn pdn_solvers(c: &mut Criterion) {
+    let chip = power8_like();
+    let model = PdnModel::new(&chip, PdnConfig::reference());
+    let powers = vec![Watts::new(1.5); chip.blocks().len()];
+    let all_on = GatingState::all_on(chip.vr_sites().len());
+    c.bench_function("pdn/ir_drop_16_domains", |b| {
+        b.iter(|| model.ir_drop(black_box(&all_on), &powers).unwrap())
+    });
+
+    let mut rng = DeterministicRng::new(7);
+    let window = generate_window(&mut rng, 2000, 0.6, 0.7);
+    let params = TransientParams {
+        mean_current: Amps::new(9.0),
+        n_active: 5,
+        n_total: 9,
+        distance_factor: 1.3,
+        response_time: Seconds::from_nanos(15.0),
+        frequency: Hertz::from_ghz(4.0),
+    };
+    c.bench_function("pdn/transient_window_2k_cycles", |b| {
+        b.iter(|| {
+            peak_transient_fraction(
+                &PdnConfig::reference(),
+                black_box(&params),
+                window.multipliers(),
+                1000,
+            )
+        })
+    });
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let chip = power8_like();
+    let generator = TraceGenerator::new(&chip);
+    c.bench_function("workload/trace_1ms_52_blocks", |b| {
+        b.iter(|| generator.generate(black_box(Benchmark::Fft), Seconds::from_millis(1.0)))
+    });
+}
+
+criterion_group!(benches, thermal_solvers, pdn_solvers, workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches measure the regeneration kernels behind every paper
+//! artefact at reduced scale (cargo-bench runtimes must stay sane on one
+//! core); the full-scale regeneration lives in the `experiments`
+//! binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simkit::units::Seconds;
+use thermal::ThermalConfig;
+use thermogater::EngineConfig;
+
+/// A minimal engine configuration for benchmarking: 2 ms ROI, 32×32
+/// thermal grid, 4 noise windows.
+pub fn bench_config() -> EngineConfig {
+    EngineConfig {
+        duration: Seconds::from_millis(2.0),
+        thermal: ThermalConfig::coarse(),
+        noise_window_count: 4,
+        profiling_decisions: 3,
+        ..EngineConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        let cfg = bench_config();
+        assert!(cfg.duration.as_millis() <= 2.0);
+        assert_eq!(cfg.thermal.nx, 32);
+    }
+}

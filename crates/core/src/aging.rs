@@ -1,0 +1,239 @@
+//! Regulator aging under gating policies.
+//!
+//! Section 7 of the paper observes that ThermoGater policies affect
+//! aging: regulator utilisation is not uniform (Fig. 13), and silicon
+//! wear-out rates grow exponentially with temperature. Because PracVT's
+//! highly-utilised regulators tend to live in *cooler* regions (near
+//! memory), thermally-aware gating "may balance out aging, particularly
+//! considering wear-out paradigms where aging rate increases
+//! exponentially with temperature." This module implements that
+//! analysis: an Arrhenius acceleration model over each regulator's
+//! temperature/utilisation history.
+
+use crate::result::SimulationResult;
+use floorplan::VrId;
+use simkit::units::Celsius;
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617_333e-5;
+
+/// An Arrhenius wear-out model for component regulators.
+///
+/// The instantaneous wear rate of regulator `i` is
+///
+/// ```text
+/// rate_i(t) = AF(T_i(t)) · stress_i(t)
+/// AF(T)     = exp( (Ea / k) · (1/T_ref − 1/T) )
+/// ```
+///
+/// where `stress` is 1 while the regulator is on (full current stress —
+/// electromigration, conductor self-heating) and a small residual while
+/// gated (bias-temperature instability continues at ambient stress).
+///
+/// # Examples
+///
+/// ```
+/// use thermogater::AgingModel;
+/// use simkit::units::Celsius;
+///
+/// let model = AgingModel::electromigration();
+/// // +20 °C roughly doubles the wear rate at Ea = 0.7 eV around 60 °C.
+/// let af = model.acceleration_factor(Celsius::new(80.0));
+/// assert!(af > 3.0 && af < 5.5, "AF {af}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingModel {
+    activation_energy_ev: f64,
+    reference: Celsius,
+    gated_stress: f64,
+}
+
+impl AgingModel {
+    /// An electromigration-class model: Ea = 0.7 eV, referenced to 60 °C,
+    /// with 15 % residual stress while gated.
+    pub fn electromigration() -> Self {
+        AgingModel {
+            activation_energy_ev: 0.7,
+            reference: Celsius::new(60.0),
+            gated_stress: 0.15,
+        }
+    }
+
+    /// A custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the activation energy is not positive or the gated
+    /// stress is outside `[0, 1]`.
+    pub fn new(activation_energy_ev: f64, reference: Celsius, gated_stress: f64) -> Self {
+        assert!(activation_energy_ev > 0.0, "Ea must be positive");
+        assert!(
+            (0.0..=1.0).contains(&gated_stress),
+            "gated stress must be in [0, 1]"
+        );
+        AgingModel {
+            activation_energy_ev,
+            reference,
+            gated_stress,
+        }
+    }
+
+    /// The Arrhenius acceleration factor at temperature `t`, relative to
+    /// the model's reference temperature (1.0 at the reference).
+    pub fn acceleration_factor(&self, t: Celsius) -> f64 {
+        let t_k = t.to_kelvin();
+        let ref_k = self.reference.to_kelvin();
+        ((self.activation_energy_ev / K_B_EV) * (1.0 / ref_k - 1.0 / t_k)).exp()
+    }
+
+    /// Integrates wear over a simulation's per-regulator temperature and
+    /// gating history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result carries no decisions or no temperature
+    /// samples (an engine result always has both).
+    pub fn assess(&self, result: &SimulationResult) -> AgingReport {
+        let temps = result.vr_temperatures();
+        let n_vrs = temps.channel_count();
+        let steps = temps.sample_count();
+        assert!(steps > 0, "result has no temperature history");
+        assert!(!result.decisions().is_empty(), "result has no decisions");
+        let steps_per_decision = steps.div_ceil(result.decisions().len());
+
+        let mut wear = vec![0.0f64; n_vrs];
+        for (vr, w) in wear.iter_mut().enumerate() {
+            let channel = temps.channel(vr);
+            for (s, &t) in channel.iter().enumerate() {
+                let decision = (s / steps_per_decision).min(result.decisions().len() - 1);
+                let on = result.decisions()[decision].gating.is_on(VrId(vr));
+                let stress = if on { 1.0 } else { self.gated_stress };
+                *w += self.acceleration_factor(Celsius::new(t)) * stress;
+            }
+            *w /= steps as f64;
+        }
+        AgingReport { wear }
+    }
+}
+
+/// Per-regulator accumulated wear (mean Arrhenius-accelerated stress per
+/// step; dimensionless, 1.0 = continuous operation at the model's
+/// reference temperature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingReport {
+    wear: Vec<f64>,
+}
+
+impl AgingReport {
+    /// Wear of one regulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn wear(&self, vr: VrId) -> f64 {
+        self.wear[vr.0]
+    }
+
+    /// All per-regulator wear values, indexed by [`VrId`].
+    pub fn wear_values(&self) -> &[f64] {
+        &self.wear
+    }
+
+    /// The most-worn regulator.
+    pub fn max_wear(&self) -> f64 {
+        self.wear.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean wear over all regulators.
+    pub fn mean_wear(&self) -> f64 {
+        self.wear.iter().sum::<f64>() / self.wear.len() as f64
+    }
+
+    /// Aging imbalance: the ratio of the most-worn regulator to the
+    /// fleet mean (1.0 = perfectly balanced). The paper's Section 7
+    /// argument is that thermally-aware gating keeps this low because
+    /// its busiest regulators are its coolest.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_wear();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_wear() / mean
+        }
+    }
+
+    /// Relative lifetime estimate vs. a fleet aging uniformly at the
+    /// reference temperature: MTTF scales inversely with the worst
+    /// regulator's wear rate.
+    pub fn relative_mttf(&self) -> f64 {
+        let max = self.max_wear();
+        if max == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceleration_is_one_at_reference() {
+        let m = AgingModel::electromigration();
+        let af = m.acceleration_factor(Celsius::new(60.0));
+        assert!((af - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_grows_exponentially() {
+        let m = AgingModel::electromigration();
+        let a70 = m.acceleration_factor(Celsius::new(70.0));
+        let a80 = m.acceleration_factor(Celsius::new(80.0));
+        let a90 = m.acceleration_factor(Celsius::new(90.0));
+        assert!(a70 > 1.5 && a70 < 3.0, "a70 {a70}");
+        // Roughly geometric growth per decade of °C.
+        let r1 = a80 / a70;
+        let r2 = a90 / a80;
+        assert!((r1 - r2).abs() / r1 < 0.15, "ratios {r1} {r2}");
+    }
+
+    #[test]
+    fn cooler_is_slower() {
+        let m = AgingModel::electromigration();
+        assert!(m.acceleration_factor(Celsius::new(45.0)) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ea must be positive")]
+    fn invalid_ea_panics() {
+        AgingModel::new(0.0, Celsius::new(60.0), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gated stress")]
+    fn invalid_stress_panics() {
+        AgingModel::new(0.7, Celsius::new(60.0), 1.5);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let report = AgingReport {
+            wear: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(report.max_wear(), 3.0);
+        assert_eq!(report.mean_wear(), 2.0);
+        assert!((report.imbalance() - 1.5).abs() < 1e-12);
+        assert!((report.relative_mttf() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.wear(VrId(1)), 2.0);
+        assert_eq!(report.wear_values().len(), 3);
+    }
+
+    #[test]
+    fn empty_wear_imbalance_is_neutral() {
+        let report = AgingReport { wear: vec![0.0; 4] };
+        assert_eq!(report.imbalance(), 1.0);
+        assert_eq!(report.relative_mttf(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,254 @@
+//! The practical policies' prediction machinery.
+//!
+//! * [`ThermalPredictor`] — the linear per-regulator temperature model of
+//!   Eqn. 2, `ΔT_i = θ_i · ΔP_i`, with θ extracted from a profiling pass
+//!   and accuracy quantified by the coefficient of determination R²
+//!   (Eqn. 3). The paper calibrates θ so R² ≈ 0.99.
+//! * [`DomainPowerForecaster`] — the weighted-moving-average forecast of
+//!   the next interval's power demand from the last three decision
+//!   points (after Ardestani et al.).
+
+use simkit::stats::{fit_proportional, r_squared, WeightedMovingAverage};
+use simkit::units::Watts;
+use simkit::{Error, Result};
+
+/// Per-regulator linear temperature predictor (Eqn. 2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalPredictor {
+    theta: Vec<f64>,
+}
+
+impl ThermalPredictor {
+    /// Builds a predictor from explicit θ values (one per regulator).
+    pub fn from_thetas(theta: Vec<f64>) -> Self {
+        ThermalPredictor { theta }
+    }
+
+    /// Calibrates θ per regulator from profiling samples:
+    /// `samples[i]` is regulator `i`'s list of observed
+    /// `(ΔP watts, ΔT °C)` pairs between consecutive decision points.
+    ///
+    /// Regulators whose profile shows no power variation (ΣΔP² = 0) get
+    /// θ = 0 — prediction degenerates to "temperature stays", which is
+    /// exactly right for a regulator that never changed power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `samples` is empty.
+    pub fn calibrate(samples: &[Vec<(f64, f64)>]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(Error::invalid_argument("no profiling samples"));
+        }
+        let theta = samples
+            .iter()
+            .map(|pairs| {
+                let dp: Vec<f64> = pairs.iter().map(|&(p, _)| p).collect();
+                let dt: Vec<f64> = pairs.iter().map(|&(_, t)| t).collect();
+                fit_proportional(&dp, &dt).unwrap_or(0.0)
+            })
+            .collect();
+        Ok(ThermalPredictor { theta })
+    }
+
+    /// Number of regulators covered.
+    pub fn len(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Whether the predictor covers no regulators.
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty()
+    }
+
+    /// The fitted θ of one regulator (K/W).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vr` is out of range.
+    pub fn theta(&self, vr: usize) -> f64 {
+        self.theta[vr]
+    }
+
+    /// Predicts regulator `vr`'s anticipated temperature:
+    /// `T_now + θ·ΔP`, where `ΔP` is the anticipated change in the
+    /// regulator's dissipated power until the next decision point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vr` is out of range.
+    pub fn predict(&self, vr: usize, t_now_c: f64, delta_p: Watts) -> f64 {
+        t_now_c + self.theta[vr] * delta_p.get()
+    }
+
+    /// The R² of this predictor against held-out observations:
+    /// `observations[i]` lists regulator `i`'s `(ΔP, observed ΔT)` pairs.
+    /// Pools every regulator's predictions into one coefficient, as the
+    /// paper's Eqn. 3 sums over all regulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying statistics errors for degenerate inputs
+    /// (fewer than two observations, zero variance).
+    pub fn r_squared(&self, observations: &[Vec<(f64, f64)>]) -> Result<f64> {
+        let mut observed = Vec::new();
+        let mut predicted = Vec::new();
+        for (vr, pairs) in observations.iter().enumerate() {
+            for &(dp, dt) in pairs {
+                observed.push(dt);
+                predicted.push(self.theta[vr] * dp);
+            }
+        }
+        r_squared(&observed, &predicted)
+    }
+}
+
+/// WMA-based forecaster of each Vdd-domain's next-interval power demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainPowerForecaster {
+    windows: Vec<WeightedMovingAverage>,
+}
+
+impl DomainPowerForecaster {
+    /// A forecaster for `n_domains` domains with the paper's 3-point
+    /// history.
+    pub fn new(n_domains: usize) -> Self {
+        DomainPowerForecaster {
+            windows: (0..n_domains)
+                .map(|_| WeightedMovingAverage::new(3))
+                .collect(),
+        }
+    }
+
+    /// Records the power demand each domain exhibited over the elapsed
+    /// decision interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `demands` does not have one entry per
+    /// domain.
+    pub fn observe(&mut self, demands: &[Watts]) {
+        debug_assert_eq!(demands.len(), self.windows.len());
+        for (w, d) in self.windows.iter_mut().zip(demands) {
+            w.observe(d.get());
+        }
+    }
+
+    /// Forecast for one domain; falls back to `fallback` until any
+    /// history exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `domain` is out of range.
+    pub fn forecast(&self, domain: usize, fallback: Watts) -> Watts {
+        self.windows[domain]
+            .forecast()
+            .map_or(fallback, Watts::new)
+    }
+
+    /// Number of domains tracked.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no domains are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_recovers_linear_theta() {
+        // Two regulators with θ = 3 and θ = 7 plus mild noise.
+        let mk = |theta: f64| -> Vec<(f64, f64)> {
+            (0..20)
+                .map(|i| {
+                    let dp = (i as f64 - 10.0) * 0.05;
+                    (dp, theta * dp + 0.01 * ((i * 7) % 3) as f64)
+                })
+                .collect()
+        };
+        let pred = ThermalPredictor::calibrate(&[mk(3.0), mk(7.0)]).unwrap();
+        assert!((pred.theta(0) - 3.0).abs() < 0.1);
+        assert!((pred.theta(1) - 7.0).abs() < 0.1);
+        assert_eq!(pred.len(), 2);
+    }
+
+    #[test]
+    fn r_squared_is_high_for_good_fit() {
+        let pairs: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let dp = (i as f64 - 25.0) * 0.02;
+                (dp, 5.0 * dp)
+            })
+            .collect();
+        let pred = ThermalPredictor::calibrate(std::slice::from_ref(&pairs)).unwrap();
+        let r2 = pred.r_squared(&[pairs]).unwrap();
+        assert!(r2 > 0.999, "r2 {r2}");
+    }
+
+    #[test]
+    fn r_squared_degrades_with_wrong_theta() {
+        let pairs: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let dp = (i as f64 - 25.0) * 0.02;
+                (dp, 5.0 * dp)
+            })
+            .collect();
+        let wrong = ThermalPredictor::from_thetas(vec![1.0]);
+        let r2 = wrong.r_squared(&[pairs]).unwrap();
+        assert!(r2 < 0.8, "r2 {r2}");
+    }
+
+    #[test]
+    fn flat_profile_gives_zero_theta() {
+        let pred = ThermalPredictor::calibrate(&[vec![(0.0, 0.0); 5]]).unwrap();
+        assert_eq!(pred.theta(0), 0.0);
+        // Prediction degenerates to "stays at current temperature".
+        assert_eq!(pred.predict(0, 61.5, Watts::new(0.3)), 61.5);
+    }
+
+    #[test]
+    fn empty_calibration_errors() {
+        assert!(ThermalPredictor::calibrate(&[]).is_err());
+    }
+
+    #[test]
+    fn prediction_adds_theta_delta_p() {
+        let pred = ThermalPredictor::from_thetas(vec![12.0]);
+        let t = pred.predict(0, 60.0, Watts::new(0.25));
+        assert!((t - 63.0).abs() < 1e-12);
+        // Negative ΔP cools.
+        let t = pred.predict(0, 60.0, Watts::new(-0.25));
+        assert!((t - 57.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecaster_tracks_recent_history() {
+        let mut f = DomainPowerForecaster::new(2);
+        assert_eq!(f.forecast(0, Watts::new(5.0)), Watts::new(5.0));
+        f.observe(&[Watts::new(10.0), Watts::new(1.0)]);
+        f.observe(&[Watts::new(20.0), Watts::new(1.0)]);
+        f.observe(&[Watts::new(30.0), Watts::new(1.0)]);
+        // WMA(10,20,30) = 140/6.
+        let fc = f.forecast(0, Watts::ZERO);
+        assert!((fc.get() - 140.0 / 6.0).abs() < 1e-9);
+        assert!((f.forecast(1, Watts::ZERO).get() - 1.0).abs() < 1e-12);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn forecaster_window_is_three_points() {
+        let mut f = DomainPowerForecaster::new(1);
+        for p in [100.0, 1.0, 2.0, 3.0] {
+            f.observe(&[Watts::new(p)]);
+        }
+        // The 100 W observation has rolled out: WMA(1,2,3) = 14/6.
+        let fc = f.forecast(0, Watts::ZERO);
+        assert!((fc.get() - 14.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Delayed thermal sensor readings.
+//!
+//! The practical policies cannot read the true instantaneous regulator
+//! temperatures: Section 6.3 places a digital thermal sensor next to each
+//! regulator (10 K readings/s class) and budgets the sensing plus
+//! firmware aggregation delay at ~100 µs — at each decision point the
+//! governor works with readings that old. [`ThermalSensorArray`] models
+//! that delay with a ring buffer of snapshots, plus the sensors'
+//! quantisation.
+
+use simkit::units::Seconds;
+
+/// A chip-wide array of per-regulator thermal sensors with read-out
+/// latency and quantisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSensorArray {
+    n_sensors: usize,
+    latency_steps: usize,
+    quantisation_c: f64,
+    /// Ring buffer of the last `latency_steps + 1` snapshots.
+    history: Vec<Vec<f64>>,
+    next_slot: usize,
+    recorded: usize,
+}
+
+impl ThermalSensorArray {
+    /// Creates an array of `n_sensors` sensors whose readings lag by
+    /// `latency`, given that the engine records one snapshot every
+    /// `snapshot_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snapshot_interval` is not positive.
+    pub fn new(n_sensors: usize, latency: Seconds, snapshot_interval: Seconds) -> Self {
+        assert!(
+            snapshot_interval.get() > 0.0,
+            "snapshot interval must be positive"
+        );
+        let latency_steps = (latency.get() / snapshot_interval.get()).round() as usize;
+        ThermalSensorArray {
+            n_sensors,
+            latency_steps,
+            quantisation_c: 0.25,
+            history: vec![vec![0.0; n_sensors]; latency_steps + 1],
+            next_slot: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Overrides the sensor quantisation step (°C); 0 disables it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step_c` is negative.
+    pub fn with_quantisation(mut self, step_c: f64) -> Self {
+        assert!(step_c >= 0.0, "quantisation must be non-negative");
+        self.quantisation_c = step_c;
+        self
+    }
+
+    /// Number of sensors in the array.
+    pub fn len(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Whether the array has no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.n_sensors == 0
+    }
+
+    /// The configured latency in snapshots.
+    pub fn latency_steps(&self) -> usize {
+        self.latency_steps
+    }
+
+    /// Records the true temperatures at the current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `truth` has the wrong length.
+    pub fn record(&mut self, truth: &[f64]) {
+        debug_assert_eq!(truth.len(), self.n_sensors);
+        self.history[self.next_slot].copy_from_slice(truth);
+        self.next_slot = (self.next_slot + 1) % self.history.len();
+        self.recorded += 1;
+    }
+
+    /// The readings visible to the governor now: the snapshot from
+    /// `latency` ago (or the oldest available during warm-up), quantised.
+    pub fn read(&self) -> Vec<f64> {
+        let available = self.recorded.min(self.history.len());
+        if available == 0 {
+            return vec![0.0; self.n_sensors];
+        }
+        // The newest snapshot sits just before next_slot; we want the one
+        // `latency_steps` older (clamped to what exists).
+        let lag = self.latency_steps.min(available - 1);
+        let idx =
+            (self.next_slot + self.history.len() - 1 - lag) % self.history.len();
+        self.history[idx]
+            .iter()
+            .map(|&t| self.quantise(t))
+            .collect()
+    }
+
+    fn quantise(&self, t: f64) -> f64 {
+        if self.quantisation_c == 0.0 {
+            t
+        } else {
+            (t / self.quantisation_c).round() * self.quantisation_c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(latency_steps: usize) -> ThermalSensorArray {
+        ThermalSensorArray::new(
+            2,
+            Seconds::from_micros(latency_steps as f64 * 10.0),
+            Seconds::from_micros(10.0),
+        )
+        .with_quantisation(0.0)
+    }
+
+    #[test]
+    fn readings_lag_by_latency() {
+        let mut s = array(3);
+        for k in 0..10 {
+            s.record(&[k as f64, 100.0 + k as f64]);
+        }
+        // Latest snapshot is 9; reading must be 9 − 3 = 6.
+        assert_eq!(s.read(), vec![6.0, 106.0]);
+    }
+
+    #[test]
+    fn zero_latency_reads_latest() {
+        let mut s = array(0);
+        s.record(&[1.0, 2.0]);
+        s.record(&[3.0, 4.0]);
+        assert_eq!(s.read(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn warmup_clamps_to_oldest() {
+        let mut s = array(5);
+        s.record(&[7.0, 8.0]);
+        // Only one snapshot exists: use it.
+        assert_eq!(s.read(), vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn unrecorded_array_reads_zero() {
+        let s = array(2);
+        assert_eq!(s.read(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantisation_rounds() {
+        let mut s = ThermalSensorArray::new(
+            1,
+            Seconds::ZERO,
+            Seconds::from_micros(10.0),
+        );
+        s.record(&[61.37]);
+        assert_eq!(s.read(), vec![61.25]);
+    }
+
+    #[test]
+    fn latency_steps_derived_from_durations() {
+        let s = ThermalSensorArray::new(
+            4,
+            Seconds::from_micros(100.0),
+            Seconds::from_micros(20.0),
+        );
+        assert_eq!(s.latency_steps(), 5);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

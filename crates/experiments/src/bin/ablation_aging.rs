@@ -1,0 +1,32 @@
+//! Section 7 study — regulator aging under the gating policies: wear
+//! imbalance across the 96 regulators with an Arrhenius
+//! (electromigration-class) model.
+
+use experiments::context::ExpOptions;
+use experiments::figures::ablations::ablation_aging;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Study (Section 7)",
+        "regulator aging under gating policies (lu_ncb, Arrhenius Ea = 0.7 eV)",
+    );
+    let rows = ablation_aging(&opts);
+    let mut table = TextTable::new(&["policy", "imbalance (max/mean)", "max wear", "rel. MTTF"]);
+    for row in &rows {
+        table.add_row(vec![
+            row.policy.label().to_string(),
+            format!("{:.2}", row.imbalance),
+            format!("{:.2}", row.max_wear),
+            format!("{:.2}", row.relative_mttf),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading guide (paper Section 7): thermally-aware gating keeps \
+         its busiest regulators in cooler regions, which tempers the \
+         exponential temperature dependence of wear; OracV concentrates \
+         both utilisation and heat near logic and ages its fleet fastest."
+    );
+}

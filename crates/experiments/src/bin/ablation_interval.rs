@@ -1,0 +1,48 @@
+//! Footnote 5 ablation — shrinking the 1 ms gating decision interval by
+//! 10× and 100× changes the results by less than 1 %.
+
+use experiments::context::ExpOptions;
+use experiments::figures::ablations::ablation_interval;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Ablation (footnote 5)",
+        "sensitivity to the gating decision interval (lu_ncb, OracT)",
+    );
+    let rows = ablation_interval(&opts);
+    let mut table = TextTable::new(&["interval (µs)", "T_max (°C)", "gradient (°C)", "loss (W)"]);
+    for row in &rows {
+        table.add_row(vec![
+            format!("{:.0}", row.interval_us),
+            format!("{:.2}", row.tmax_c),
+            format!("{:.2}", row.gradient_c),
+            format!("{:.2}", row.mean_loss_w),
+        ]);
+    }
+    table.print();
+    let base = &rows[0];
+    let loss_dev = rows[1..]
+        .iter()
+        .map(|r| (r.mean_loss_w / base.mean_loss_w - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    let tmax_dev = rows[1..]
+        .iter()
+        .map(|r| (r.tmax_c / base.tmax_c - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nLargest relative deviation from the 1 ms baseline: \
+         conversion loss {:.2} %, T_max {:.2} %.\n\
+         Paper footnote 5 reports < 1 % for its pipeline. This \
+         reproduction matches on the efficiency side but shows a larger \
+         thermal sensitivity: finer decision periods track the demand \
+         phases so tightly that regulator conversion loss lands on the \
+         hottest logic cells exactly during workload peaks, while 1 ms \
+         interval-mean sizing smooths that correlation — an effect our \
+         cell-granularity thermal substrate amplifies (see \
+         EXPERIMENTS.md, known gaps).",
+        loss_dev * 100.0,
+        tmax_dev * 100.0
+    );
+}

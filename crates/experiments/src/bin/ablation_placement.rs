@@ -1,0 +1,30 @@
+//! Section 5 ablation — the voltage-noise-optimized regulator placement
+//! vs. the uniform one.
+
+use experiments::context::ExpOptions;
+use experiments::figures::ablations::ablation_placement;
+use experiments::report::banner;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Ablation (Section 5)",
+        "Walking-Pads-style regulator placement vs. uniform",
+    );
+    let outcome = ablation_placement(&opts);
+    println!(
+        "uniform placement max IR drop:   {:.3} % of Vdd\n\
+         optimized placement max IR drop: {:.3} % of Vdd\n\
+         accepted moves: {}\n\
+         relative improvement: {:.2} %",
+        outcome.initial_max_fraction * 100.0,
+        outcome.final_max_fraction * 100.0,
+        outcome.accepted_moves,
+        outcome.improvement() * 100.0,
+    );
+    println!(
+        "\nShape check: the paper finds the uniform placement within \
+         0.4 % of the noise-optimal one and therefore evaluates on the \
+         uniform layout; this reproduction keeps the same choice."
+    );
+}

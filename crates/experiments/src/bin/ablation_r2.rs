@@ -1,0 +1,30 @@
+//! Section 6.3 ablation — accuracy (R²) of the ΔT = θ·ΔP per-regulator
+//! temperature predictor.
+
+use experiments::context::ExpOptions;
+use experiments::figures::ablations::ablation_r2;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Ablation (Section 6.3)",
+        "R² of the linear ΔT = θ·ΔP regulator-temperature predictor",
+    );
+    let rows = ablation_r2(&opts);
+    let mut table = TextTable::new(&["benchmark", "R²"]);
+    for row in &rows {
+        table.add_row(vec![
+            row.benchmark.label().to_string(),
+            format!("{:.4}", row.r_squared),
+        ]);
+    }
+    let avg = rows.iter().map(|r| r.r_squared).sum::<f64>() / rows.len() as f64;
+    table.add_row(vec!["AVG".to_string(), format!("{avg:.4}")]);
+    table.print();
+    println!(
+        "\nShape check: the paper calibrates θ to keep R² around 0.99; \
+         confined to regulator-sized heat sources, the linear model is \
+         highly accurate."
+    );
+}

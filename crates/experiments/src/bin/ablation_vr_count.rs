@@ -1,0 +1,46 @@
+//! Footnote 2 study — sensitivity to the component-regulator count: a
+//! sparser distributed network worsens both the thermal and the
+//! voltage-noise profile.
+
+use experiments::context::ExpOptions;
+use experiments::figures::ablations::ablation_vr_count;
+use experiments::report::{banner, fmt_opt, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Study (footnote 2)",
+        "per-domain regulator count vs. thermal/noise profile (lu_ncb)",
+    );
+    let rows = ablation_vr_count(&opts);
+    let mut table = TextTable::new(&[
+        "VRs/core",
+        "VRs/L3",
+        "total",
+        "T_max all-on",
+        "noise all-on",
+        "T_max OracT",
+        "noise OracT",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.core_vrs.to_string(),
+            row.l3_vrs.to_string(),
+            (8 * row.core_vrs + 8 * row.l3_vrs).to_string(),
+            format!("{:.2}", row.tmax_allon_c),
+            fmt_opt(row.noise_allon_pct, 1),
+            format!("{:.2}", row.tmax_oract_c),
+            fmt_opt(row.noise_oract_pct, 1),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape check (paper footnote 2): the paper chose 96 regulators \
+         as the most its simulation infrastructure permitted precisely \
+         because 'a lower regulator count worsens both the thermal and \
+         the voltage noise profile' — in the all-on columns the 4/2 row \
+         sits above the 12/4 row on both metrics. Under OracT, a denser \
+         network also buys the governor more placement freedom, which it \
+         spends on temperature at some voltage-noise cost."
+    );
+}

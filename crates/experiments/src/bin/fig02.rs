@@ -1,0 +1,38 @@
+//! Fig. 2 — η of a 16-phase Intel-like buck regulator: one curve per
+//! active-phase count plus the gated effective curve.
+
+use experiments::figures::regulator::fig02_family;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    banner("Fig. 2", "η of a 16-phase regulator under phase gating");
+    let family = fig02_family();
+    let mut headers: Vec<String> = vec!["I_out (A)".to_string()];
+    headers.extend(family.per_count.iter().map(|c| c.label.clone()));
+    headers.push(family.effective.label.clone());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    // Sample every 6th point to keep the table readable.
+    for k in (0..family.effective.points.len()).step_by(6) {
+        let mut row = vec![format!("{:.2}", family.effective.points[k].0)];
+        for curve in &family.per_count {
+            row.push(format!("{:.1}", curve.points[k].1 * 100.0));
+        }
+        row.push(format!("{:.1}", family.effective.points[k].1 * 100.0));
+        table.add_row(row);
+    }
+    table.print();
+    let floor = family
+        .effective
+        .points
+        .iter()
+        .filter(|&&(i, _)| i > 1.0)
+        .map(|&(_, eta)| eta)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nEffective-curve floor past 1 A: {:.1} % — phase gating holds \
+         near-peak efficiency over the whole 0–15 A window (paper: the \
+         dotted trend line of Fig. 2).",
+        floor * 100.0
+    );
+}

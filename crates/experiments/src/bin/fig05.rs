@@ -1,0 +1,32 @@
+//! Fig. 5 — the calibration curve family used throughout the evaluation:
+//! a per-core domain of 9 FIVR-like phases.
+
+use experiments::figures::regulator::fig05_family;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    banner(
+        "Fig. 5",
+        "η vs. I_out calibration family (9-phase per-core domain)",
+    );
+    let family = fig05_family();
+    let mut headers: Vec<String> = vec!["I_out (A)".to_string()];
+    headers.extend(family.per_count.iter().map(|c| c.label.clone()));
+    headers.push(family.effective.label.clone());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for k in (0..family.effective.points.len()).step_by(6) {
+        let mut row = vec![format!("{:.2}", family.effective.points[k].0)];
+        for curve in &family.per_count {
+            row.push(format!("{:.1}", curve.points[k].1 * 100.0));
+        }
+        row.push(format!("{:.1}", family.effective.points[k].1 * 100.0));
+        table.add_row(row);
+    }
+    table.print();
+    println!(
+        "\nEach component phase supplies ≈1.5 A at η_peak = 90 %; all 9 \
+         phases cover the core's full-load demand, and gating the phase \
+         count sustains η_peak at lower utilisation (paper Section 5)."
+    );
+}

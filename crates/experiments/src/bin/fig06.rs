@@ -1,0 +1,49 @@
+//! Fig. 6 — evolution of the active-regulator count with time against
+//! the total power demand (lu_ncb).
+
+use experiments::context::ExpOptions;
+use experiments::figures::powerloss::fig06;
+use experiments::report::{banner, downsample, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Fig. 6",
+        "active regulators track the total power demand (lu_ncb, gating)",
+    );
+    let data = fig06(&opts);
+    // 100 µs buckets resolve the program phases without drowning the
+    // table (the decision interval is 1 ms).
+    let points = (data.time_ms.len() / 5).clamp(1, 200);
+    let time = downsample(&data.time_ms, points);
+    let power = downsample(&data.power_w, points);
+    let active = downsample(&data.active, points);
+    let mut table = TextTable::new(&["time (ms)", "total power (W)", "# active regulators"]);
+    for k in (0..time.len()).step_by((time.len() / 50).max(1)) {
+        table.add_row(vec![
+            format!("{:.2}", time[k]),
+            format!("{:.1}", power[k]),
+            format!("{:.1}", active[k]),
+        ]);
+    }
+    table.print();
+
+    // Correlation between demand and active count at full resolution —
+    // the figure's message.
+    let corr = correlation(&data.power_w, &data.active);
+    println!(
+        "\nPearson correlation(power, active) = {corr:.3} — regulator \
+         activity closely tracks temporal changes in total power demand \
+         (paper Fig. 6)."
+    );
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    cov / (va.sqrt() * vb.sqrt())
+}

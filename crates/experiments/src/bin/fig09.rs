@@ -1,0 +1,57 @@
+//! Fig. 9 — maximum chip-wide temperature under every gating policy,
+//! per benchmark.
+
+use experiments::context::ExpOptions;
+use experiments::report::{banner, TextTable};
+use experiments::sweep;
+use thermogater::PolicyKind;
+use workload::Benchmark;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Fig. 9", "maximum chip temperature T_max (°C) per policy");
+    let policies = PolicyKind::ALL;
+    let records = sweep::grid(&opts, &Benchmark::ALL, &policies);
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(policies.iter().map(|p| p.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    let mut sums = vec![0.0; policies.len()];
+    for &benchmark in &Benchmark::ALL {
+        let mut row = vec![benchmark.label().to_string()];
+        for (i, &policy) in policies.iter().enumerate() {
+            let t = sweep::cell(&records, benchmark, policy).tmax_c;
+            sums[i] += t;
+            row.push(format!("{t:.1}"));
+        }
+        table.add_row(row);
+    }
+    let mut avg_row = vec!["AVG".to_string()];
+    for s in &sums {
+        avg_row.push(format!("{:.1}", s / Benchmark::ALL.len() as f64));
+    }
+    table.add_row(avg_row);
+    table.print();
+
+    let avg = |p: PolicyKind| {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| sweep::cell(&records, b, p).tmax_c)
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64
+    };
+    println!(
+        "\nShape checks vs. the paper's Fig. 9 (average deltas):\n\
+           all-on − off-chip = {:+.2} °C   (paper +5.4 °C)\n\
+           Naïve  − all-on   = {:+.2} °C   (paper +1.1 °C)\n\
+           OracT  − all-on   = {:+.2} °C   (paper −1.2 °C)\n\
+           OracV  − all-on   = {:+.2} °C   (paper +8.5 °C)\n\
+           PracT  − OracT    = {:+.2} °C   (paper +0.5 °C)",
+        avg(PolicyKind::AllOn) - avg(PolicyKind::OffChip),
+        avg(PolicyKind::Naive) - avg(PolicyKind::AllOn),
+        avg(PolicyKind::OracT) - avg(PolicyKind::AllOn),
+        avg(PolicyKind::OracV) - avg(PolicyKind::AllOn),
+        avg(PolicyKind::PracT) - avg(PolicyKind::OracT),
+    );
+}

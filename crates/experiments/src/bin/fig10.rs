@@ -1,0 +1,53 @@
+//! Fig. 10 — maximum thermal gradient under every gating policy, per
+//! benchmark.
+
+use experiments::context::ExpOptions;
+use experiments::report::{banner, TextTable};
+use experiments::sweep;
+use thermogater::PolicyKind;
+use workload::Benchmark;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Fig. 10", "maximum thermal gradient (°C) per policy");
+    let policies = PolicyKind::ALL;
+    let records = sweep::grid(&opts, &Benchmark::ALL, &policies);
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(policies.iter().map(|p| p.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &benchmark in &Benchmark::ALL {
+        let mut row = vec![benchmark.label().to_string()];
+        for &policy in &policies {
+            row.push(format!(
+                "{:.1}",
+                sweep::cell(&records, benchmark, policy).gradient_c
+            ));
+        }
+        table.add_row(row);
+    }
+    table.print();
+
+    let avg = |p: PolicyKind| {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| sweep::cell(&records, b, p).gradient_c)
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64
+    };
+    let rel = |num: f64, den: f64| (num / den - 1.0) * 100.0;
+    println!(
+        "\nShape checks vs. the paper's Fig. 10 (average relative deltas):\n\
+           all-on vs off-chip: {:+.1} %   (paper +79.4 %)\n\
+           Naïve  vs all-on:   {:+.1} %   (paper +12.5 %)\n\
+           OracT  vs all-on:   {:+.1} %   (paper −10.9 %)\n\
+           OracV  vs all-on:   {:+.1} %   (paper +96.3 %)\n\
+           PracT  vs OracT:    {:+.1} %   (paper +3 %)",
+        rel(avg(PolicyKind::AllOn), avg(PolicyKind::OffChip)),
+        rel(avg(PolicyKind::Naive), avg(PolicyKind::AllOn)),
+        rel(avg(PolicyKind::OracT), avg(PolicyKind::AllOn)),
+        rel(avg(PolicyKind::OracV), avg(PolicyKind::AllOn)),
+        rel(avg(PolicyKind::PracT), avg(PolicyKind::OracT)),
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 11 — maximum voltage noise under the gating policies, per
+//! benchmark (% of nominal Vdd; the 10 % emergency threshold is the
+//! figure's horizontal line).
+
+use experiments::context::ExpOptions;
+use experiments::report::{banner, TextTable};
+use experiments::sweep;
+use thermogater::PolicyKind;
+use workload::Benchmark;
+
+/// Fig. 11's policy set (no Naïve, no off-chip).
+const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::OracT,
+    PolicyKind::OracV,
+    PolicyKind::OracVT,
+    PolicyKind::PracT,
+    PolicyKind::PracVT,
+    PolicyKind::AllOn,
+];
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Fig. 11", "maximum voltage noise (% of Vdd) per policy");
+    let records = sweep::grid(&opts, &Benchmark::ALL, &POLICIES);
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(POLICIES.iter().map(|p| p.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &benchmark in &Benchmark::ALL {
+        let mut row = vec![benchmark.label().to_string()];
+        for &policy in &POLICIES {
+            let v = sweep::cell(&records, benchmark, policy)
+                .max_noise_pct
+                .unwrap_or(f64::NAN);
+            row.push(format!("{v:.1}"));
+        }
+        table.add_row(row);
+    }
+    let mut max_row = vec!["MAX".to_string()];
+    for &policy in &POLICIES {
+        let m = Benchmark::ALL
+            .iter()
+            .filter_map(|&b| sweep::cell(&records, b, policy).max_noise_pct)
+            .fold(0.0f64, f64::max);
+        max_row.push(format!("{m:.1}"));
+    }
+    table.add_row(max_row);
+    table.print();
+
+    let avg = |p: PolicyKind| {
+        Benchmark::ALL
+            .iter()
+            .filter_map(|&b| sweep::cell(&records, b, p).max_noise_pct)
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64
+    };
+    println!(
+        "\nShape checks vs. the paper's Fig. 11:\n\
+           OracT averages {:.1} % of Vdd ({:+.0} % over all-on; paper: 23.4 %, +79.3 %)\n\
+           OracV sits {:.0} % below OracT on average (paper: −28.2 % for the fft worst case)\n\
+           OracVT / PracVT converge to the all-on profile: {:.1} / {:.1} vs {:.1} %\n\
+           (paper: 13.22 % under PracVT vs 13.05 % under all-on)",
+        avg(PolicyKind::OracT),
+        (avg(PolicyKind::OracT) / avg(PolicyKind::AllOn) - 1.0) * 100.0,
+        (1.0 - avg(PolicyKind::OracV) / avg(PolicyKind::OracT)) * 100.0,
+        avg(PolicyKind::OracVT),
+        avg(PolicyKind::PracVT),
+        avg(PolicyKind::AllOn),
+    );
+}

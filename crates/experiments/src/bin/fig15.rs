@@ -1,0 +1,38 @@
+//! Fig. 15 — maximum voltage noise under all-on: POWER8-like LDO vs.
+//! Intel-FIVR-like design.
+
+use experiments::context::ExpOptions;
+use experiments::figures::noise_figs::fig15;
+use experiments::report::{banner, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Fig. 15", "maximum voltage noise: LDO vs. FIVR (all-on)");
+    let rows = fig15(&opts);
+    let mut table = TextTable::new(&["benchmark", "LDO (%Vdd)", "FIVR (%Vdd)", "Δ"]);
+    for row in &rows {
+        table.add_row(vec![
+            row.benchmark.label().to_string(),
+            format!("{:.2}", row.ldo_pct),
+            format!("{:.2}", row.fivr_pct),
+            format!("{:+.2}", row.ldo_pct - row.fivr_pct),
+        ]);
+    }
+    let max_ldo = rows.iter().map(|r| r.ldo_pct).fold(0.0f64, f64::max);
+    let max_fivr = rows.iter().map(|r| r.fivr_pct).fold(0.0f64, f64::max);
+    table.add_row(vec![
+        "MAX".to_string(),
+        format!("{max_ldo:.2}"),
+        format!("{max_fivr:.2}"),
+        format!("{:+.2}", max_ldo - max_fivr),
+    ]);
+    table.print();
+    let avg_delta: f64 =
+        rows.iter().map(|r| r.fivr_pct - r.ldo_pct).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\nThe faster LDO lowers the maximum noise by {avg_delta:.2} % of \
+         Vdd on average (paper: ≈0.7 % average, ≈1.1 % for the overall \
+         maximum) — a small improvement that does not change any of the \
+         Section 6 observations."
+    );
+}

@@ -1,0 +1,245 @@
+//! General-purpose simulation runner: any workload × policy ×
+//! configuration from the command line, with optional trace replay and
+//! export.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin simulate -- \
+//!     --bench fft --policy pracvt --duration-ms 10 --heatmap
+//!
+//! cargo run --release -p experiments --bin simulate -- \
+//!     --mix chol,rayt --policy oract
+//!
+//! cargo run --release -p experiments --bin simulate -- \
+//!     --trace my_trace.csv --policy allon
+//!
+//! cargo run --release -p experiments --bin simulate -- \
+//!     --bench lu_ncb --export-trace lu_ncb.csv
+//! ```
+
+use experiments::report::{banner, render_heatmap};
+use floorplan::reference::power8_like;
+use simkit::units::Seconds;
+use std::fs::File;
+use std::process::ExitCode;
+use thermal::ThermalConfig;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use vreg::RegulatorDesign;
+use workload::{replay, Benchmark, TraceGenerator, WorkloadMix, WorkloadSpec};
+
+struct Args {
+    spec: WorkloadSpec,
+    policy: PolicyKind,
+    duration_ms: Option<f64>,
+    windows: Option<usize>,
+    grid: Option<usize>,
+    design: Option<RegulatorDesign>,
+    trace_path: Option<String>,
+    export_path: Option<String>,
+    heatmap: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: simulate [--bench <label> | --mix <a,b,..>] [--policy <tag>]\n\
+     \u{20}       [--duration-ms <f64>] [--windows <n>] [--grid <n>]\n\
+     \u{20}       [--design fivr|ldo] [--trace <csv>] [--export-trace <csv>]\n\
+     \u{20}       [--heatmap]\n\
+     benchmarks: barnes chol fft fmm lu_cb lu_ncb oc_cp oc_ncp radio\n\
+     \u{20}           radix rayt volr water_n water_s\n\
+     policies:   allon offchip naive oract oracv oracvt pract pracvt"
+}
+
+fn parse_benchmark(label: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.label() == label)
+        .ok_or_else(|| format!("unknown benchmark {label:?}"))
+}
+
+fn parse_policy(tag: &str) -> Result<PolicyKind, String> {
+    match tag {
+        "allon" => Ok(PolicyKind::AllOn),
+        "offchip" => Ok(PolicyKind::OffChip),
+        "naive" => Ok(PolicyKind::Naive),
+        "oract" => Ok(PolicyKind::OracT),
+        "oracv" => Ok(PolicyKind::OracV),
+        "oracvt" => Ok(PolicyKind::OracVT),
+        "pract" => Ok(PolicyKind::PracT),
+        "pracvt" => Ok(PolicyKind::PracVT),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: WorkloadSpec::Single(Benchmark::LuNcb),
+        policy: PolicyKind::PracVT,
+        duration_ms: None,
+        windows: None,
+        grid: None,
+        design: None,
+        trace_path: None,
+        export_path: None,
+        heatmap: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--bench" => args.spec = WorkloadSpec::Single(parse_benchmark(&value()?)?),
+            "--mix" => {
+                let assignments = value()?
+                    .split(',')
+                    .map(parse_benchmark)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if assignments.is_empty() {
+                    return Err("--mix needs at least one benchmark".into());
+                }
+                args.spec = WorkloadSpec::Mix(WorkloadMix::new(assignments));
+            }
+            "--policy" => args.policy = parse_policy(&value()?)?,
+            "--duration-ms" => {
+                args.duration_ms =
+                    Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
+            }
+            "--windows" => {
+                args.windows = Some(value()?.parse().map_err(|e| format!("bad windows: {e}"))?)
+            }
+            "--grid" => {
+                args.grid = Some(value()?.parse().map_err(|e| format!("bad grid: {e}"))?)
+            }
+            "--design" => {
+                args.design = Some(match value()?.as_str() {
+                    "fivr" => RegulatorDesign::fivr(),
+                    "ldo" => RegulatorDesign::power8_ldo(),
+                    other => return Err(format!("unknown design {other:?}")),
+                })
+            }
+            "--trace" => args.trace_path = Some(value()?),
+            "--export-trace" => args.export_path = Some(value()?),
+            "--heatmap" => args.heatmap = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let chip = power8_like();
+    let mut config = EngineConfig::standard();
+    if let Some(ms) = args.duration_ms {
+        config.duration = Seconds::from_millis(ms);
+    }
+    if let Some(w) = args.windows {
+        config.noise_window_count = w;
+    }
+    if let Some(n) = args.grid {
+        config.thermal = ThermalConfig {
+            nx: n,
+            ny: n,
+            ..config.thermal
+        };
+    }
+    if let Some(design) = args.design {
+        config.design = design;
+    }
+    let duration = config.duration;
+    let engine = SimulationEngine::new(&chip, config);
+
+    // Export-only path.
+    if let Some(path) = &args.export_path {
+        let trace = TraceGenerator::new(&chip).generate_spec(&args.spec, duration);
+        let file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = replay::write_csv(&trace, file) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} samples × {} blocks to {path}",
+            trace.sample_count(),
+            trace.activity().channel_count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    banner("simulate", &format!("{} under {}", args.spec, args.policy));
+    let result = if let Some(path) = &args.trace_path {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match replay::read_csv(file, Benchmark::LuNcb) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        engine.run_trace(&trace, args.policy)
+    } else {
+        engine.run_spec(&args.spec, args.policy)
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("T_max:                {:.2}", result.max_temperature());
+    println!("thermal gradient:     {:.2} °C", result.max_gradient());
+    println!(
+        "conversion η:         {:.2} %",
+        result.mean_efficiency() * 100.0
+    );
+    println!("regulator loss:       {:.2}", result.mean_total_vr_loss());
+    println!(
+        "max voltage noise:    {}",
+        result
+            .max_noise_percent()
+            .map_or("- (off-chip)".to_string(), |v| format!("{v:.2} % of Vdd"))
+    );
+    println!(
+        "emergency residency:  {}",
+        result
+            .emergency_cycle_fraction()
+            .map_or("-".to_string(), |v| format!("{:.4} % of cycles", v * 100.0))
+    );
+    println!(
+        "active regulators:    {:.1} / {} (mean)",
+        result.mean_active_count(),
+        chip.vr_sites().len()
+    );
+    if let Some(r2) = result.predictor_r_squared() {
+        println!("predictor R²:         {r2:.4}");
+    }
+    if args.heatmap {
+        println!("\nheat map at T_max:");
+        print!("{}", render_heatmap(result.heatmap_at_tmax()));
+    }
+    ExitCode::SUCCESS
+}

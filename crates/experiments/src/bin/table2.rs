@@ -1,0 +1,36 @@
+//! Table 2 — % execution time spent in voltage emergencies under OracT.
+
+use experiments::context::ExpOptions;
+use experiments::figures::noise_figs::{table2, PAPER_AVERAGE_EMERGENCY_PCT};
+use experiments::report::{banner, fmt_opt, TextTable};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner(
+        "Table 2",
+        "% execution time in voltage emergencies under OracT",
+    );
+    let rows = table2(&opts);
+    let mut table = TextTable::new(&["benchmark", "% exec. time", "paper (%)"]);
+    for row in &rows {
+        table.add_row(vec![
+            row.benchmark.label().to_string(),
+            format!("{:.3}", row.pct),
+            fmt_opt(row.paper_pct, 3),
+        ]);
+    }
+    let avg = rows.iter().map(|r| r.pct).sum::<f64>() / rows.len() as f64;
+    table.add_row(vec![
+        "AVG".to_string(),
+        format!("{avg:.3}"),
+        format!("{PAPER_AVERAGE_EMERGENCY_PCT:.3}"),
+    ]);
+    table.print();
+    println!(
+        "\nShape check: every application stays well under 1 % of cycles \
+         in emergency, and temperature time constants dwarf emergency \
+         durations — which is what lets OracVT switch to per-domain \
+         all-on only upon (rare) emergencies without disturbing the \
+         thermal profile (paper Section 6.2.4)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Experiment options and engine configurations.
+
+use simkit::units::Seconds;
+use thermal::ThermalConfig;
+use thermogater::EngineConfig;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct ExpOptions {
+    /// Run a reduced configuration (shorter ROI, coarser grid, fewer
+    /// noise windows) for fast iteration.
+    pub quick: bool,
+}
+
+impl ExpOptions {
+    /// Parses the process arguments (`--quick` is the only flag).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("THERMOGATER_QUICK").is_ok();
+        ExpOptions { quick }
+    }
+
+    /// Explicit constructor for benches and tests.
+    pub fn new(quick: bool) -> Self {
+        ExpOptions { quick }
+    }
+
+    /// The engine configuration these options select.
+    pub fn engine_config(&self) -> EngineConfig {
+        if self.quick {
+            EngineConfig {
+                duration: Seconds::from_millis(6.0),
+                thermal: ThermalConfig::coarse(),
+                noise_window_count: 60,
+                profiling_decisions: 5,
+                ..EngineConfig::standard()
+            }
+        } else {
+            EngineConfig::standard()
+        }
+    }
+
+    /// Cache-directory tag for this configuration.
+    pub fn tag(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let quick = ExpOptions::new(true).engine_config();
+        let full = ExpOptions::new(false).engine_config();
+        assert!(quick.duration < full.duration);
+        assert!(quick.noise_window_count < full.noise_window_count);
+        assert!(quick.thermal.nx < full.thermal.nx);
+        assert_eq!(ExpOptions::new(true).tag(), "quick");
+        assert_eq!(ExpOptions::new(false).tag(), "full");
+    }
+}

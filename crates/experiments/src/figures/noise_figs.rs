@@ -1,0 +1,147 @@
+//! Fig. 14, Fig. 15, and Table 2 — voltage-noise artefacts. (Fig. 11
+//! reads the shared sweep directly.)
+
+use crate::context::ExpOptions;
+use crate::sweep;
+use floorplan::reference::power8_like;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use vreg::RegulatorDesign;
+use workload::Benchmark;
+
+/// Fig. 14 data: the worst sampled window's per-cycle noise trace under
+/// OracT vs. OracV (fft — the application with the worst OracT noise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Data {
+    /// Per-cycle noise (% of Vdd) under OracT.
+    pub oract: Vec<f64>,
+    /// Per-cycle noise (% of Vdd) under OracV.
+    pub oracv: Vec<f64>,
+}
+
+/// Builds Fig. 14 by simulating `fft` under both policies.
+pub fn fig14(opts: &ExpOptions) -> Fig14Data {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let trace = |policy| {
+        engine
+            .run(Benchmark::Fft, policy)
+            .expect("physical configuration simulates")
+            .worst_window_trace()
+            .expect("noise analyzed for gating policies")
+            .to_vec()
+    };
+    Fig14Data {
+        oract: trace(PolicyKind::OracT),
+        oracv: trace(PolicyKind::OracV),
+    }
+}
+
+/// One Fig. 15 row: maximum all-on voltage noise under the LDO- vs.
+/// FIVR-based regulator design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Max noise (% of Vdd), POWER8-like LDO design.
+    pub ldo_pct: f64,
+    /// Max noise (% of Vdd), Intel-FIVR-like design.
+    pub fivr_pct: f64,
+}
+
+/// Builds Fig. 15: all regulators on, both designs, every benchmark.
+/// The FIVR column reuses the shared sweep cache; the LDO runs use a
+/// configuration with [`RegulatorDesign::power8_ldo`].
+pub fn fig15(opts: &ExpOptions) -> Vec<Fig15Row> {
+    let chip = power8_like();
+    let ldo_config = EngineConfig {
+        design: RegulatorDesign::power8_ldo(),
+        ..opts.engine_config()
+    };
+    let ldo_engine = SimulationEngine::new(&chip, ldo_config);
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let fivr = sweep::record_for(opts, benchmark, PolicyKind::AllOn)
+                .max_noise_pct
+                .expect("all-on analyzes noise");
+            eprintln!("[fig15] running {} × LDO …", benchmark.label());
+            let ldo = ldo_engine
+                .run(benchmark, PolicyKind::AllOn)
+                .expect("physical configuration simulates")
+                .max_noise_percent()
+                .expect("all-on analyzes noise");
+            Fig15Row {
+                benchmark,
+                ldo_pct: ldo,
+                fivr_pct: fivr,
+            }
+        })
+        .collect()
+}
+
+/// One Table 2 entry: % of execution time spent in voltage emergencies
+/// under OracT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// % of analyzed cycles in emergency.
+    pub pct: f64,
+    /// The paper's reported value, where stated.
+    pub paper_pct: Option<f64>,
+}
+
+/// Builds Table 2 from the shared sweep.
+pub fn table2(opts: &ExpOptions) -> Vec<Table2Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let record = sweep::record_for(opts, benchmark, PolicyKind::OracT);
+            Table2Row {
+                benchmark,
+                pct: record.emergency_fraction.unwrap_or(0.0) * 100.0,
+                paper_pct: paper_emergency_pct(benchmark),
+            }
+        })
+        .collect()
+}
+
+/// Table 2's reported non-zero values (% execution time, under OracT).
+fn paper_emergency_pct(benchmark: Benchmark) -> Option<f64> {
+    match benchmark {
+        Benchmark::Barnes => Some(0.67),
+        Benchmark::Cholesky => Some(0.001),
+        Benchmark::Fft => Some(0.49),
+        Benchmark::Fmm => Some(0.024),
+        Benchmark::OceanCp => Some(0.50),
+        Benchmark::OceanNcp => Some(0.002),
+        Benchmark::Radiosity => Some(0.008),
+        Benchmark::Radix => Some(0.06),
+        Benchmark::Raytrace => Some(0.032),
+        Benchmark::Volrend => Some(0.002),
+        Benchmark::WaterSpatial => Some(0.11),
+        // lu_cb, lu_ncb, water_n have zero entries (omitted in Table 2).
+        _ => None,
+    }
+}
+
+/// The paper's reported average emergency residency (0.13 %).
+pub const PAPER_AVERAGE_EMERGENCY_PCT: f64 = 0.13;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_anchors_match_paper() {
+        assert_eq!(paper_emergency_pct(Benchmark::Barnes), Some(0.67));
+        assert_eq!(paper_emergency_pct(Benchmark::Fft), Some(0.49));
+        assert_eq!(paper_emergency_pct(Benchmark::LuNcb), None);
+        let listed = Benchmark::ALL
+            .iter()
+            .filter(|&&b| paper_emergency_pct(b).is_some())
+            .count();
+        // The paper lists 11 non-zero applications (+ AVG).
+        assert_eq!(listed, 11);
+    }
+}

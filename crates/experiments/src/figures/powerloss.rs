@@ -1,0 +1,96 @@
+//! Fig. 6 and Fig. 7 — regulator-count tracking and conversion-loss
+//! savings.
+
+use crate::context::ExpOptions;
+use crate::sweep;
+use floorplan::reference::power8_like;
+use thermogater::{PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+/// Fig. 6 data: the evolution of the demand-driven active-regulator
+/// count against the total power demand over time (lu_ncb, Section 6.1's
+/// thermally-oblivious peak-efficiency gating).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig06Data {
+    /// Sample times, ms.
+    pub time_ms: Vec<f64>,
+    /// Total chip power demand, W.
+    pub power_w: Vec<f64>,
+    /// Cumulative `n_on` over all domains required to sustain peak
+    /// efficiency at each instant.
+    pub active: Vec<f64>,
+}
+
+/// Builds Fig. 6 by simulating `lu_ncb` and reading the demand-driven
+/// regulator-count series.
+pub fn fig06(opts: &ExpOptions) -> Fig06Data {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let result = engine
+        .run(Benchmark::LuNcb, PolicyKind::OracT)
+        .expect("physical configuration simulates");
+    let dt_ms = result.total_power().dt().as_millis();
+    let time_ms: Vec<f64> = (0..result.total_power().len())
+        .map(|i| i as f64 * dt_ms)
+        .collect();
+    Fig06Data {
+        time_ms,
+        power_w: result.total_power().values().to_vec(),
+        active: result.required_count().values().to_vec(),
+    }
+}
+
+/// One row of Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig07Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// % conversion-loss saving of gating vs. keeping all 96 regulators
+    /// on.
+    pub saving_pct: f64,
+    /// The value the paper reports, where it states one explicitly.
+    pub paper_pct: Option<f64>,
+}
+
+/// Fig. 7: per-benchmark regulator conversion-loss saving under optimal
+/// (peak-efficiency) gating vs. the all-on baseline.
+pub fn fig07(opts: &ExpOptions) -> Vec<Fig07Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let all_on = sweep::record_for(opts, benchmark, PolicyKind::AllOn);
+            let gated = sweep::record_for(opts, benchmark, PolicyKind::OracT);
+            let saving_pct = (1.0 - gated.mean_loss_w / all_on.mean_loss_w) * 100.0;
+            Fig07Row {
+                benchmark,
+                saving_pct,
+                paper_pct: paper_saving(benchmark),
+            }
+        })
+        .collect()
+}
+
+/// The savings the paper quotes explicitly in Section 6.1.
+fn paper_saving(benchmark: Benchmark) -> Option<f64> {
+    match benchmark {
+        Benchmark::Cholesky => Some(10.4),
+        Benchmark::Raytrace => Some(49.8),
+        _ => None,
+    }
+}
+
+/// The paper's reported average saving across the suite (26.5 %).
+pub const PAPER_AVERAGE_SAVING_PCT: f64 = 26.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_are_the_section61_numbers() {
+        assert_eq!(paper_saving(Benchmark::Cholesky), Some(10.4));
+        assert_eq!(paper_saving(Benchmark::Raytrace), Some(49.8));
+        assert_eq!(paper_saving(Benchmark::Fft), None);
+        assert!((PAPER_AVERAGE_SAVING_PCT - 26.5).abs() < 1e-12);
+    }
+}

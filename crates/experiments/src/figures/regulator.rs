@@ -1,0 +1,172 @@
+//! Fig. 1, Fig. 2, and Fig. 5 — regulator efficiency characteristics.
+
+use simkit::units::Amps;
+use vreg::{survey, EfficiencyCurve, RegulatorBank, RegulatorDesign};
+
+/// One labelled η-vs-current curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledCurve {
+    /// Legend label (citation tag or active-phase count).
+    pub label: String,
+    /// `(I_out amps, η)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Fig. 1: the reported efficiency curves of the eight ISSCC 2015
+/// designs.
+pub fn fig01_curves() -> Vec<LabelledCurve> {
+    survey::isscc2015()
+        .into_iter()
+        .map(|entry| LabelledCurve {
+            label: format!("{} {}", entry.tag, entry.description),
+            points: entry.curve.points().to_vec(),
+        })
+        .collect()
+}
+
+/// A multi-phase regulator's curve family plus the effective curve that
+/// phase gating achieves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseFamily {
+    /// One curve per active-phase count.
+    pub per_count: Vec<LabelledCurve>,
+    /// The gated effective curve (the dotted trend line of Fig. 2/5).
+    pub effective: LabelledCurve,
+}
+
+/// Builds the η-vs-I_out family of a bank of `total` phases for the given
+/// active-phase counts, sampling each curve at `samples` points up to the
+/// bank's full-load current.
+///
+/// # Panics
+///
+/// Panics when a count is zero or exceeds `total`.
+pub fn phase_family(
+    design: &RegulatorDesign,
+    total: usize,
+    counts: &[usize],
+    samples: usize,
+) -> PhaseFamily {
+    let bank = RegulatorBank::new(design.clone(), total);
+    let i_full = design.peak_current() * total as f64 * 1.2;
+    let per_count = counts
+        .iter()
+        .map(|&n| {
+            assert!(n >= 1 && n <= total, "invalid phase count {n}");
+            let points = (1..=samples)
+                .map(|k| {
+                    let i = i_full * (k as f64 / samples as f64);
+                    let eta = bank
+                        .efficiency(Amps::new(i.get()), n)
+                        .expect("validated count");
+                    (i.get(), eta)
+                })
+                .collect();
+            LabelledCurve {
+                label: format!("{n} active"),
+                points,
+            }
+        })
+        .collect();
+    let effective = LabelledCurve {
+        label: "effective".to_string(),
+        points: bank.effective_curve(i_full, samples),
+    };
+    PhaseFamily {
+        per_count,
+        effective,
+    }
+}
+
+/// Fig. 2: the 16-phase Intel buck regulator — phases of ≈0.94 A each so
+/// the full bank covers the figure's 0–15 A axis.
+pub fn fig02_family() -> PhaseFamily {
+    let curve = EfficiencyCurve::scaled_reference(0.90, Amps::new(15.0 / 16.0))
+        .expect("static parameters");
+    let design = RegulatorDesign::new(
+        "Intel-16phase",
+        vreg::RegulatorTopology::Buck,
+        curve,
+        33.6,
+        simkit::units::Seconds::from_nanos(15.0),
+    );
+    phase_family(&design, 16, &[2, 4, 8, 12, 16], 120)
+}
+
+/// Fig. 5: the calibration family used throughout the evaluation — a
+/// per-core domain of 9 FIVR-like phases (1.5 A each at η_peak = 90 %).
+pub fn fig05_family() -> PhaseFamily {
+    phase_family(&RegulatorDesign::fivr(), 9, &[2, 3, 4, 6, 8, 9], 120)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_has_eight_designs() {
+        let curves = fig01_curves();
+        assert_eq!(curves.len(), 8);
+        assert!(curves.iter().all(|c| !c.points.is_empty()));
+    }
+
+    #[test]
+    fn fig02_counts_match_figure_legend() {
+        let fam = fig02_family();
+        let labels: Vec<_> = fam.per_count.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["2 active", "4 active", "8 active", "12 active", "16 active"]
+        );
+        // Full bank covers ≥ 15 A.
+        let max_i = fam
+            .effective
+            .points
+            .last()
+            .map(|&(i, _)| i)
+            .unwrap_or(0.0);
+        assert!(max_i >= 15.0, "axis reach {max_i}");
+    }
+
+    #[test]
+    fn each_count_peaks_at_increasing_current() {
+        let fam = fig05_family();
+        let mut prev_peak = 0.0;
+        for curve in &fam.per_count {
+            let (peak_i, _) = curve
+                .points
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert!(peak_i > prev_peak, "{}: {peak_i}", curve.label);
+            prev_peak = peak_i;
+        }
+    }
+
+    #[test]
+    fn effective_curve_tracks_peak_efficiency() {
+        // Past the first phase's ramp, the gated effective curve stays
+        // within ~1.5 % of η_peak (the near-flat dotted line of Fig. 5).
+        // It may dip marginally below a fixed-count curve right past an
+        // n_on boundary, because `required_active` never overloads a
+        // phase beyond its rated peak current.
+        let fam = fig05_family();
+        let eta_peak = RegulatorDesign::fivr().peak_efficiency();
+        for &(i, eta_eff) in &fam.effective.points {
+            if i < 3.0 {
+                continue; // the 1→2→3 phase steps still ride the ramp
+            }
+            assert!(
+                eta_eff > eta_peak - 0.015,
+                "effective {eta_eff} too far below peak at {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid phase count")]
+    fn zero_count_panics() {
+        phase_family(&RegulatorDesign::fivr(), 9, &[0], 10);
+    }
+}

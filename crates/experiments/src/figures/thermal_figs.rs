@@ -1,0 +1,200 @@
+//! Fig. 8, Fig. 12, and Fig. 13 — thermal traces, heat maps, and
+//! regulator activity. (Figs. 9/10 read the shared sweep directly.)
+
+use crate::context::ExpOptions;
+use floorplan::reference::power8_like;
+use floorplan::{DomainKind, VrId, VrNeighborhood};
+use thermogater::{PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+/// Fig. 8 data: the temperature and on/off trace of the regulator that
+/// toggles the most under Naïve gating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig08Data {
+    /// The showcased regulator.
+    pub vr: VrId,
+    /// Sample times, ms.
+    pub time_ms: Vec<f64>,
+    /// Regulator temperature, °C.
+    pub temperature_c: Vec<f64>,
+    /// On/off state at each sample (step-wise constant per decision).
+    pub state_on: Vec<bool>,
+    /// Peak-to-peak temperature swing of the showcased regulator, °C.
+    pub swing_c: f64,
+}
+
+/// Builds Fig. 8 by simulating `lu_ncb` under the Naïve policy.
+pub fn fig08(opts: &ExpOptions) -> Fig08Data {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let result = engine
+        .run(Benchmark::LuNcb, PolicyKind::Naive)
+        .expect("physical configuration simulates");
+
+    // The showcased regulator: among those Naïve actually toggles, the
+    // one with the largest temperature swing.
+    let n_vrs = chip.vr_sites().len();
+    let toggles = |vr: VrId| {
+        result
+            .decisions()
+            .windows(2)
+            .filter(|w| w[0].gating.is_on(vr) != w[1].gating.is_on(vr))
+            .count()
+    };
+    let swing = |vr: VrId| {
+        let t = result.vr_temperatures().channel(vr.0);
+        t.iter().copied().fold(f64::MIN, f64::max)
+            - t.iter().copied().fold(f64::MAX, f64::min)
+    };
+    let vr = (0..n_vrs)
+        .map(VrId)
+        .filter(|&v| toggles(v) >= 2)
+        .max_by(|&a, &b| swing(a).partial_cmp(&swing(b)).expect("finite temps"))
+        .unwrap_or(VrId(0));
+
+    let temps = result.vr_temperatures().channel(vr.0).to_vec();
+    let dt_ms = result.vr_temperatures().dt().as_millis();
+    let time_ms: Vec<f64> = (0..temps.len()).map(|i| i as f64 * dt_ms).collect();
+    let steps_per_decision = temps.len() / result.decisions().len();
+    let state_on: Vec<bool> = (0..temps.len())
+        .map(|s| {
+            let k = (s / steps_per_decision).min(result.decisions().len() - 1);
+            result.decisions()[k].gating.is_on(vr)
+        })
+        .collect();
+    let max = temps.iter().copied().fold(f64::MIN, f64::max);
+    let min = temps.iter().copied().fold(f64::MAX, f64::min);
+    Fig08Data {
+        vr,
+        time_ms,
+        temperature_c: temps,
+        state_on,
+        swing_c: max - min,
+    }
+}
+
+/// One Fig. 12 frame: the heat map at the instant of T_max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Frame {
+    /// The policy of this frame.
+    pub policy: PolicyKind,
+    /// Silicon heat map (rows bottom-first, °C).
+    pub heatmap: Vec<Vec<f64>>,
+    /// The temporal maximum chip temperature, °C.
+    pub tmax_c: f64,
+}
+
+/// Builds the four Fig. 12 frames (cholesky under off-chip / all-on /
+/// OracT / OracV).
+pub fn fig12(opts: &ExpOptions) -> Vec<Fig12Frame> {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    [
+        PolicyKind::OffChip,
+        PolicyKind::AllOn,
+        PolicyKind::OracT,
+        PolicyKind::OracV,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let result = engine
+            .run(Benchmark::Cholesky, policy)
+            .expect("physical configuration simulates");
+        Fig12Frame {
+            policy,
+            heatmap: result.heatmap_at_tmax().to_vec(),
+            tmax_c: result.max_temperature().get(),
+        }
+    })
+    .collect()
+}
+
+/// One regulator's activity bar of Fig. 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityBar {
+    /// The regulator.
+    pub vr: VrId,
+    /// Whether it neighbors logic (left group) or memory (right group).
+    pub neighborhood: VrNeighborhood,
+    /// Fraction of decisions during which it was on.
+    pub activity: f64,
+}
+
+/// Fig. 13 data: per-core-domain regulator activity under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Data {
+    /// The 72 per-core-domain regulators' bars, logic group first.
+    pub bars: Vec<ActivityBar>,
+    /// Mean activity of the logic-neighborhood group.
+    pub logic_mean: f64,
+    /// Mean activity of the memory-neighborhood group.
+    pub memory_mean: f64,
+}
+
+/// Builds one Fig. 13 panel by simulating `lu_ncb` under `policy`
+/// (the paper contrasts OracT and OracV).
+pub fn fig13(opts: &ExpOptions, policy: PolicyKind) -> Fig13Data {
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let result = engine
+        .run(Benchmark::LuNcb, policy)
+        .expect("physical configuration simulates");
+
+    let mut bars: Vec<ActivityBar> = chip
+        .domains()
+        .iter()
+        .filter(|d| d.kind() == DomainKind::Core)
+        .flat_map(|d| d.vrs().iter().copied())
+        .map(|vr| ActivityBar {
+            vr,
+            neighborhood: chip.vr_site(vr).neighborhood(),
+            activity: result.vr_activity_fraction(vr),
+        })
+        .collect();
+    // Logic group on the left, as in the figure.
+    bars.sort_by_key(|b| (b.neighborhood == VrNeighborhood::Memory, b.vr.0));
+    let mean = |hood: VrNeighborhood| {
+        let group: Vec<f64> = bars
+            .iter()
+            .filter(|b| b.neighborhood == hood)
+            .map(|b| b.activity)
+            .collect();
+        group.iter().sum::<f64>() / group.len().max(1) as f64
+    };
+    Fig13Data {
+        logic_mean: mean(VrNeighborhood::Logic),
+        memory_mean: mean(VrNeighborhood::Memory),
+        bars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // End-to-end figure builders are exercised by the integration tests
+    // and the binaries; here we only check cheap invariants of the data
+    // types.
+
+    #[test]
+    fn fig12_policies_match_the_paper_frames() {
+        let frames = [
+            PolicyKind::OffChip,
+            PolicyKind::AllOn,
+            PolicyKind::OracT,
+            PolicyKind::OracV,
+        ];
+        assert_eq!(frames.len(), 4);
+    }
+
+    #[test]
+    fn activity_bar_is_plain_data() {
+        let bar = ActivityBar {
+            vr: VrId(3),
+            neighborhood: VrNeighborhood::Logic,
+            activity: 0.75,
+        };
+        assert_eq!(bar.vr, VrId(3));
+        assert!((bar.activity - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! ThermoGater paper.
+//!
+//! Each `fig*`/`table*`/`ablation_*` binary in `src/bin/` reproduces one
+//! artefact of the paper's evaluation section; the shared logic lives
+//! here so the Criterion benches in the `bench` crate can reuse it:
+//!
+//! * [`context`] — common CLI options (`--quick`) and engine
+//!   configurations;
+//! * [`report`] — plain-text tables, series and heat-map rendering;
+//! * [`sweep`] — cached benchmark × policy sweeps (the 14 × 8 grid that
+//!   Figs. 9/10/11 and Table 2 share);
+//! * [`figures`] — the per-artefact data builders.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin fig09            # full
+//! cargo run --release -p experiments --bin fig09 -- --quick # reduced
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod figures;
+pub mod report;
+pub mod sweep;

@@ -1,0 +1,198 @@
+//! Plain-text rendering of tables, series, and heat maps.
+
+/// A column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::report::TextTable;
+///
+/// let mut t = TextTable::new(&["bench", "T_max"]);
+/// t.add_row(vec!["lu_ncb".into(), "65.3".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("lu_ncb"));
+/// assert!(rendered.contains("T_max"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let render_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                if i == 0 {
+                    // First column left-aligned.
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats an `Option<f64>` with fixed precision (`"-"` when absent).
+pub fn fmt_opt(value: Option<f64>, precision: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Prints an experiment banner with the artefact id and a description.
+pub fn banner(artefact: &str, description: &str) {
+    println!("================================================================");
+    println!("{artefact} — {description}");
+    println!("================================================================");
+}
+
+/// Downsamples a series to at most `points` bucket means (for compact
+/// printing of long traces).
+pub fn downsample(series: &[f64], points: usize) -> Vec<f64> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let chunk = series.len().div_ceil(points);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Renders a heat map (rows of °C values, bottom row first) as ASCII art
+/// with a shade ramp, top row printed first. Returns the art plus the
+/// used temperature range.
+pub fn render_heatmap(map: &[Vec<f64>]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for row in map {
+        for &v in row {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        return String::new();
+    }
+    let mut out = String::new();
+    for row in map.iter().rev() {
+        for &v in row {
+            let t = (v - lo) / (hi - lo);
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("range: {lo:.1} °C (' ') … {hi:.1} °C ('@')\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["name", "v"]);
+        t.add_row(vec!["a".into(), "1.0".into()]);
+        t.add_row(vec!["longer".into(), "22.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].chars().count();
+        assert!(lines[3].chars().count() <= w + 2);
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn fmt_opt_renders_dash_for_none() {
+        assert_eq!(fmt_opt(None, 2), "-");
+        assert_eq!(fmt_opt(Some(1.234), 2), "1.23");
+    }
+
+    #[test]
+    fn downsample_buckets_means() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = downsample(&s, 5);
+        assert_eq!(d, vec![0.5, 2.5, 4.5, 6.5, 8.5]);
+        assert!(downsample(&[], 3).is_empty());
+        assert!(downsample(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn heatmap_renders_rows_top_first() {
+        let map = vec![vec![50.0, 50.0], vec![90.0, 50.0]];
+        let art = render_heatmap(&map);
+        let lines: Vec<&str> = art.lines().collect();
+        // Top row (second vec) first: hottest cell is '@'.
+        assert!(lines[0].starts_with('@'));
+        assert!(lines[1].starts_with(' '));
+        assert!(lines[2].contains("range"));
+    }
+
+    #[test]
+    fn heatmap_handles_flat_input() {
+        let map = vec![vec![60.0; 3]; 2];
+        assert_eq!(render_heatmap(&map), "");
+    }
+}

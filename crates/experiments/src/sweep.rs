@@ -1,0 +1,249 @@
+//! Cached benchmark × policy sweeps.
+//!
+//! The headline figures (9, 10, 11) and Table 2 all read the same
+//! 14-benchmark × 8-policy grid; on a single core that sweep takes tens
+//! of minutes at the paper-faithful configuration, so each
+//! (benchmark, policy) cell is cached on disk after its first run. The
+//! cache lives under `target/experiments/<tag>/` and is keyed by the
+//! configuration tag (`full`/`quick`); delete the directory to force
+//! re-runs.
+
+use crate::context::ExpOptions;
+use floorplan::reference::power8_like;
+use std::fs;
+use std::path::PathBuf;
+use thermogater::{PolicyKind, SimulationEngine, SimulationResult};
+use workload::Benchmark;
+
+/// The scalar metrics of one benchmark × policy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Benchmark simulated.
+    pub benchmark: Benchmark,
+    /// Policy applied.
+    pub policy: PolicyKind,
+    /// Temporal maximum of the chip-wide maximum temperature, °C.
+    pub tmax_c: f64,
+    /// Temporal maximum of the spatial thermal gradient, °C.
+    pub gradient_c: f64,
+    /// Time-averaged effective conversion efficiency.
+    pub mean_efficiency: f64,
+    /// Time-averaged total regulator conversion loss, W.
+    pub mean_loss_w: f64,
+    /// Maximum voltage noise, percent of Vdd (`None` for off-chip).
+    pub max_noise_pct: Option<f64>,
+    /// Fraction of analyzed cycles in voltage emergencies.
+    pub emergency_fraction: Option<f64>,
+    /// Mean number of active regulators.
+    pub mean_active: f64,
+    /// Thermal-predictor R² (practical policies).
+    pub r_squared: Option<f64>,
+}
+
+impl SweepRecord {
+    /// Extracts the scalar metrics from a full simulation result.
+    pub fn from_result(result: &SimulationResult) -> Self {
+        SweepRecord {
+            benchmark: result.benchmark(),
+            policy: result.policy(),
+            tmax_c: result.max_temperature().get(),
+            gradient_c: result.max_gradient(),
+            mean_efficiency: result.mean_efficiency(),
+            mean_loss_w: result.mean_total_vr_loss().get(),
+            max_noise_pct: result.max_noise_percent(),
+            emergency_fraction: result.emergency_cycle_fraction(),
+            mean_active: result.mean_active_count(),
+            r_squared: result.predictor_r_squared(),
+        }
+    }
+
+    fn to_csv(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or("-".into(), |x| format!("{x:.10e}"))
+        }
+        format!(
+            "{},{},{:.10e},{:.10e},{:.10e},{:.10e},{},{},{:.10e},{}",
+            self.benchmark.label(),
+            policy_tag(self.policy),
+            self.tmax_c,
+            self.gradient_c,
+            self.mean_efficiency,
+            self.mean_loss_w,
+            opt(self.max_noise_pct),
+            opt(self.emergency_fraction),
+            self.mean_active,
+            opt(self.r_squared),
+        )
+    }
+
+    fn from_csv(line: &str) -> Option<Self> {
+        let parts: Vec<&str> = line.trim().split(',').collect();
+        if parts.len() != 10 {
+            return None;
+        }
+        fn opt(s: &str) -> Option<f64> {
+            if s == "-" {
+                None
+            } else {
+                s.parse().ok()
+            }
+        }
+        Some(SweepRecord {
+            benchmark: benchmark_from_label(parts[0])?,
+            policy: policy_from_tag(parts[1])?,
+            tmax_c: parts[2].parse().ok()?,
+            gradient_c: parts[3].parse().ok()?,
+            mean_efficiency: parts[4].parse().ok()?,
+            mean_loss_w: parts[5].parse().ok()?,
+            max_noise_pct: opt(parts[6]),
+            emergency_fraction: opt(parts[7]),
+            mean_active: parts[8].parse().ok()?,
+            r_squared: opt(parts[9]),
+        })
+    }
+}
+
+/// ASCII cache tag of a policy (labels contain non-filename characters).
+pub fn policy_tag(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::AllOn => "allon",
+        PolicyKind::OffChip => "offchip",
+        PolicyKind::Naive => "naive",
+        PolicyKind::OracT => "oract",
+        PolicyKind::OracV => "oracv",
+        PolicyKind::OracVT => "oracvt",
+        PolicyKind::PracT => "pract",
+        PolicyKind::PracVT => "pracvt",
+        _ => "unknown",
+    }
+}
+
+fn policy_from_tag(tag: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL.into_iter().find(|&p| policy_tag(p) == tag)
+}
+
+fn benchmark_from_label(label: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.label() == label)
+}
+
+fn cache_dir(opts: &ExpOptions) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments")
+        .join(opts.tag())
+}
+
+fn cache_path(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> PathBuf {
+    cache_dir(opts).join(format!("{}-{}.csv", benchmark.label(), policy_tag(policy)))
+}
+
+/// Returns the cached record for one cell, running the simulation when
+/// no cache entry exists.
+///
+/// # Panics
+///
+/// Panics when the simulation itself fails (physical configurations do
+/// not) or the cache directory cannot be created.
+pub fn record_for(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> SweepRecord {
+    let path = cache_path(opts, benchmark, policy);
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Some(record) = SweepRecord::from_csv(&text) {
+            return record;
+        }
+    }
+    eprintln!("[sweep] running {} × {} …", benchmark.label(), policy.label());
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let result = engine
+        .run(benchmark, policy)
+        .expect("simulation of a physical configuration succeeds");
+    let record = SweepRecord::from_result(&result);
+    fs::create_dir_all(cache_dir(opts)).expect("create cache directory");
+    fs::write(&path, record.to_csv()).expect("write cache entry");
+    record
+}
+
+/// All records of a benchmark × policy grid (cached per cell).
+pub fn grid(
+    opts: &ExpOptions,
+    benchmarks: &[Benchmark],
+    policies: &[PolicyKind],
+) -> Vec<SweepRecord> {
+    let mut out = Vec::with_capacity(benchmarks.len() * policies.len());
+    for &benchmark in benchmarks {
+        for &policy in policies {
+            out.push(record_for(opts, benchmark, policy));
+        }
+    }
+    out
+}
+
+/// Looks up one cell in a grid produced by [`grid`].
+///
+/// # Panics
+///
+/// Panics when the cell is missing.
+pub fn cell(records: &[SweepRecord], benchmark: Benchmark, policy: PolicyKind) -> &SweepRecord {
+    records
+        .iter()
+        .find(|r| r.benchmark == benchmark && r.policy == policy)
+        .expect("cell present in sweep grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepRecord {
+        SweepRecord {
+            benchmark: Benchmark::Fft,
+            policy: PolicyKind::OracVT,
+            tmax_c: 66.25,
+            gradient_c: 10.5,
+            mean_efficiency: 0.89,
+            mean_loss_w: 9.1,
+            max_noise_pct: Some(22.6),
+            emergency_fraction: Some(0.0041),
+            mean_active: 71.5,
+            r_squared: None,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = sample();
+        let line = r.to_csv();
+        let back = SweepRecord::from_csv(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_none_fields() {
+        let mut r = sample();
+        r.max_noise_pct = None;
+        r.emergency_fraction = None;
+        r.r_squared = Some(0.99);
+        let back = SweepRecord::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        assert!(SweepRecord::from_csv("not,a,record").is_none());
+        assert!(SweepRecord::from_csv("").is_none());
+    }
+
+    #[test]
+    fn policy_tags_are_unique_and_reversible() {
+        for p in PolicyKind::ALL {
+            assert_eq!(policy_from_tag(policy_tag(p)), Some(p));
+        }
+    }
+
+    #[test]
+    fn benchmark_labels_reversible() {
+        for b in Benchmark::ALL {
+            assert_eq!(benchmark_from_label(b.label()), Some(b));
+        }
+        assert_eq!(benchmark_from_label("nope"), None);
+    }
+}

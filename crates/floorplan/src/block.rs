@@ -1,0 +1,174 @@
+//! Functional-unit blocks.
+
+use simkit::Rect;
+use std::fmt;
+
+/// Identifier of a [`Block`] within a [`crate::Floorplan`].
+///
+/// Indices are dense: the block with `BlockId(i)` is the `i`-th entry of
+/// [`crate::Floorplan::blocks`], so power/thermal traces can use plain
+/// vectors indexed by block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// The microarchitectural role of a block.
+///
+/// The distinction that matters to ThermoGater is *logic vs. memory*:
+/// logic units are power-hungry and noise-critical, on-chip memory blocks
+/// are cooler — the tension Figs. 12–13 of the paper revolve around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum UnitKind {
+    /// Instruction fetch unit (includes the L1 instruction cache).
+    InstructionFetch,
+    /// Instruction scheduling unit.
+    InstructionSchedule,
+    /// Execution unit.
+    Execution,
+    /// Load/store unit (includes the L1 data cache).
+    LoadStore,
+    /// Private per-core L2 cache.
+    L2Cache,
+    /// Shared L3 cache bank.
+    L3Cache,
+    /// Network-on-chip.
+    Noc,
+    /// Memory controller.
+    MemoryController,
+}
+
+impl UnitKind {
+    /// Whether this unit is a logic block (vs. an on-chip memory block).
+    ///
+    /// The NOC and memory controllers count as logic: they are active
+    /// switching fabric, not storage arrays.
+    pub fn is_logic(self) -> bool {
+        !matches!(self, UnitKind::L2Cache | UnitKind::L3Cache)
+    }
+
+    /// Whether this unit is an on-chip memory block.
+    pub fn is_memory(self) -> bool {
+        !self.is_logic()
+    }
+
+    /// Short display label matching the paper's floorplan figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitKind::InstructionFetch => "IFU",
+            UnitKind::InstructionSchedule => "ISU",
+            UnitKind::Execution => "EXU",
+            UnitKind::LoadStore => "LSU",
+            UnitKind::L2Cache => "L2",
+            UnitKind::L3Cache => "L3",
+            UnitKind::Noc => "NOC",
+            UnitKind::MemoryController => "MC",
+        }
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A placed functional unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    id: BlockId,
+    name: String,
+    kind: UnitKind,
+    rect: Rect,
+}
+
+impl Block {
+    /// Creates a block. Normally called through
+    /// [`crate::FloorplanBuilder::add_block`], which assigns the id.
+    pub(crate) fn new(id: BlockId, name: impl Into<String>, kind: UnitKind, rect: Rect) -> Self {
+        Block {
+            id,
+            name: name.into(),
+            kind,
+            rect,
+        }
+    }
+
+    /// Dense identifier of this block.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Human-readable name, e.g. `"core3.EXU"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Microarchitectural role.
+    pub fn kind(&self) -> UnitKind {
+        self.kind
+    }
+
+    /// Placement on the die.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Area in square millimeters.
+    pub fn area_mm2(&self) -> f64 {
+        self.rect.area_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_memory_partition_is_total() {
+        let kinds = [
+            UnitKind::InstructionFetch,
+            UnitKind::InstructionSchedule,
+            UnitKind::Execution,
+            UnitKind::LoadStore,
+            UnitKind::L2Cache,
+            UnitKind::L3Cache,
+            UnitKind::Noc,
+            UnitKind::MemoryController,
+        ];
+        for kind in kinds {
+            assert_ne!(kind.is_logic(), kind.is_memory(), "{kind} must be one");
+        }
+    }
+
+    #[test]
+    fn caches_are_memory() {
+        assert!(UnitKind::L2Cache.is_memory());
+        assert!(UnitKind::L3Cache.is_memory());
+        assert!(UnitKind::Execution.is_logic());
+        assert!(UnitKind::Noc.is_logic());
+    }
+
+    #[test]
+    fn labels_match_paper_floorplan() {
+        assert_eq!(UnitKind::InstructionFetch.label(), "IFU");
+        assert_eq!(UnitKind::LoadStore.to_string(), "LSU");
+        assert_eq!(UnitKind::MemoryController.label(), "MC");
+    }
+
+    #[test]
+    fn block_accessors() {
+        let rect = Rect::from_mm(0.0, 0.0, 2.0, 3.0);
+        let b = Block::new(BlockId(4), "core0.L2", UnitKind::L2Cache, rect);
+        assert_eq!(b.id(), BlockId(4));
+        assert_eq!(b.name(), "core0.L2");
+        assert_eq!(b.kind(), UnitKind::L2Cache);
+        assert!((b.area_mm2() - 6.0).abs() < 1e-9);
+        assert_eq!(format!("{}", b.id()), "B4");
+    }
+}

@@ -1,0 +1,295 @@
+//! Incremental construction of validated floorplans.
+
+use crate::block::{Block, BlockId, UnitKind};
+use crate::chip::Floorplan;
+use crate::domain::{DomainId, DomainKind, VddDomain};
+use crate::vr_site::{VrId, VrNeighborhood, VrSite};
+use simkit::{Error, Point, Rect, Result};
+
+/// Builder for a [`Floorplan`].
+///
+/// # Examples
+///
+/// ```
+/// use floorplan::{FloorplanBuilder, UnitKind, DomainKind};
+/// use simkit::Rect;
+///
+/// let mut b = FloorplanBuilder::new(Rect::from_mm(0.0, 0.0, 10.0, 10.0));
+/// let d = b.add_domain("core0", DomainKind::Core);
+/// b.add_block(d, "core0.EXU", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 10.0))?;
+/// b.add_block(d, "core0.L2", UnitKind::L2Cache, Rect::from_mm(5.0, 0.0, 5.0, 10.0))?;
+/// b.add_vr(d, simkit::Point::from_mm(2.5, 5.0), 0.04)?;
+/// let chip = b.build()?;
+/// assert_eq!(chip.blocks().len(), 2);
+/// # Ok::<(), simkit::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct FloorplanBuilder {
+    die: Rect,
+    blocks: Vec<Block>,
+    domains: Vec<VddDomain>,
+    vr_sites: Vec<VrSite>,
+}
+
+impl FloorplanBuilder {
+    /// Starts a floorplan with the given die outline.
+    pub fn new(die: Rect) -> Self {
+        FloorplanBuilder {
+            die,
+            blocks: Vec::new(),
+            domains: Vec::new(),
+            vr_sites: Vec::new(),
+        }
+    }
+
+    /// Registers a new Vdd-domain and returns its id.
+    pub fn add_domain(&mut self, name: impl Into<String>, kind: DomainKind) -> DomainId {
+        let id = DomainId(self.domains.len());
+        self.domains.push(VddDomain::new(id, name, kind));
+        id
+    }
+
+    /// Places a functional-unit block inside `domain`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] when the block pokes outside the die,
+    ///   has non-positive area, or overlaps an existing block;
+    /// * [`Error::InvalidArgument`] when `domain` is unknown.
+    pub fn add_block(
+        &mut self,
+        domain: DomainId,
+        name: impl Into<String>,
+        kind: UnitKind,
+        rect: Rect,
+    ) -> Result<BlockId> {
+        let name = name.into();
+        if rect.area() <= 0.0 {
+            return Err(Error::invalid_argument(format!(
+                "block {name} has non-positive area"
+            )));
+        }
+        const EPS: f64 = 1e-9;
+        if rect.origin.x.get() < self.die.origin.x.get() - EPS
+            || rect.origin.y.get() < self.die.origin.y.get() - EPS
+            || rect.right().get() > self.die.right().get() + EPS
+            || rect.top().get() > self.die.top().get() + EPS
+        {
+            return Err(Error::invalid_argument(format!(
+                "block {name} extends outside the die"
+            )));
+        }
+        for existing in &self.blocks {
+            // Tolerate hairline numerical overlaps from mm arithmetic.
+            if existing.rect().intersection_area(&rect) > 1e-12 {
+                return Err(Error::invalid_argument(format!(
+                    "block {name} overlaps {}",
+                    existing.name()
+                )));
+            }
+        }
+        let dom = self
+            .domains
+            .get_mut(domain.0)
+            .ok_or_else(|| Error::invalid_argument(format!("unknown domain {domain}")))?;
+        let id = BlockId(self.blocks.len());
+        dom.push_block(id);
+        self.blocks.push(Block::new(id, name, kind, rect));
+        Ok(id)
+    }
+
+    /// Places a component voltage regulator inside `domain` at `center`
+    /// with the given footprint area (mm²). The regulator's
+    /// logic/memory neighborhood is derived from the nearest block of its
+    /// domain at build time.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] when `domain` is unknown, the center
+    ///   lies outside the die, or the area is non-positive.
+    pub fn add_vr(&mut self, domain: DomainId, center: Point, area_mm2: f64) -> Result<VrId> {
+        if area_mm2 <= 0.0 {
+            return Err(Error::invalid_argument("VR area must be positive"));
+        }
+        if !self.die.contains(center) {
+            return Err(Error::invalid_argument(format!(
+                "VR center ({:.3}, {:.3}) mm outside the die",
+                center.x.as_mm(),
+                center.y.as_mm()
+            )));
+        }
+        let dom = self
+            .domains
+            .get_mut(domain.0)
+            .ok_or_else(|| Error::invalid_argument(format!("unknown domain {domain}")))?;
+        let id = VrId(self.vr_sites.len());
+        dom.push_vr(id);
+        // Neighborhood is finalised in build(); placeholder until then.
+        self.vr_sites.push(VrSite::new(
+            id,
+            domain,
+            center,
+            area_mm2,
+            VrNeighborhood::Logic,
+        ));
+        Ok(id)
+    }
+
+    /// Validates the assembled plan and produces the immutable
+    /// [`Floorplan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when a domain ends up with no
+    /// blocks, when the floorplan has no regulators at all, or when a
+    /// regulator's domain has no blocks to classify it against.
+    pub fn build(mut self) -> Result<Floorplan> {
+        for dom in &self.domains {
+            if dom.blocks().is_empty() {
+                return Err(Error::invalid_argument(format!(
+                    "domain {} has no blocks",
+                    dom.name()
+                )));
+            }
+        }
+        // Classify each VR by the kind of the nearest block in its domain.
+        let neighborhoods: Vec<VrNeighborhood> = self
+            .vr_sites
+            .iter()
+            .map(|site| {
+                let dom = &self.domains[site.domain().0];
+                let nearest = dom
+                    .blocks()
+                    .iter()
+                    .map(|&bid| &self.blocks[bid.0])
+                    .min_by(|a, b| {
+                        let da = block_distance(a.rect(), site.center());
+                        let db = block_distance(b.rect(), site.center());
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("domain verified non-empty");
+                if nearest.kind().is_memory() {
+                    VrNeighborhood::Memory
+                } else {
+                    VrNeighborhood::Logic
+                }
+            })
+            .collect();
+        for (site, hood) in self.vr_sites.iter_mut().zip(neighborhoods) {
+            *site = VrSite::new(site.id(), site.domain(), site.center(), site.area_mm2(), hood);
+        }
+        Floorplan::from_parts(self.die, self.blocks, self.domains, self.vr_sites)
+    }
+}
+
+/// Distance from a point to a rectangle (zero when inside).
+fn block_distance(rect: Rect, p: Point) -> f64 {
+    let dx = (rect.origin.x.get() - p.x.get())
+        .max(p.x.get() - rect.right().get())
+        .max(0.0);
+    let dy = (rect.origin.y.get() - p.y.get())
+        .max(p.y.get() - rect.top().get())
+        .max(0.0);
+    dx.hypot(dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Rect {
+        Rect::from_mm(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn rejects_block_outside_die() {
+        let mut b = FloorplanBuilder::new(die());
+        let d = b.add_domain("d", DomainKind::Core);
+        let err = b
+            .add_block(d, "x", UnitKind::Execution, Rect::from_mm(8.0, 8.0, 5.0, 5.0))
+            .unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_overlapping_blocks() {
+        let mut b = FloorplanBuilder::new(die());
+        let d = b.add_domain("d", DomainKind::Core);
+        b.add_block(d, "a", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 5.0))
+            .unwrap();
+        let err = b
+            .add_block(d, "b", UnitKind::LoadStore, Rect::from_mm(4.0, 4.0, 5.0, 5.0))
+            .unwrap_err();
+        assert!(err.to_string().contains("overlaps"));
+    }
+
+    #[test]
+    fn abutting_blocks_are_fine() {
+        let mut b = FloorplanBuilder::new(die());
+        let d = b.add_domain("d", DomainKind::Core);
+        b.add_block(d, "a", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 10.0))
+            .unwrap();
+        b.add_block(d, "b", UnitKind::LoadStore, Rect::from_mm(5.0, 0.0, 5.0, 10.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_vr_outside_die() {
+        let mut b = FloorplanBuilder::new(die());
+        let d = b.add_domain("d", DomainKind::Core);
+        assert!(b.add_vr(d, Point::from_mm(11.0, 5.0), 0.04).is_err());
+        assert!(b.add_vr(d, Point::from_mm(5.0, 5.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_domain() {
+        let mut b = FloorplanBuilder::new(die());
+        let err = b
+            .add_block(
+                DomainId(3),
+                "x",
+                UnitKind::Execution,
+                Rect::from_mm(0.0, 0.0, 1.0, 1.0),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown domain"));
+    }
+
+    #[test]
+    fn empty_domain_fails_build() {
+        let mut b = FloorplanBuilder::new(die());
+        b.add_domain("empty", DomainKind::Core);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn vr_neighborhood_classified_by_nearest_block() {
+        let mut b = FloorplanBuilder::new(die());
+        let d = b.add_domain("core", DomainKind::Core);
+        b.add_block(d, "EXU", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 10.0, 5.0))
+            .unwrap();
+        b.add_block(d, "L2", UnitKind::L2Cache, Rect::from_mm(0.0, 5.0, 10.0, 5.0))
+            .unwrap();
+        let logic_vr = b.add_vr(d, Point::from_mm(5.0, 1.0), 0.04).unwrap();
+        let mem_vr = b.add_vr(d, Point::from_mm(5.0, 9.0), 0.04).unwrap();
+        let chip = b.build().unwrap();
+        assert_eq!(
+            chip.vr_site(logic_vr).neighborhood(),
+            VrNeighborhood::Logic
+        );
+        assert_eq!(chip.vr_site(mem_vr).neighborhood(), VrNeighborhood::Memory);
+    }
+
+    #[test]
+    fn point_rect_distance() {
+        let r = Rect::from_mm(1.0, 1.0, 2.0, 2.0);
+        // Inside → 0.
+        assert_eq!(block_distance(r, Point::from_mm(2.0, 2.0)), 0.0);
+        // Left of the rect → horizontal gap.
+        let d = block_distance(r, Point::from_mm(0.0, 2.0));
+        assert!((d - 1e-3).abs() < 1e-12);
+        // Diagonal corner gap.
+        let d = block_distance(r, Point::from_mm(0.0, 0.0));
+        assert!((d - (2e-6f64).sqrt()).abs() < 1e-12);
+    }
+}

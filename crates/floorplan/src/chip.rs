@@ -1,0 +1,209 @@
+//! The immutable, validated floorplan.
+
+use crate::block::{Block, BlockId};
+use crate::domain::{DomainId, VddDomain};
+use crate::vr_site::{VrId, VrSite};
+use simkit::{Error, Point, Rect, Result};
+
+/// A complete chip description: die outline, functional-unit blocks,
+/// Vdd-domains, and component-regulator sites.
+///
+/// Construct one through [`crate::FloorplanBuilder`] or take the paper's
+/// reference chip from [`crate::reference::power8_like`]. All collections
+/// are densely indexed by their id newtypes, so simulation state can live
+/// in plain vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    die: Rect,
+    blocks: Vec<Block>,
+    domains: Vec<VddDomain>,
+    vr_sites: Vec<VrSite>,
+}
+
+impl Floorplan {
+    pub(crate) fn from_parts(
+        die: Rect,
+        blocks: Vec<Block>,
+        domains: Vec<VddDomain>,
+        vr_sites: Vec<VrSite>,
+    ) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(Error::invalid_argument("floorplan has no blocks"));
+        }
+        Ok(Floorplan {
+            die,
+            blocks,
+            domains,
+            vr_sites,
+        })
+    }
+
+    /// Die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// All blocks, indexable by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// All Vdd-domains, indexable by [`DomainId`].
+    pub fn domains(&self) -> &[VddDomain] {
+        &self.domains
+    }
+
+    /// All regulator sites, indexable by [`VrId`].
+    pub fn vr_sites(&self) -> &[VrSite] {
+        &self.vr_sites
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id does not belong to this floorplan.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// The domain with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id does not belong to this floorplan.
+    pub fn domain(&self, id: DomainId) -> &VddDomain {
+        &self.domains[id.0]
+    }
+
+    /// The regulator site with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id does not belong to this floorplan.
+    pub fn vr_site(&self, id: VrId) -> &VrSite {
+        &self.vr_sites[id.0]
+    }
+
+    /// The domain a regulator belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id does not belong to this floorplan.
+    pub fn domain_of_vr(&self, id: VrId) -> &VddDomain {
+        self.domain(self.vr_site(id).domain())
+    }
+
+    /// The block covering `point`, if any (blocks never overlap).
+    pub fn block_at(&self, point: Point) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.rect().contains(point))
+    }
+
+    /// The block whose outline is closest to `point` (the block itself
+    /// when the point is inside one).
+    ///
+    /// Returns `None` only for an empty floorplan, which
+    /// [`crate::FloorplanBuilder::build`] never produces.
+    pub fn nearest_block(&self, point: Point) -> Option<&Block> {
+        self.blocks.iter().min_by(|a, b| {
+            let da = rect_distance(a.rect(), point);
+            let db = rect_distance(b.rect(), point);
+            da.partial_cmp(&db).expect("finite distances")
+        })
+    }
+
+    /// Total die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die.area_mm2()
+    }
+
+    /// Sum of all block areas in mm².
+    pub fn occupied_area_mm2(&self) -> f64 {
+        self.blocks.iter().map(Block::area_mm2).sum()
+    }
+
+    /// Relocates a regulator site — used by the PDN placement optimiser
+    /// (Section 5 of the paper moves VRs one by one to minimise the
+    /// maximum voltage noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when the new center is outside
+    /// the die.
+    pub fn move_vr(&mut self, id: VrId, center: Point) -> Result<()> {
+        if !self.die.contains(center) {
+            return Err(Error::invalid_argument("VR center outside the die"));
+        }
+        self.vr_sites[id.0].set_center(center);
+        Ok(())
+    }
+}
+
+fn rect_distance(rect: Rect, p: Point) -> f64 {
+    let dx = (rect.origin.x.get() - p.x.get())
+        .max(p.x.get() - rect.right().get())
+        .max(0.0);
+    let dy = (rect.origin.y.get() - p.y.get())
+        .max(p.y.get() - rect.top().get())
+        .max(0.0);
+    dx.hypot(dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::UnitKind;
+    use crate::builder::FloorplanBuilder;
+    use crate::domain::DomainKind;
+
+    fn tiny_chip() -> Floorplan {
+        let mut b = FloorplanBuilder::new(Rect::from_mm(0.0, 0.0, 10.0, 10.0));
+        let d = b.add_domain("core0", DomainKind::Core);
+        b.add_block(d, "EXU", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 10.0))
+            .unwrap();
+        b.add_block(d, "L2", UnitKind::L2Cache, Rect::from_mm(5.0, 0.0, 5.0, 10.0))
+            .unwrap();
+        b.add_vr(d, Point::from_mm(2.5, 5.0), 0.04).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_ids() {
+        let chip = tiny_chip();
+        assert_eq!(chip.block(BlockId(0)).name(), "EXU");
+        assert_eq!(chip.domain(DomainId(0)).name(), "core0");
+        assert_eq!(chip.vr_site(VrId(0)).domain(), DomainId(0));
+        assert_eq!(chip.domain_of_vr(VrId(0)).name(), "core0");
+    }
+
+    #[test]
+    fn block_at_point() {
+        let chip = tiny_chip();
+        assert_eq!(chip.block_at(Point::from_mm(1.0, 1.0)).unwrap().name(), "EXU");
+        assert_eq!(chip.block_at(Point::from_mm(7.0, 1.0)).unwrap().name(), "L2");
+        assert!(chip.block_at(Point::from_mm(15.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_block_outside() {
+        let chip = tiny_chip();
+        // Point just right of the die is nearest to L2.
+        let near = chip.nearest_block(Point::from_mm(10.5, 5.0)).unwrap();
+        assert_eq!(near.name(), "L2");
+    }
+
+    #[test]
+    fn areas() {
+        let chip = tiny_chip();
+        assert!((chip.die_area_mm2() - 100.0).abs() < 1e-9);
+        assert!((chip.occupied_area_mm2() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_vr_validates_bounds() {
+        let mut chip = tiny_chip();
+        chip.move_vr(VrId(0), Point::from_mm(8.0, 8.0)).unwrap();
+        assert!((chip.vr_site(VrId(0)).center().x.as_mm() - 8.0).abs() < 1e-9);
+        assert!(chip.move_vr(VrId(0), Point::from_mm(20.0, 5.0)).is_err());
+    }
+}

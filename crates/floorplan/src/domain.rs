@@ -1,0 +1,116 @@
+//! Vdd-domains: the granularity at which voltage is regulated and at which
+//! ThermoGater makes per-domain gating decisions.
+
+use crate::block::BlockId;
+use crate::vr_site::VrId;
+use std::fmt;
+
+/// Identifier of a [`VddDomain`] within a [`crate::Floorplan`].
+///
+/// Indices are dense, matching [`crate::Floorplan::domains`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub usize);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// What a Vdd-domain supplies.
+///
+/// The paper's reference chip has one domain per core (core logic + its
+/// private L2) and one per L3 bank (plus its share of NOC/MC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DomainKind {
+    /// A core plus its private caches: 9 component regulators.
+    Core,
+    /// An L3 bank (plus uncore slice): 3 component regulators.
+    L3Bank,
+}
+
+/// A voltage domain: a set of blocks supplied by a parallel network of
+/// component regulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VddDomain {
+    id: DomainId,
+    name: String,
+    kind: DomainKind,
+    blocks: Vec<BlockId>,
+    vrs: Vec<VrId>,
+}
+
+impl VddDomain {
+    pub(crate) fn new(id: DomainId, name: impl Into<String>, kind: DomainKind) -> Self {
+        VddDomain {
+            id,
+            name: name.into(),
+            kind,
+            blocks: Vec::new(),
+            vrs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_block(&mut self, block: BlockId) {
+        self.blocks.push(block);
+    }
+
+    pub(crate) fn push_vr(&mut self, vr: VrId) {
+        self.vrs.push(vr);
+    }
+
+    /// Dense identifier.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// Human-readable name, e.g. `"core3"` or `"l3bank5"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a core or L3-bank domain.
+    pub fn kind(&self) -> DomainKind {
+        self.kind
+    }
+
+    /// Blocks supplied by this domain, in insertion order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Component regulators of this domain, in insertion order.
+    pub fn vrs(&self) -> &[VrId] {
+        &self.vrs
+    }
+
+    /// Number of component regulators.
+    pub fn vr_count(&self) -> usize {
+        self.vrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_collects_blocks_and_vrs() {
+        let mut d = VddDomain::new(DomainId(2), "core2", DomainKind::Core);
+        d.push_block(BlockId(10));
+        d.push_block(BlockId(11));
+        d.push_vr(VrId(5));
+        assert_eq!(d.id(), DomainId(2));
+        assert_eq!(d.name(), "core2");
+        assert_eq!(d.kind(), DomainKind::Core);
+        assert_eq!(d.blocks(), &[BlockId(10), BlockId(11)]);
+        assert_eq!(d.vrs(), &[VrId(5)]);
+        assert_eq!(d.vr_count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DomainId(7).to_string(), "D7");
+    }
+}

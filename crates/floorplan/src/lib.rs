@@ -1,0 +1,37 @@
+//! Chip floorplans for the ThermoGater reproduction.
+//!
+//! A [`Floorplan`] describes the die outline, the functional-unit
+//! [`Block`]s placed on it, the [`VddDomain`]s that partition those blocks,
+//! and the [`VrSite`]s where distributed component voltage regulators sit.
+//! The reference chip the paper evaluates — an 8-core POWER8-like part
+//! with a per-core IFU/ISU/EXU/LSU/L2 layout, eight L3 banks, a NOC
+//! column, two memory controllers, and 96 regulators spread over 16
+//! Vdd-domains — is produced by [`reference::power8_like`].
+//!
+//! # Examples
+//!
+//! ```
+//! use floorplan::reference;
+//!
+//! let chip = reference::power8_like();
+//! assert_eq!(chip.domains().len(), 16);
+//! assert_eq!(chip.vr_sites().len(), 96);
+//! // Die area matches Table 1 of the paper: 441 mm².
+//! assert!((chip.die().area_mm2() - 441.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod builder;
+mod chip;
+mod domain;
+pub mod reference;
+mod vr_site;
+
+pub use block::{Block, BlockId, UnitKind};
+pub use builder::FloorplanBuilder;
+pub use chip::Floorplan;
+pub use domain::{DomainId, DomainKind, VddDomain};
+pub use vr_site::{VrId, VrNeighborhood, VrSite};

@@ -1,0 +1,421 @@
+//! The paper's reference chip: an 8-core POWER8-like processor.
+//!
+//! Geometry follows Table 1 and Fig. 4 of the paper:
+//!
+//! * 441 mm² die (21 × 21 mm) at 22 nm, 150 W TDP, Vdd = 1.03 V;
+//! * 8 cores in two rows of four; each core holds an ISU, EXU, IFU, LSU
+//!   (logic) and a private L2 strip (memory);
+//! * a bottom uncore band with 8 L3 banks in two columns, a central NOC
+//!   column, and a memory controller at each edge;
+//! * 16 Vdd-domains — one per core (9 component VRs each) and one per L3
+//!   bank (3 component VRs each) — for 96 VRs total, uniformly placed;
+//! * every VR occupies 0.04 mm².
+
+use crate::block::UnitKind;
+use crate::builder::FloorplanBuilder;
+use crate::chip::Floorplan;
+use crate::domain::DomainKind;
+use simkit::{Point, Rect};
+
+/// Die edge length in millimeters (21 × 21 mm = 441 mm², Table 1).
+pub const DIE_MM: f64 = 21.0;
+/// Component-regulator footprint in mm² (Section 5).
+pub const VR_AREA_MM2: f64 = 0.04;
+/// Component regulators per core Vdd-domain (Section 5).
+pub const CORE_VR_COUNT: usize = 9;
+/// Component regulators per L3-bank Vdd-domain (Section 5).
+pub const L3_VR_COUNT: usize = 3;
+/// Number of cores.
+pub const CORE_COUNT: usize = 8;
+/// Number of L3 banks.
+pub const L3_BANK_COUNT: usize = 8;
+/// Total component regulators on the chip.
+pub const TOTAL_VR_COUNT: usize = CORE_COUNT * CORE_VR_COUNT + L3_BANK_COUNT * L3_VR_COUNT;
+
+const CORE_W: f64 = DIE_MM / 4.0; // 5.25 mm
+const CORE_H: f64 = 6.0;
+const CORE_ROW0_Y: f64 = 15.0;
+const CORE_ROW1_Y: f64 = 9.0;
+const UNCORE_H: f64 = 9.0;
+const MC_W: f64 = 1.5;
+const NOC_W: f64 = 2.0;
+const L3_REGION_W: f64 = (DIE_MM - 2.0 * MC_W - NOC_W) / 2.0; // 8 mm
+const L3_BANK_H: f64 = UNCORE_H / 4.0; // 2.25 mm
+
+/// Builds the default POWER8-like reference chip.
+///
+/// # Examples
+///
+/// ```
+/// let chip = floorplan::reference::power8_like();
+/// assert_eq!(chip.vr_sites().len(), floorplan::reference::TOTAL_VR_COUNT);
+/// let core_domains = chip
+///     .domains()
+///     .iter()
+///     .filter(|d| d.kind() == floorplan::DomainKind::Core)
+///     .count();
+/// assert_eq!(core_domains, 8);
+/// ```
+///
+/// # Panics
+///
+/// Never panics for the built-in geometry; the internal builder calls are
+/// all statically valid.
+pub fn power8_like() -> Floorplan {
+    power8_like_with_vr_counts(CORE_VR_COUNT, L3_VR_COUNT)
+}
+
+/// Builds the reference chip with a custom number of component
+/// regulators per core domain and per L3-bank domain — the knob behind
+/// the paper's footnote 2 observation that "a lower regulator count
+/// worsens both the thermal and the voltage noise profile."
+///
+/// Regulators are placed on a uniform grid inside each domain region
+/// (columns × rows chosen nearest to square).
+///
+/// # Examples
+///
+/// ```
+/// // A sparser network: 6 VRs per core, 2 per L3 bank.
+/// let chip = floorplan::reference::power8_like_with_vr_counts(6, 2);
+/// assert_eq!(chip.vr_sites().len(), 8 * 6 + 8 * 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics when either count is zero.
+pub fn power8_like_with_vr_counts(core_vrs: usize, l3_vrs: usize) -> Floorplan {
+    assert!(core_vrs > 0 && l3_vrs > 0, "VR counts must be positive");
+    let mut b = FloorplanBuilder::new(Rect::from_mm(0.0, 0.0, DIE_MM, DIE_MM));
+
+    // --- Cores: two rows of four -------------------------------------
+    for core in 0..CORE_COUNT {
+        let col = core % 4;
+        let row = core / 4;
+        let cx = col as f64 * CORE_W;
+        let cy = if row == 0 { CORE_ROW0_Y } else { CORE_ROW1_Y };
+        let name = format!("core{core}");
+        let d = b.add_domain(&name, DomainKind::Core);
+
+        let half_w = CORE_W / 2.0;
+        // Top row of logic: ISU | EXU.
+        b.add_block(
+            d,
+            format!("{name}.ISU"),
+            UnitKind::InstructionSchedule,
+            Rect::from_mm(cx, cy + 4.0, half_w, 2.0),
+        )
+        .expect("static geometry");
+        b.add_block(
+            d,
+            format!("{name}.EXU"),
+            UnitKind::Execution,
+            Rect::from_mm(cx + half_w, cy + 4.0, half_w, 2.0),
+        )
+        .expect("static geometry");
+        // Middle row of logic: IFU | LSU.
+        b.add_block(
+            d,
+            format!("{name}.IFU"),
+            UnitKind::InstructionFetch,
+            Rect::from_mm(cx, cy + 2.0, half_w, 2.0),
+        )
+        .expect("static geometry");
+        b.add_block(
+            d,
+            format!("{name}.LSU"),
+            UnitKind::LoadStore,
+            Rect::from_mm(cx + half_w, cy + 2.0, half_w, 2.0),
+        )
+        .expect("static geometry");
+        // Bottom strip: private L2.
+        b.add_block(
+            d,
+            format!("{name}.L2"),
+            UnitKind::L2Cache,
+            Rect::from_mm(cx, cy, CORE_W, 2.0),
+        )
+        .expect("static geometry");
+
+        // Uniform grid of regulators over the core.
+        for (px, py) in uniform_grid(cx, cy, CORE_W, CORE_H, core_vrs) {
+            b.add_vr(d, Point::from_mm(px, py), VR_AREA_MM2)
+                .expect("static geometry");
+        }
+    }
+
+    // --- Uncore band: L3 banks, NOC, memory controllers --------------
+    let l3_left_x = MC_W;
+    let l3_right_x = MC_W + L3_REGION_W + NOC_W;
+    for bank in 0..L3_BANK_COUNT {
+        let col = bank / 4; // 0 = left column, 1 = right column
+        let row = bank % 4;
+        let bx = if col == 0 { l3_left_x } else { l3_right_x };
+        let by = row as f64 * L3_BANK_H;
+        let name = format!("l3bank{bank}");
+        let d = b.add_domain(&name, DomainKind::L3Bank);
+        b.add_block(
+            d,
+            format!("{name}.L3"),
+            UnitKind::L3Cache,
+            Rect::from_mm(bx, by, L3_REGION_W, L3_BANK_H),
+        )
+        .expect("static geometry");
+
+        // Uncore slices: the NOC is split across the two column-adjacent
+        // bottom banks, each MC attaches to its column's top bank, so all
+        // 16 domains stay exactly one-per-core / one-per-L3-bank.
+        match (col, row) {
+            (0, 0) => {
+                b.add_block(
+                    d,
+                    "noc.lower",
+                    UnitKind::Noc,
+                    Rect::from_mm(MC_W + L3_REGION_W, 0.0, NOC_W, UNCORE_H / 2.0),
+                )
+                .expect("static geometry");
+            }
+            (1, 0) => {
+                b.add_block(
+                    d,
+                    "noc.upper",
+                    UnitKind::Noc,
+                    Rect::from_mm(MC_W + L3_REGION_W, UNCORE_H / 2.0, NOC_W, UNCORE_H / 2.0),
+                )
+                .expect("static geometry");
+            }
+            (0, 3) => {
+                b.add_block(
+                    d,
+                    "mc.west",
+                    UnitKind::MemoryController,
+                    Rect::from_mm(0.0, 0.0, MC_W, UNCORE_H),
+                )
+                .expect("static geometry");
+            }
+            (1, 3) => {
+                b.add_block(
+                    d,
+                    "mc.east",
+                    UnitKind::MemoryController,
+                    Rect::from_mm(DIE_MM - MC_W, 0.0, MC_W, UNCORE_H),
+                )
+                .expect("static geometry");
+            }
+            _ => {}
+        }
+
+        // Regulators in a uniform grid across the bank.
+        for (px, py) in uniform_grid(bx, by, L3_REGION_W, L3_BANK_H, l3_vrs) {
+            b.add_vr(d, Point::from_mm(px, py), VR_AREA_MM2)
+                .expect("static geometry");
+        }
+    }
+
+    b.build().expect("reference floorplan is statically valid")
+}
+
+/// `count` uniformly spread grid points inside a `w × h` mm region at
+/// `(x0, y0)`, columns × rows chosen nearest to the region's aspect
+/// ratio.
+fn uniform_grid(x0: f64, y0: f64, w: f64, h: f64, count: usize) -> Vec<(f64, f64)> {
+    // Pick the column count whose grid best matches the aspect ratio
+    // while covering exactly `count` sites.
+    let mut cols = ((count as f64 * w / h).sqrt().round() as usize).clamp(1, count);
+    while count % cols != 0 {
+        // Prefer exact factorisations (3×3, 3×2, 4×3, …); fall back by
+        // decreasing the column count (1 always divides).
+        cols -= 1;
+    }
+    let rows = count / cols;
+    let mut out = Vec::with_capacity(count);
+    for gy in 0..rows {
+        for gx in 0..cols {
+            let px = x0 + w * (2.0 * gx as f64 + 1.0) / (2.0 * cols as f64);
+            let py = y0 + h * (2.0 * gy as f64 + 1.0) / (2.0 * rows as f64);
+            out.push((px, py));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::UnitKind;
+    use crate::domain::DomainKind;
+    use crate::vr_site::VrNeighborhood;
+
+    #[test]
+    fn counts_match_paper() {
+        let chip = power8_like();
+        assert_eq!(chip.domains().len(), 16);
+        assert_eq!(chip.vr_sites().len(), 96);
+        let cores = chip
+            .domains()
+            .iter()
+            .filter(|d| d.kind() == DomainKind::Core)
+            .count();
+        assert_eq!(cores, 8);
+        for d in chip.domains() {
+            match d.kind() {
+                DomainKind::Core => assert_eq!(d.vr_count(), CORE_VR_COUNT),
+                DomainKind::L3Bank => assert_eq!(d.vr_count(), L3_VR_COUNT),
+            }
+        }
+    }
+
+    #[test]
+    fn die_area_is_441mm2() {
+        let chip = power8_like();
+        assert!((chip.die_area_mm2() - 441.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_tile_the_die_exactly() {
+        // Cores cover 21×12, uncore band covers 21×9 — the whole die.
+        let chip = power8_like();
+        assert!((chip.occupied_area_mm2() - 441.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn each_core_has_five_units() {
+        let chip = power8_like();
+        for d in chip.domains().iter().filter(|d| d.kind() == DomainKind::Core) {
+            assert_eq!(d.blocks().len(), 5, "domain {}", d.name());
+            let kinds: Vec<_> = d
+                .blocks()
+                .iter()
+                .map(|&b| chip.block(b).kind())
+                .collect();
+            assert!(kinds.contains(&UnitKind::InstructionFetch));
+            assert!(kinds.contains(&UnitKind::InstructionSchedule));
+            assert!(kinds.contains(&UnitKind::Execution));
+            assert!(kinds.contains(&UnitKind::LoadStore));
+            assert!(kinds.contains(&UnitKind::L2Cache));
+        }
+    }
+
+    #[test]
+    fn core_vr_neighborhoods_split_six_logic_three_memory() {
+        let chip = power8_like();
+        for d in chip.domains().iter().filter(|d| d.kind() == DomainKind::Core) {
+            let logic = d
+                .vrs()
+                .iter()
+                .filter(|&&v| chip.vr_site(v).neighborhood() == VrNeighborhood::Logic)
+                .count();
+            assert_eq!(logic, 6, "domain {}", d.name());
+        }
+    }
+
+    #[test]
+    fn l3_vrs_are_memory_neighborhood() {
+        let chip = power8_like();
+        for d in chip
+            .domains()
+            .iter()
+            .filter(|d| d.kind() == DomainKind::L3Bank)
+        {
+            for &v in d.vrs() {
+                assert_eq!(chip.vr_site(v).neighborhood(), VrNeighborhood::Memory);
+            }
+        }
+    }
+
+    #[test]
+    fn every_vr_sits_inside_its_domain_footprint() {
+        let chip = power8_like();
+        for site in chip.vr_sites() {
+            let dom = chip.domain(site.domain());
+            // The nearest block overall must belong to the same domain for
+            // core VRs (L3 domains also own NOC/MC slices elsewhere, so
+            // only check containment in the union for cores).
+            if dom.kind() == DomainKind::Core {
+                let hit = dom
+                    .blocks()
+                    .iter()
+                    .any(|&bid| chip.block(bid).rect().contains(site.center()));
+                assert!(hit, "VR {} outside its core domain", site.id());
+            }
+        }
+    }
+
+    #[test]
+    fn vr_ids_are_dense_and_ordered() {
+        let chip = power8_like();
+        for (i, site) in chip.vr_sites().iter().enumerate() {
+            assert_eq!(site.id().0, i);
+        }
+        // Core domains come first (72 VRs), then L3 banks (24).
+        assert_eq!(chip.vr_site(crate::VrId(0)).domain(), crate::DomainId(0));
+        assert_eq!(chip.vr_site(crate::VrId(72)).domain(), crate::DomainId(8));
+    }
+
+    #[test]
+    fn noc_and_mcs_present_once() {
+        let chip = power8_like();
+        let nocs = chip
+            .blocks()
+            .iter()
+            .filter(|b| b.kind() == UnitKind::Noc)
+            .count();
+        let mcs = chip
+            .blocks()
+            .iter()
+            .filter(|b| b.kind() == UnitKind::MemoryController)
+            .count();
+        assert_eq!(nocs, 2);
+        assert_eq!(mcs, 2);
+    }
+
+    #[test]
+    fn custom_vr_counts_build_valid_chips() {
+        for (core, l3) in [(4, 2), (6, 2), (12, 4), (1, 1)] {
+            let chip = power8_like_with_vr_counts(core, l3);
+            assert_eq!(chip.vr_sites().len(), 8 * core + 8 * l3);
+            for d in chip.domains() {
+                match d.kind() {
+                    DomainKind::Core => assert_eq!(d.vr_count(), core),
+                    DomainKind::L3Bank => assert_eq!(d.vr_count(), l3),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_counts_match_the_generic_builder() {
+        // The parametric path must reproduce the canonical chip exactly
+        // (cached experiment results depend on identical placement).
+        let a = power8_like();
+        let b = power8_like_with_vr_counts(CORE_VR_COUNT, L3_VR_COUNT);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_grid_spreads_points_inside_region() {
+        let pts = uniform_grid(2.0, 3.0, 6.0, 4.0, 6);
+        assert_eq!(pts.len(), 6);
+        for &(x, y) in &pts {
+            assert!(x > 2.0 && x < 8.0);
+            assert!(y > 3.0 && y < 7.0);
+        }
+        // Prime counts degrade to a single column/row but still fit.
+        let pts = uniform_grid(0.0, 0.0, 10.0, 1.0, 7);
+        assert_eq!(pts.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "VR counts must be positive")]
+    fn zero_vr_count_panics() {
+        power8_like_with_vr_counts(0, 3);
+    }
+
+    #[test]
+    fn total_vr_area_is_small() {
+        let chip = power8_like();
+        let total: f64 = chip.vr_sites().iter().map(|s| s.area_mm2()).sum();
+        assert!((total - 96.0 * 0.04).abs() < 1e-9);
+        assert!(total / chip.die_area_mm2() < 0.01);
+    }
+}

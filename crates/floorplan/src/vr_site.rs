@@ -1,0 +1,141 @@
+//! Physical sites of component voltage regulators.
+
+use crate::domain::DomainId;
+use simkit::{Point, Rect, units::Meters};
+use std::fmt;
+
+/// Identifier of a [`VrSite`] within a [`crate::Floorplan`].
+///
+/// Indices are dense and chip-global (the paper's reference chip numbers
+/// its 96 regulators 0..95), matching [`crate::Floorplan::vr_sites`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VrId(pub usize);
+
+impl fmt::Display for VrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VR{}", self.0)
+    }
+}
+
+/// What kind of circuitry dominates a regulator's immediate surroundings.
+///
+/// Fig. 13 of the paper bins regulators into "supplying logic units" vs.
+/// "supplying on-chip memory blocks"; this classification is fixed by the
+/// floorplan (the nearest block under/around the site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VrNeighborhood {
+    /// Nearest to logic (IFU/ISU/EXU/LSU/NOC/MC).
+    Logic,
+    /// Nearest to on-chip memory (L2/L3).
+    Memory,
+}
+
+/// The physical site of one component voltage regulator.
+///
+/// Sites are geometry only; the electrical model (efficiency curves,
+/// gating state) lives in the `vreg` crate and is indexed by [`VrId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VrSite {
+    id: VrId,
+    domain: DomainId,
+    center: Point,
+    area_mm2: f64,
+    neighborhood: VrNeighborhood,
+}
+
+impl VrSite {
+    pub(crate) fn new(
+        id: VrId,
+        domain: DomainId,
+        center: Point,
+        area_mm2: f64,
+        neighborhood: VrNeighborhood,
+    ) -> Self {
+        VrSite {
+            id,
+            domain,
+            center,
+            area_mm2,
+            neighborhood,
+        }
+    }
+
+    /// Dense chip-global identifier.
+    pub fn id(&self) -> VrId {
+        self.id
+    }
+
+    /// The Vdd-domain this regulator belongs to.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Center of the regulator footprint.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Footprint area in square millimeters (0.04 mm² in the paper).
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// Whether the site neighbors logic or memory circuitry.
+    pub fn neighborhood(&self) -> VrNeighborhood {
+        self.neighborhood
+    }
+
+    /// The square footprint rectangle centered on [`VrSite::center`].
+    pub fn footprint(&self) -> Rect {
+        let side = Meters::from_mm(self.area_mm2.sqrt());
+        Rect::new(
+            Point::new(
+                self.center.x - side / 2.0,
+                self.center.y - side / 2.0,
+            ),
+            side,
+            side,
+        )
+    }
+
+    /// Relocates the site (used by placement optimisation).
+    pub(crate) fn set_center(&mut self, center: Point) {
+        self.center = center;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_is_centered_square_of_right_area() {
+        let site = VrSite::new(
+            VrId(3),
+            DomainId(1),
+            Point::from_mm(5.0, 5.0),
+            0.04,
+            VrNeighborhood::Logic,
+        );
+        let fp = site.footprint();
+        assert!((fp.area_mm2() - 0.04).abs() < 1e-9);
+        let c = fp.center();
+        assert!((c.x.as_mm() - 5.0).abs() < 1e-9);
+        assert!((c.y.as_mm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let site = VrSite::new(
+            VrId(7),
+            DomainId(2),
+            Point::from_mm(1.0, 2.0),
+            0.04,
+            VrNeighborhood::Memory,
+        );
+        assert_eq!(site.id(), VrId(7));
+        assert_eq!(site.domain(), DomainId(2));
+        assert_eq!(site.neighborhood(), VrNeighborhood::Memory);
+        assert_eq!(site.id().to_string(), "VR7");
+    }
+}

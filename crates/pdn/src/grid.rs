@@ -1,0 +1,542 @@
+//! Per-domain nodal DC grids and IR-drop solves.
+
+use crate::config::PdnConfig;
+use floorplan::{DomainId, Floorplan, VrId};
+use simkit::linalg::TripletBuilder;
+use simkit::units::Watts;
+use simkit::{Error, Result};
+use vreg::GatingState;
+
+/// Result of one static IR-drop analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrReport {
+    /// Worst local drop per domain, volts (indexed by [`DomainId`]).
+    per_domain_volts: Vec<f64>,
+    /// Chip-wide global-grid drop, volts.
+    global_volts: f64,
+    vdd: f64,
+}
+
+impl IrReport {
+    /// Worst local IR drop of one domain, volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_volts(&self, domain: DomainId) -> f64 {
+        self.per_domain_volts[domain.0]
+    }
+
+    /// Total (local + global) drop of one domain as a fraction of Vdd.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_fraction(&self, domain: DomainId) -> f64 {
+        (self.per_domain_volts[domain.0] + self.global_volts) / self.vdd
+    }
+
+    /// The chip-wide global-grid component, volts.
+    pub fn global_volts(&self) -> f64 {
+        self.global_volts
+    }
+
+    /// Worst total drop across all domains as a fraction of Vdd.
+    pub fn chip_max_fraction(&self) -> f64 {
+        let worst_local = self
+            .per_domain_volts
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        (worst_local + self.global_volts) / self.vdd
+    }
+
+    /// Number of domains in the report.
+    pub fn domain_count(&self) -> usize {
+        self.per_domain_volts.len()
+    }
+}
+
+/// One Vdd-domain's local power grid.
+#[derive(Debug, Clone)]
+struct DomainGrid {
+    nx: usize,
+    ny: usize,
+    cell_mm: f64,
+    /// Per block of this domain: `(block index, cells, fractions)`.
+    block_cells: Vec<(usize, Vec<(usize, f64)>)>,
+    /// Per VR of this domain: `(vr id, cell)`.
+    vr_cells: Vec<(VrId, usize)>,
+}
+
+impl DomainGrid {
+    fn cell_xy(&self, cell: usize) -> (f64, f64) {
+        let i = cell % self.nx;
+        let j = cell / self.nx;
+        (i as f64 * self.cell_mm, j as f64 * self.cell_mm)
+    }
+}
+
+/// The assembled PDN model of one chip.
+///
+/// See the crate docs for the modelling approach. The model snapshots the
+/// chip geometry at construction; rebuild it after moving regulators.
+#[derive(Debug, Clone)]
+pub struct PdnModel {
+    config: PdnConfig,
+    grids: Vec<DomainGrid>,
+    n_vrs: usize,
+    n_blocks: usize,
+}
+
+impl PdnModel {
+    /// Discretises every Vdd-domain's local grid.
+    pub fn new(chip: &Floorplan, config: PdnConfig) -> Self {
+        let cell_m = config.cell_mm * 1e-3;
+        let grids = chip
+            .domains()
+            .iter()
+            .map(|domain| {
+                // Bounding box over the domain's blocks.
+                let rects: Vec<_> = domain
+                    .blocks()
+                    .iter()
+                    .map(|&b| chip.block(b).rect())
+                    .collect();
+                let x0 = rects
+                    .iter()
+                    .map(|r| r.origin.x.get())
+                    .fold(f64::INFINITY, f64::min);
+                let y0 = rects
+                    .iter()
+                    .map(|r| r.origin.y.get())
+                    .fold(f64::INFINITY, f64::min);
+                let x1 = rects
+                    .iter()
+                    .map(|r| r.right().get())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let y1 = rects
+                    .iter()
+                    .map(|r| r.top().get())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let nx = (((x1 - x0) / cell_m).ceil() as usize).max(1);
+                let ny = (((y1 - y0) / cell_m).ceil() as usize).max(1);
+
+                // Area-weighted block→cell coverage.
+                let block_cells = domain
+                    .blocks()
+                    .iter()
+                    .map(|&bid| {
+                        let rect = chip.block(bid).rect();
+                        let area = rect.area();
+                        let mut cover = Vec::new();
+                        for j in 0..ny {
+                            for i in 0..nx {
+                                let cell = simkit::Rect::new(
+                                    simkit::Point::new(
+                                        simkit::units::Meters::new(x0 + i as f64 * cell_m),
+                                        simkit::units::Meters::new(y0 + j as f64 * cell_m),
+                                    ),
+                                    simkit::units::Meters::new(cell_m),
+                                    simkit::units::Meters::new(cell_m),
+                                );
+                                let overlap = cell.intersection_area(&rect);
+                                if overlap > 0.0 {
+                                    cover.push((j * nx + i, overlap / area));
+                                }
+                            }
+                        }
+                        (bid.0, cover)
+                    })
+                    .collect();
+
+                let vr_cells = domain
+                    .vrs()
+                    .iter()
+                    .map(|&vid| {
+                        let c = chip.vr_site(vid).center();
+                        let i = (((c.x.get() - x0) / cell_m) as usize).min(nx - 1);
+                        let j = (((c.y.get() - y0) / cell_m) as usize).min(ny - 1);
+                        (vid, j * nx + i)
+                    })
+                    .collect();
+
+                DomainGrid {
+                    nx,
+                    ny,
+                    cell_mm: config.cell_mm,
+                    block_cells,
+                    vr_cells,
+                }
+            })
+            .collect();
+        PdnModel {
+            config,
+            grids,
+            n_vrs: chip.vr_sites().len(),
+            n_blocks: chip.blocks().len(),
+        }
+    }
+
+    /// The electrical configuration.
+    pub fn config(&self) -> &PdnConfig {
+        &self.config
+    }
+
+    /// Static IR-drop analysis: solves every domain's local grid with the
+    /// given regulator gating and per-block load powers.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] when `block_powers` does not have
+    ///   one entry per block or `gating` tracks a different VR count;
+    /// * [`Error::InvalidArgument`] when a domain has **no** active
+    ///   regulator (its blocks would be unpowered);
+    /// * solver failures are propagated.
+    pub fn ir_drop(&self, gating: &GatingState, block_powers: &[Watts]) -> Result<IrReport> {
+        if block_powers.len() != self.n_blocks {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_blocks,
+                actual: block_powers.len(),
+            });
+        }
+        if gating.len() != self.n_vrs {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_vrs,
+                actual: gating.len(),
+            });
+        }
+        let vdd = self.config.vdd.get();
+        let g_sheet = 1.0 / self.config.r_sheet_ohm;
+        let g_vr = 1.0 / self.config.r_vr_ohm;
+
+        let mut per_domain = Vec::with_capacity(self.grids.len());
+        let mut total_current = 0.0;
+        for (d, grid) in self.grids.iter().enumerate() {
+            let n = grid.nx * grid.ny;
+            // Load currents.
+            let mut i_load = vec![0.0; n];
+            for (block, cover) in &grid.block_cells {
+                let amps = block_powers[*block].get().max(0.0) / vdd;
+                total_current += amps;
+                for &(cell, fraction) in cover {
+                    i_load[cell] += amps * fraction;
+                }
+            }
+            // Grid conductances.
+            let mut b = TripletBuilder::new(n, n);
+            for j in 0..grid.ny {
+                for i in 0..grid.nx {
+                    let c = j * grid.nx + i;
+                    if i + 1 < grid.nx {
+                        b.add(c, c, g_sheet);
+                        b.add(c + 1, c + 1, g_sheet);
+                        b.add(c, c + 1, -g_sheet);
+                        b.add(c + 1, c, -g_sheet);
+                    }
+                    if j + 1 < grid.ny {
+                        let cn = c + grid.nx;
+                        b.add(c, c, g_sheet);
+                        b.add(cn, cn, g_sheet);
+                        b.add(c, cn, -g_sheet);
+                        b.add(cn, c, -g_sheet);
+                    }
+                }
+            }
+            // Active regulators: low-impedance paths to the supply.
+            let mut active = 0;
+            for &(vid, cell) in &grid.vr_cells {
+                if gating.is_on(vid) {
+                    b.add(cell, cell, g_vr);
+                    active += 1;
+                }
+            }
+            if active == 0 {
+                return Err(Error::invalid_argument(format!(
+                    "domain D{d} has no active regulator; its grid is floating"
+                )));
+            }
+            let g = b.build();
+            let v = g.solve_cg(&i_load, None, 1e-9, 10 * n)?;
+            per_domain.push(v.iter().copied().fold(0.0f64, f64::max));
+        }
+        Ok(IrReport {
+            per_domain_volts: per_domain,
+            global_volts: total_current * self.config.r_global_ohm,
+            vdd,
+        })
+    }
+
+    /// Proximity of each regulator of `domain` to the domain's current
+    /// load distribution: higher score = electrically closer to the load.
+    /// OracV-style policies rank regulators by this score (the paper's
+    /// OracV "tends to keep the regulators physically closest to high
+    /// voltage noise regions on").
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range or `block_powers` is
+    /// shorter than the block count.
+    pub fn vr_load_proximity(
+        &self,
+        domain: DomainId,
+        block_powers: &[Watts],
+    ) -> Vec<(VrId, f64)> {
+        let grid = &self.grids[domain.0];
+        let vdd = self.config.vdd.get();
+        // Current per cell.
+        let mut i_load = vec![0.0; grid.nx * grid.ny];
+        for (block, cover) in &grid.block_cells {
+            let amps = block_powers[*block].get().max(0.0) / vdd;
+            for &(cell, fraction) in cover {
+                i_load[cell] += amps * fraction;
+            }
+        }
+        grid.vr_cells
+            .iter()
+            .map(|&(vid, vcell)| {
+                let (vx, vy) = grid.cell_xy(vcell);
+                let score = i_load
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &i)| i > 0.0)
+                    .map(|(cell, &i)| {
+                        let (cx, cy) = grid.cell_xy(cell);
+                        let d = (vx - cx).abs() + (vy - cy).abs();
+                        i / (d + 0.3)
+                    })
+                    .sum();
+                (vid, score)
+            })
+            .collect()
+    }
+
+    /// How far, on average, the **active** regulators of `domain` sit from
+    /// the domain's current centroid, normalised by the same average over
+    /// *all* of the domain's regulators. Values above 1 mean the active
+    /// set is farther from the load than the domain average — the
+    /// situation thermally-aware gating creates, which also weakens the
+    /// transient response.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range.
+    pub fn active_distance_factor(
+        &self,
+        domain: DomainId,
+        gating: &GatingState,
+        block_powers: &[Watts],
+    ) -> f64 {
+        let grid = &self.grids[domain.0];
+        let vdd = self.config.vdd.get();
+        // Current-weighted load centroid.
+        let mut sum_i = 0.0;
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (block, cover) in &grid.block_cells {
+            let amps = block_powers[*block].get().max(0.0) / vdd;
+            for &(cell, fraction) in cover {
+                let (x, y) = grid.cell_xy(cell);
+                let i = amps * fraction;
+                sum_i += i;
+                cx += i * x;
+                cy += i * y;
+            }
+        }
+        if sum_i <= 0.0 {
+            return 1.0;
+        }
+        cx /= sum_i;
+        cy /= sum_i;
+        let dist = |cell: usize| {
+            let (x, y) = grid.cell_xy(cell);
+            (x - cx).abs() + (y - cy).abs() + 0.2
+        };
+        let all: f64 = grid.vr_cells.iter().map(|&(_, c)| dist(c)).sum::<f64>()
+            / grid.vr_cells.len() as f64;
+        let active: Vec<f64> = grid
+            .vr_cells
+            .iter()
+            .filter(|&&(vid, _)| gating.is_on(vid))
+            .map(|&(_, c)| dist(c))
+            .collect();
+        if active.is_empty() {
+            return 2.0; // Floating domain: worst case.
+        }
+        let active_mean = active.iter().sum::<f64>() / active.len() as f64;
+        (active_mean / all).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::reference::power8_like;
+    use floorplan::DomainKind;
+
+    fn setup() -> (floorplan::Floorplan, PdnModel) {
+        let chip = power8_like();
+        let model = PdnModel::new(&chip, PdnConfig::default());
+        (chip, model)
+    }
+
+    fn uniform_powers(chip: &floorplan::Floorplan, w: f64) -> Vec<Watts> {
+        vec![Watts::new(w); chip.blocks().len()]
+    }
+
+    #[test]
+    fn all_on_produces_moderate_drop() {
+        let (chip, model) = setup();
+        // ~78 W chip: plausible mid-load.
+        let powers = uniform_powers(&chip, 1.5);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let report = model.ir_drop(&all_on, &powers).unwrap();
+        let f = report.chip_max_fraction();
+        assert!(f > 0.005 && f < 0.15, "all-on IR fraction {f}");
+    }
+
+    #[test]
+    fn gating_far_regulators_increases_drop() {
+        let (chip, model) = setup();
+        let powers = uniform_powers(&chip, 1.5);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let base = model.ir_drop(&all_on, &powers).unwrap();
+
+        // Turn off the 6 logic-side regulators of core0, keeping only the
+        // 3 memory-side ones: current must travel farther.
+        let mut gated = all_on.clone();
+        let core0 = &chip.domains()[0];
+        for &v in core0.vrs() {
+            if chip.vr_site(v).neighborhood() == floorplan::VrNeighborhood::Logic {
+                gated.set(v, false).unwrap();
+            }
+        }
+        let worse = model.ir_drop(&gated, &powers).unwrap();
+        assert!(
+            worse.domain_volts(core0.id()) > 1.3 * base.domain_volts(core0.id()),
+            "gated {} vs all-on {}",
+            worse.domain_volts(core0.id()),
+            base.domain_volts(core0.id())
+        );
+    }
+
+    #[test]
+    fn floating_domain_is_rejected() {
+        let (chip, model) = setup();
+        let powers = uniform_powers(&chip, 1.0);
+        let mut gating = GatingState::all_on(chip.vr_sites().len());
+        for &v in chip.domains()[0].vrs() {
+            gating.set(v, false).unwrap();
+        }
+        assert!(model.ir_drop(&gating, &powers).is_err());
+    }
+
+    #[test]
+    fn wrong_vector_sizes_are_rejected() {
+        let (chip, model) = setup();
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        assert!(model.ir_drop(&all_on, &[Watts::ZERO]).is_err());
+        let bad_gating = GatingState::all_on(3);
+        let powers = uniform_powers(&chip, 1.0);
+        assert!(model.ir_drop(&bad_gating, &powers).is_err());
+    }
+
+    #[test]
+    fn drop_scales_with_load() {
+        let (chip, model) = setup();
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let light = model
+            .ir_drop(&all_on, &uniform_powers(&chip, 0.5))
+            .unwrap();
+        let heavy = model
+            .ir_drop(&all_on, &uniform_powers(&chip, 2.0))
+            .unwrap();
+        assert!(
+            (heavy.chip_max_fraction() / light.chip_max_fraction() - 4.0).abs() < 0.1,
+            "linear network should scale 4×"
+        );
+    }
+
+    #[test]
+    fn proximity_ranks_logic_side_vrs_higher() {
+        let (chip, model) = setup();
+        // Load only the logic units.
+        let powers: Vec<Watts> = chip
+            .blocks()
+            .iter()
+            .map(|b| {
+                if b.kind().is_logic() {
+                    Watts::new(3.0)
+                } else {
+                    Watts::ZERO
+                }
+            })
+            .collect();
+        let core0 = &chip.domains()[0];
+        let scores = model.vr_load_proximity(core0.id(), &powers);
+        assert_eq!(scores.len(), 9);
+        // Best-scoring VR must be a logic-neighborhood one.
+        let best = scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(
+            chip.vr_site(best.0).neighborhood(),
+            floorplan::VrNeighborhood::Logic
+        );
+    }
+
+    #[test]
+    fn distance_factor_grows_when_active_set_moves_away() {
+        let (chip, model) = setup();
+        let powers: Vec<Watts> = chip
+            .blocks()
+            .iter()
+            .map(|b| {
+                if b.kind().is_logic() {
+                    Watts::new(3.0)
+                } else {
+                    Watts::new(0.2)
+                }
+            })
+            .collect();
+        let core0 = &chip.domains()[0];
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let base = model.active_distance_factor(core0.id(), &all_on, &powers);
+        let mut memory_only = all_on.clone();
+        for &v in core0.vrs() {
+            if chip.vr_site(v).neighborhood() == floorplan::VrNeighborhood::Logic {
+                memory_only.set(v, false).unwrap();
+            }
+        }
+        let far = model.active_distance_factor(core0.id(), &memory_only, &powers);
+        assert!(far > base, "far {far} vs base {base}");
+        assert!((base - 1.0).abs() < 0.05, "all-on factor should be ≈1");
+    }
+
+    #[test]
+    fn every_domain_gets_a_grid() {
+        let (chip, model) = setup();
+        assert_eq!(model.grids.len(), chip.domains().len());
+        for (grid, domain) in model.grids.iter().zip(chip.domains()) {
+            assert_eq!(grid.vr_cells.len(), domain.vr_count());
+            assert_eq!(grid.block_cells.len(), domain.blocks().len());
+            assert!(grid.nx * grid.ny > 1, "degenerate grid for {}", domain.name());
+        }
+        let _ = DomainKind::Core;
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let (chip, model) = setup();
+        let powers = uniform_powers(&chip, 1.0);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let report = model.ir_drop(&all_on, &powers).unwrap();
+        assert_eq!(report.domain_count(), chip.domains().len());
+        let max_frac = report.chip_max_fraction();
+        for d in chip.domains() {
+            assert!(report.domain_fraction(d.id()) <= max_frac + 1e-12);
+        }
+        assert!(report.global_volts() > 0.0);
+    }
+}

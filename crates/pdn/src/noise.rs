@@ -1,0 +1,297 @@
+//! Combined voltage-noise analysis (static IR drop + transient di/dt).
+
+use crate::config::PdnConfig;
+use crate::grid::PdnModel;
+use crate::transient::{peak_transient_fraction, TransientParams};
+use floorplan::{DomainId, Floorplan};
+use simkit::units::{Hertz, Seconds, Watts};
+use simkit::Result;
+use vreg::GatingState;
+
+/// Per-domain maximum voltage noise, as fractions of nominal Vdd.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseReport {
+    per_domain: Vec<f64>,
+    per_domain_ir: Vec<f64>,
+}
+
+impl NoiseReport {
+    /// Builds a report from raw per-domain total-noise fractions
+    /// (indexed by [`DomainId`]) — mainly for tests and external tooling;
+    /// [`NoiseAnalyzer::analyze`] is the normal source of reports. The
+    /// static IR component is taken as zero.
+    pub fn from_fractions(per_domain: Vec<f64>) -> Self {
+        let per_domain_ir = vec![0.0; per_domain.len()];
+        NoiseReport {
+            per_domain,
+            per_domain_ir,
+        }
+    }
+
+    /// The static IR-drop component of one domain's noise, as a fraction
+    /// of Vdd (total minus this is the transient peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_ir_fraction(&self, domain: DomainId) -> f64 {
+        self.per_domain_ir[domain.0]
+    }
+
+    /// Noise of one domain as a fraction of Vdd.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_fraction(&self, domain: DomainId) -> f64 {
+        self.per_domain[domain.0]
+    }
+
+    /// Worst noise across all domains, as a fraction of Vdd.
+    pub fn max_fraction(&self) -> f64 {
+        self.per_domain.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Worst noise across all domains, in percent of Vdd (the unit of
+    /// Figs. 11/14/15).
+    pub fn max_percent(&self) -> f64 {
+        self.max_fraction() * 100.0
+    }
+
+    /// Domains whose noise exceeds `threshold_fraction` of Vdd.
+    pub fn domains_over(&self, threshold_fraction: f64) -> Vec<DomainId> {
+        self.per_domain
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > threshold_fraction)
+            .map(|(i, _)| DomainId(i))
+            .collect()
+    }
+
+    /// All per-domain fractions, indexed by [`DomainId`].
+    pub fn fractions(&self) -> &[f64] {
+        &self.per_domain
+    }
+}
+
+/// One noise evaluation's inputs for a single sampled cycle window.
+#[derive(Debug)]
+pub struct WindowInputs<'a> {
+    /// Per-block load powers at the window's instant.
+    pub block_powers: &'a [Watts],
+    /// Per-domain cycle-current multipliers for the window (indexed by
+    /// [`DomainId`]); each slice is one window of per-cycle multipliers.
+    pub domain_multipliers: &'a [Vec<f64>],
+    /// Warm-up cycles excluded from the peak search.
+    pub warmup: usize,
+}
+
+/// Combines static IR-drop solves with transient window analysis into the
+/// paper's per-domain maximum-voltage-noise metric.
+#[derive(Debug, Clone)]
+pub struct NoiseAnalyzer {
+    frequency: Hertz,
+    response_time: Seconds,
+}
+
+impl NoiseAnalyzer {
+    /// Creates an analyzer for a chip clocked at `frequency` whose
+    /// regulators respond in `response_time`.
+    pub fn new(frequency: Hertz, response_time: Seconds) -> Self {
+        NoiseAnalyzer {
+            frequency,
+            response_time,
+        }
+    }
+
+    /// Clock frequency used to convert response times to cycles.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Regulator response time used for the transient kernel.
+    pub fn response_time(&self) -> Seconds {
+        self.response_time
+    }
+
+    /// Evaluates the total (IR + transient) noise of every domain for one
+    /// sampled window under the given gating state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR-solve errors (floating domains, size mismatches).
+    pub fn analyze(
+        &self,
+        chip: &Floorplan,
+        model: &PdnModel,
+        gating: &GatingState,
+        inputs: &WindowInputs<'_>,
+    ) -> Result<NoiseReport> {
+        let ir = model.ir_drop(gating, inputs.block_powers)?;
+        let config: &PdnConfig = model.config();
+        let vdd = config.vdd;
+
+        let mut per_domain_ir = Vec::with_capacity(chip.domains().len());
+        let per_domain = chip
+            .domains()
+            .iter()
+            .map(|domain| {
+                let d = domain.id();
+                per_domain_ir.push(ir.domain_fraction(d));
+                let mean_current = domain
+                    .blocks()
+                    .iter()
+                    .map(|&b| inputs.block_powers[b.0])
+                    .sum::<Watts>()
+                    / vdd;
+                let n_active = gating.active_among(domain.vrs()).max(1);
+                let params = TransientParams {
+                    mean_current,
+                    n_active,
+                    n_total: domain.vr_count(),
+                    distance_factor: model.active_distance_factor(
+                        d,
+                        gating,
+                        inputs.block_powers,
+                    ),
+                    response_time: self.response_time,
+                    frequency: self.frequency,
+                };
+                let transient = peak_transient_fraction(
+                    config,
+                    &params,
+                    &inputs.domain_multipliers[d.0],
+                    inputs.warmup,
+                );
+                ir.domain_fraction(d) + transient
+            })
+            .collect();
+        Ok(NoiseReport {
+            per_domain,
+            per_domain_ir,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdnConfig;
+    use floorplan::reference::power8_like;
+    use simkit::DeterministicRng;
+
+    fn step_window(len: usize, at: usize, height: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| if i < at { 1.0 } else { 1.0 + height })
+            .collect()
+    }
+
+    fn setup() -> (floorplan::Floorplan, PdnModel, NoiseAnalyzer) {
+        let chip = power8_like();
+        let model = PdnModel::new(&chip, PdnConfig::default());
+        let analyzer = NoiseAnalyzer::new(Hertz::from_ghz(4.0), Seconds::from_nanos(15.0));
+        (chip, model, analyzer)
+    }
+
+    #[test]
+    fn all_on_noise_is_in_band() {
+        let (chip, model, analyzer) = setup();
+        let powers = vec![Watts::new(1.5); chip.blocks().len()];
+        let windows: Vec<Vec<f64>> = (0..chip.domains().len())
+            .map(|i| step_window(2000, 1200 + 37 * i, 0.25))
+            .collect();
+        let gating = GatingState::all_on(chip.vr_sites().len());
+        let report = analyzer
+            .analyze(
+                &chip,
+                &model,
+                &gating,
+                &WindowInputs {
+                    block_powers: &powers,
+                    domain_multipliers: &windows,
+                    warmup: 1000,
+                },
+            )
+            .unwrap();
+        let pct = report.max_percent();
+        assert!(pct > 2.0 && pct < 25.0, "all-on noise {pct}%");
+    }
+
+    #[test]
+    fn memory_side_gating_worsens_noise() {
+        let (chip, model, analyzer) = setup();
+        let powers: Vec<Watts> = chip
+            .blocks()
+            .iter()
+            .map(|b| {
+                if b.kind().is_logic() {
+                    Watts::new(2.5)
+                } else {
+                    Watts::new(0.5)
+                }
+            })
+            .collect();
+        let windows: Vec<Vec<f64>> = (0..chip.domains().len())
+            .map(|_| step_window(2000, 1500, 0.3))
+            .collect();
+        let inputs = WindowInputs {
+            block_powers: &powers,
+            domain_multipliers: &windows,
+            warmup: 1000,
+        };
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let base = analyzer.analyze(&chip, &model, &all_on, &inputs).unwrap();
+        // OracT-like: keep only memory-side VRs in every core domain.
+        let mut gated = all_on.clone();
+        for domain in chip.domains() {
+            for &v in domain.vrs() {
+                if chip.vr_site(v).neighborhood() == floorplan::VrNeighborhood::Logic {
+                    gated.set(v, false).unwrap();
+                }
+            }
+        }
+        // L3 domains have only memory VRs — all still on; core domains
+        // run on 3 of 9.
+        let worse = analyzer.analyze(&chip, &model, &gated, &inputs).unwrap();
+        assert!(
+            worse.max_fraction() > 1.3 * base.max_fraction(),
+            "gated {} vs all-on {}",
+            worse.max_percent(),
+            base.max_percent()
+        );
+    }
+
+    #[test]
+    fn domains_over_threshold_detection() {
+        let report = NoiseReport::from_fractions(vec![0.05, 0.12, 0.09, 0.15]);
+        assert_eq!(
+            report.domains_over(0.10),
+            vec![DomainId(1), DomainId(3)]
+        );
+        assert!((report.max_percent() - 15.0).abs() < 1e-12);
+        assert_eq!(report.fractions().len(), 4);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let (chip, model, analyzer) = setup();
+        let mut rng = DeterministicRng::new(5);
+        let powers: Vec<Watts> = chip
+            .blocks()
+            .iter()
+            .map(|_| Watts::new(1.0 + rng.uniform_f64()))
+            .collect();
+        let windows: Vec<Vec<f64>> = (0..chip.domains().len())
+            .map(|_| step_window(2000, 1500, 0.2))
+            .collect();
+        let inputs = WindowInputs {
+            block_powers: &powers,
+            domain_multipliers: &windows,
+            warmup: 1000,
+        };
+        let gating = GatingState::all_on(chip.vr_sites().len());
+        let a = analyzer.analyze(&chip, &model, &gating, &inputs).unwrap();
+        let b = analyzer.analyze(&chip, &model, &gating, &inputs).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,315 @@
+//! Cycle-resolution transient (di/dt) noise.
+//!
+//! Given a sampled cycle window of load-current multipliers (from
+//! `workload::microtrace`-style generators), the transient voltage
+//! response is the convolution of the per-cycle current steps with an
+//! underdamped impulse-response kernel:
+//!
+//! ```text
+//! h[k] = Z_eff · cos(2π k / T_ring) · decay(k)
+//! ```
+//!
+//! `Z_eff` grows when fewer regulators are active and when the active set
+//! sits farther from the load (the `distance_factor`); `decay(k)` is the
+//! passive RC decay until the regulator's control loop reacts (after
+//! `response_cycles`), then a fast regulated decay — which is how a
+//! faster regulator (POWER8-style LDO vs. FIVR, Fig. 15) earns its lower
+//! transient noise.
+
+use crate::config::PdnConfig;
+use simkit::units::{Amps, Hertz, Seconds};
+
+/// Parameters of one transient evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientParams {
+    /// Mean domain load current over the window.
+    pub mean_current: Amps,
+    /// Active regulators in the domain.
+    pub n_active: usize,
+    /// Total regulators in the domain.
+    pub n_total: usize,
+    /// Spatial weakening factor from
+    /// [`crate::PdnModel::active_distance_factor`] (≈1 under all-on).
+    pub distance_factor: f64,
+    /// Regulator control-loop response time.
+    pub response_time: Seconds,
+    /// Clock frequency (cycle length of the window samples).
+    pub frequency: Hertz,
+}
+
+/// Peak transient noise over a cycle window, as a fraction of Vdd.
+///
+/// `multipliers` are per-cycle current multipliers around a mean of 1
+/// (see `workload::microtrace`); the first `warmup` cycles seed the
+/// convolution but are excluded from the peak search.
+///
+/// # Panics
+///
+/// Panics when `n_active` is zero or exceeds `n_total`, or when
+/// `warmup >= multipliers.len()`.
+pub fn peak_transient_fraction(
+    config: &PdnConfig,
+    params: &TransientParams,
+    multipliers: &[f64],
+    warmup: usize,
+) -> f64 {
+    assert!(
+        params.n_active > 0 && params.n_active <= params.n_total,
+        "n_active {} outside [1, {}]",
+        params.n_active,
+        params.n_total
+    );
+    assert!(warmup < multipliers.len(), "warm-up swallows the window");
+
+    let kernel = impulse_kernel(config, params);
+    let i_mean = params.mean_current.get().max(0.0);
+    let vdd = config.vdd.get();
+
+    // Per-cycle current steps.
+    let mut peak = 0.0f64;
+    // Direct convolution: windows are 2 K cycles and kernels O(100), so
+    // this stays cheap.
+    for n in warmup..multipliers.len() {
+        let mut v = 0.0;
+        let k_max = kernel.len().min(n);
+        for (k, &h) in kernel.iter().take(k_max).enumerate() {
+            let idx = n - k;
+            let di = i_mean * (multipliers[idx] - multipliers[idx - 1]);
+            v += h * di;
+        }
+        peak = peak.max(v.abs());
+    }
+    peak / vdd
+}
+
+/// The full per-cycle transient-noise magnitude over the analysis region
+/// of a window, as fractions of Vdd (the Fig. 14-style trace). Add the
+/// static IR fraction on top for total noise.
+///
+/// # Panics
+///
+/// Same preconditions as [`peak_transient_fraction`].
+pub fn noise_series(
+    config: &PdnConfig,
+    params: &TransientParams,
+    multipliers: &[f64],
+    warmup: usize,
+) -> Vec<f64> {
+    assert!(
+        params.n_active > 0 && params.n_active <= params.n_total,
+        "n_active {} outside [1, {}]",
+        params.n_active,
+        params.n_total
+    );
+    assert!(warmup < multipliers.len(), "warm-up swallows the window");
+    let kernel = impulse_kernel(config, params);
+    let i_mean = params.mean_current.get().max(0.0);
+    let vdd = config.vdd.get();
+    (warmup..multipliers.len())
+        .map(|n| {
+            let mut v = 0.0;
+            let k_max = kernel.len().min(n);
+            for (k, &h) in kernel.iter().take(k_max).enumerate() {
+                let idx = n - k;
+                let di = i_mean * (multipliers[idx] - multipliers[idx - 1]);
+                v += h * di;
+            }
+            v.abs() / vdd
+        })
+        .collect()
+}
+
+/// Number of analysis cycles whose total noise (transient + the given
+/// static IR fraction) exceeds `threshold_fraction` of Vdd — the
+/// quantity behind Table 2's "% execution time spent in voltage
+/// emergencies".
+///
+/// # Panics
+///
+/// Same preconditions as [`peak_transient_fraction`].
+pub fn cycles_over(
+    config: &PdnConfig,
+    params: &TransientParams,
+    multipliers: &[f64],
+    warmup: usize,
+    ir_fraction: f64,
+    threshold_fraction: f64,
+) -> usize {
+    noise_series(config, params, multipliers, warmup)
+        .into_iter()
+        .filter(|v| v + ir_fraction > threshold_fraction)
+        .count()
+}
+
+/// The impulse-response kernel for the given configuration.
+pub fn impulse_kernel(config: &PdnConfig, params: &TransientParams) -> Vec<f64> {
+    let response_cycles =
+        (params.response_time.get() * params.frequency.get()).max(1.0);
+    // A regulator that reacts within the first droop (≈ a quarter of the
+    // ring period) partially suppresses even the initial undershoot; a
+    // slow loop only helps the tail. This is the (modest) LDO-vs-FIVR
+    // advantage of Fig. 15.
+    let quarter = config.ring_period_cycles / 4.0;
+    let first_droop_suppression = 1.0 - 0.25 * quarter / (quarter + response_cycles);
+    let z_eff = config.z_transient_ohm
+        * (config.z_reference_active / params.n_active as f64).sqrt()
+        * params.distance_factor.max(0.1)
+        * first_droop_suppression;
+    // Regulated decay: a few cycles once the loop has reacted.
+    let regulated_tau = 8.0;
+    let len = (response_cycles + 5.0 * regulated_tau).ceil() as usize;
+    let omega = 2.0 * std::f64::consts::PI / config.ring_period_cycles;
+    (0..len)
+        .map(|k| {
+            let kf = k as f64;
+            let passive = (-kf / config.passive_decay_cycles).exp();
+            let regulated = if kf > response_cycles {
+                (-(kf - response_cycles) / regulated_tau).exp()
+            } else {
+                1.0
+            };
+            z_eff * (omega * kf).cos() * passive * regulated
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n_active: usize, response_ns: f64) -> TransientParams {
+        TransientParams {
+            mean_current: Amps::new(8.0),
+            n_active,
+            n_total: 9,
+            distance_factor: 1.0,
+            response_time: Seconds::from_nanos(response_ns),
+            frequency: Hertz::from_ghz(4.0),
+        }
+    }
+
+    /// A window with one large current step in the middle.
+    fn step_window(len: usize, at: usize, height: f64) -> Vec<f64> {
+        (0..len).map(|i| if i < at { 1.0 } else { 1.0 + height }).collect()
+    }
+
+    #[test]
+    fn quiet_window_has_no_noise() {
+        let cfg = PdnConfig::default();
+        let w = vec![1.0; 2000];
+        let f = peak_transient_fraction(&cfg, &params(9, 15.0), &w, 1000);
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn bigger_steps_make_more_noise() {
+        let cfg = PdnConfig::default();
+        let small = peak_transient_fraction(
+            &cfg,
+            &params(9, 15.0),
+            &step_window(2000, 1500, 0.1),
+            1000,
+        );
+        let large = peak_transient_fraction(
+            &cfg,
+            &params(9, 15.0),
+            &step_window(2000, 1500, 0.4),
+            1000,
+        );
+        assert!(large > 3.0 * small, "large {large} small {small}");
+    }
+
+    #[test]
+    fn fewer_active_regulators_mean_more_noise() {
+        let cfg = PdnConfig::default();
+        let w = step_window(2000, 1500, 0.3);
+        let strong = peak_transient_fraction(&cfg, &params(9, 15.0), &w, 1000);
+        let weak = peak_transient_fraction(&cfg, &params(2, 15.0), &w, 1000);
+        assert!(weak > 1.5 * strong, "weak {weak} strong {strong}");
+    }
+
+    #[test]
+    fn faster_regulator_means_less_noise() {
+        // The Fig. 15 effect: the LDO's sub-ns response truncates the
+        // ring-down that the 15 ns FIVR lets ring.
+        let cfg = PdnConfig::default();
+        let w = step_window(2000, 1500, 0.3);
+        let fivr = peak_transient_fraction(&cfg, &params(9, 15.0), &w, 1000);
+        let ldo = peak_transient_fraction(&cfg, &params(9, 0.8), &w, 1000);
+        assert!(ldo < fivr, "ldo {ldo} fivr {fivr}");
+        assert!(ldo > 0.3 * fivr, "effect should be modest, got {ldo} vs {fivr}");
+    }
+
+    #[test]
+    fn distance_factor_scales_noise_linearly() {
+        let cfg = PdnConfig::default();
+        let w = step_window(2000, 1500, 0.3);
+        let near = peak_transient_fraction(&cfg, &params(9, 15.0), &w, 1000);
+        let mut p = params(9, 15.0);
+        p.distance_factor = 2.0;
+        let far = peak_transient_fraction(&cfg, &p, &w, 1000);
+        assert!((far / near - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_starts_at_z_eff_and_decays() {
+        let cfg = PdnConfig::default();
+        let p = params(9, 15.0);
+        let k = impulse_kernel(&cfg, &p);
+        // k[0] is z_transient scaled by the first-droop suppression
+        // factor, which stays within (0.75, 1].
+        assert!(k[0] > 0.75 * cfg.z_transient_ohm && k[0] <= cfg.z_transient_ohm);
+        let tail = k[k.len() - 1].abs();
+        assert!(tail < 0.05 * k[0].abs(), "tail {tail}");
+    }
+
+    #[test]
+    fn steps_in_warmup_do_not_count_for_peak_but_do_seed_state() {
+        let cfg = PdnConfig::default();
+        // Step well inside warm-up, long before the analysis region: the
+        // ring has decayed by cycle 1000, so the peak is near zero.
+        let early = step_window(2000, 200, 0.4);
+        let f = peak_transient_fraction(&cfg, &params(9, 15.0), &early, 1000);
+        let direct = peak_transient_fraction(
+            &cfg,
+            &params(9, 15.0),
+            &step_window(2000, 1500, 0.4),
+            1000,
+        );
+        assert!(f < 0.05 * direct, "early {f} direct {direct}");
+    }
+
+    #[test]
+    fn noise_series_peak_matches_peak_function() {
+        let cfg = PdnConfig::default();
+        let p = params(4, 15.0);
+        let w = step_window(2000, 1500, 0.3);
+        let series = noise_series(&cfg, &p, &w, 1000);
+        assert_eq!(series.len(), 1000);
+        let series_peak = series.iter().copied().fold(0.0, f64::max);
+        let peak = peak_transient_fraction(&cfg, &p, &w, 1000);
+        assert!((series_peak - peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_over_counts_threshold_crossings() {
+        let cfg = PdnConfig::default();
+        let p = params(2, 15.0);
+        let w = step_window(2000, 1500, 0.4);
+        // With a huge threshold nothing crosses.
+        assert_eq!(cycles_over(&cfg, &p, &w, 1000, 0.0, 10.0), 0);
+        // With a zero threshold and positive IR, every cycle crosses.
+        assert_eq!(cycles_over(&cfg, &p, &w, 1000, 0.05, 0.0), 1000);
+        // Intermediate threshold: some but not all cycles cross.
+        let peak = peak_transient_fraction(&cfg, &p, &w, 1000);
+        let some = cycles_over(&cfg, &p, &w, 1000, 0.0, peak * 0.5);
+        assert!(some > 0 && some < 1000, "crossings {some}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_active")]
+    fn zero_active_panics() {
+        let cfg = PdnConfig::default();
+        peak_transient_fraction(&cfg, &params(0, 15.0), &[1.0, 1.0], 0);
+    }
+}

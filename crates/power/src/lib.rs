@@ -1,0 +1,36 @@
+//! McPAT-style chip power modelling for the ThermoGater reproduction.
+//!
+//! Converts the `workload` crate's per-block activities into watts:
+//! dynamic power scales linearly with activity against a per-block peak
+//! budget, and static (leakage) power grows exponentially with
+//! temperature. Following Section 5 of the paper, the model is calibrated
+//! so that static power does not exceed 30 % of total chip consumption at
+//! 80 °C, against the Table 1 technology parameters (22 nm, 4 GHz, 150 W
+//! TDP, Vdd = 1.03 V).
+//!
+//! # Examples
+//!
+//! ```
+//! use power::{PowerModel, TechnologyParams};
+//! use floorplan::reference::power8_like;
+//! use simkit::units::Celsius;
+//!
+//! let chip = power8_like();
+//! let model = PowerModel::calibrated(&chip, TechnologyParams::table1());
+//! let full: f64 = chip
+//!     .blocks()
+//!     .iter()
+//!     .map(|b| model.block_power(b.id(), 1.0, Celsius::new(80.0)).get())
+//!     .sum();
+//! // Full activity at the calibration temperature hits the TDP.
+//! assert!((full - 150.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod params;
+
+pub use model::PowerModel;
+pub use params::TechnologyParams;

@@ -1,0 +1,319 @@
+//! The calibrated per-block power model.
+
+use crate::params::TechnologyParams;
+use floorplan::{BlockId, DomainId, Floorplan, UnitKind};
+use simkit::units::{Amps, Celsius, Watts};
+
+/// Relative dynamic power density (W per mm² of block area, unnormalised)
+/// by unit kind. Logic switches far more capacitance per area than cache
+/// arrays; these ratios follow McPAT-class models for server cores.
+fn dynamic_density_weight(kind: UnitKind) -> f64 {
+    match kind {
+        UnitKind::Execution => 4.5,
+        UnitKind::LoadStore => 3.5,
+        UnitKind::InstructionSchedule => 2.4,
+        UnitKind::InstructionFetch => 2.0,
+        UnitKind::L2Cache => 0.6,
+        UnitKind::L3Cache => 0.25,
+        UnitKind::Noc => 1.4,
+        UnitKind::MemoryController => 1.2,
+        _ => 1.0,
+    }
+}
+
+/// Relative leakage density by unit kind. SRAM leaks per area less than
+/// hot logic but its share is non-trivial because caches dominate area.
+fn leakage_density_weight(kind: UnitKind) -> f64 {
+    match kind {
+        UnitKind::Execution => 2.0,
+        UnitKind::LoadStore => 1.8,
+        UnitKind::InstructionSchedule => 1.6,
+        UnitKind::InstructionFetch => 1.5,
+        UnitKind::L2Cache => 1.0,
+        UnitKind::L3Cache => 0.7,
+        UnitKind::Noc => 1.2,
+        UnitKind::MemoryController => 1.1,
+        _ => 1.0,
+    }
+}
+
+/// A calibrated chip power model.
+///
+/// Per block `b` at activity `a ∈ [0, 1]` and temperature `T`:
+///
+/// ```text
+/// P_b(a, T) = P_dyn_peak,b · a  +  P_leak_ref,b · e^{β (T − T_cal)}
+/// ```
+///
+/// where the per-block peaks are set once at construction so that the
+/// whole chip at full activity and `T_cal` consumes exactly the TDP with
+/// the configured static share (Section 5: static ≤ 30 % at 80 °C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    params: TechnologyParams,
+    dyn_peak: Vec<Watts>,
+    leak_ref: Vec<Watts>,
+}
+
+impl PowerModel {
+    /// Calibrates a model for `chip` under `params`.
+    pub fn calibrated(chip: &Floorplan, params: TechnologyParams) -> Self {
+        let dyn_budget = params.tdp * (1.0 - params.static_share_at_calibration);
+        let leak_budget = params.tdp * params.static_share_at_calibration;
+
+        let dyn_weights: Vec<f64> = chip
+            .blocks()
+            .iter()
+            .map(|b| dynamic_density_weight(b.kind()) * b.area_mm2())
+            .collect();
+        let leak_weights: Vec<f64> = chip
+            .blocks()
+            .iter()
+            .map(|b| leakage_density_weight(b.kind()) * b.area_mm2())
+            .collect();
+        let dyn_total: f64 = dyn_weights.iter().sum();
+        let leak_total: f64 = leak_weights.iter().sum();
+
+        PowerModel {
+            params,
+            dyn_peak: dyn_weights
+                .iter()
+                .map(|w| dyn_budget * (w / dyn_total))
+                .collect(),
+            leak_ref: leak_weights
+                .iter()
+                .map(|w| leak_budget * (w / leak_total))
+                .collect(),
+        }
+    }
+
+    /// The technology parameters the model was calibrated against.
+    pub fn params(&self) -> &TechnologyParams {
+        &self.params
+    }
+
+    /// Peak dynamic power of a block (activity = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range.
+    pub fn block_dynamic_peak(&self, block: BlockId) -> Watts {
+        self.dyn_peak[block.0]
+    }
+
+    /// Dynamic power of a block at the given activity (clamped to
+    /// `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range.
+    pub fn block_dynamic(&self, block: BlockId, activity: f64) -> Watts {
+        self.dyn_peak[block.0] * activity.clamp(0.0, 1.0)
+    }
+
+    /// Leakage power of a block at temperature `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range.
+    pub fn block_leakage(&self, block: BlockId, t: Celsius) -> Watts {
+        let delta = t.get() - self.params.calibration_temperature.get();
+        self.leak_ref[block.0] * (self.params.leakage_temp_coeff * delta).exp()
+    }
+
+    /// Total power of a block: dynamic at `activity` plus leakage at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range.
+    pub fn block_power(&self, block: BlockId, activity: f64, t: Celsius) -> Watts {
+        self.block_dynamic(block, activity) + self.block_leakage(block, t)
+    }
+
+    /// Per-block power vector for a full activity/temperature snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the slices do not have one entry per
+    /// block.
+    pub fn block_powers(&self, activities: &[f64], temperatures: &[Celsius]) -> Vec<Watts> {
+        debug_assert_eq!(activities.len(), self.dyn_peak.len());
+        debug_assert_eq!(temperatures.len(), self.dyn_peak.len());
+        activities
+            .iter()
+            .zip(temperatures)
+            .enumerate()
+            .map(|(i, (&a, &t))| self.block_power(BlockId(i), a, t))
+            .collect()
+    }
+
+    /// Output power demanded from one Vdd-domain's regulators: the sum of
+    /// its blocks' powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is unknown or slices are too short.
+    pub fn domain_power(
+        &self,
+        chip: &Floorplan,
+        domain: DomainId,
+        activities: &[f64],
+        temperatures: &[Celsius],
+    ) -> Watts {
+        chip.domain(domain)
+            .blocks()
+            .iter()
+            .map(|&b| self.block_power(b, activities[b.0], temperatures[b.0]))
+            .sum()
+    }
+
+    /// Load current demanded from one Vdd-domain at nominal Vdd.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is unknown or slices are too short.
+    pub fn domain_current(
+        &self,
+        chip: &Floorplan,
+        domain: DomainId,
+        activities: &[f64],
+        temperatures: &[Celsius],
+    ) -> Amps {
+        self.domain_power(chip, domain, activities, temperatures) / self.params.vdd
+    }
+
+    /// Total chip power for a snapshot.
+    pub fn chip_power(&self, activities: &[f64], temperatures: &[Celsius]) -> Watts {
+        self.block_powers(activities, temperatures).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::reference::power8_like;
+
+    fn model() -> (floorplan::Floorplan, PowerModel) {
+        let chip = power8_like();
+        let model = PowerModel::calibrated(&chip, TechnologyParams::table1());
+        (chip, model)
+    }
+
+    fn uniform(chip: &floorplan::Floorplan, a: f64, t: f64) -> (Vec<f64>, Vec<Celsius>) {
+        (
+            vec![a; chip.blocks().len()],
+            vec![Celsius::new(t); chip.blocks().len()],
+        )
+    }
+
+    #[test]
+    fn full_activity_at_calibration_hits_tdp() {
+        let (chip, model) = model();
+        let (a, t) = uniform(&chip, 1.0, 80.0);
+        let total = model.chip_power(&a, &t);
+        assert!((total.get() - 150.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn static_share_is_thirty_percent_at_calibration() {
+        let (chip, model) = model();
+        let leak: Watts = chip
+            .blocks()
+            .iter()
+            .map(|b| model.block_leakage(b.id(), Celsius::new(80.0)))
+            .sum();
+        assert!((leak.get() - 45.0).abs() < 1e-6, "leak {leak}");
+    }
+
+    #[test]
+    fn leakage_doubles_every_20c() {
+        let (chip, model) = model();
+        let b = chip.blocks()[0].id();
+        let l80 = model.block_leakage(b, Celsius::new(80.0));
+        let l100 = model.block_leakage(b, Celsius::new(100.0));
+        assert!((l100.get() / l80.get() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_scales_linearly_and_clamps() {
+        let (chip, model) = model();
+        let b = chip.blocks()[0].id();
+        let half = model.block_dynamic(b, 0.5);
+        let full = model.block_dynamic(b, 1.0);
+        assert!((full.get() - 2.0 * half.get()).abs() < 1e-12);
+        assert_eq!(model.block_dynamic(b, 2.0), full);
+        assert_eq!(model.block_dynamic(b, -1.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn exu_denser_than_l3() {
+        let (chip, model) = model();
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.kind() == UnitKind::Execution)
+            .unwrap();
+        let l3 = chip
+            .blocks()
+            .iter()
+            .find(|b| b.kind() == UnitKind::L3Cache)
+            .unwrap();
+        let exu_density = model.block_dynamic_peak(exu.id()).get() / exu.area_mm2();
+        let l3_density = model.block_dynamic_peak(l3.id()).get() / l3.area_mm2();
+        assert!(exu_density > 5.0 * l3_density);
+    }
+
+    #[test]
+    fn domain_power_sums_blocks() {
+        let (chip, model) = model();
+        let (a, t) = uniform(&chip, 0.6, 70.0);
+        let d0 = chip.domains()[0].id();
+        let manual: Watts = chip
+            .domain(d0)
+            .blocks()
+            .iter()
+            .map(|&b| model.block_power(b, 0.6, Celsius::new(70.0)))
+            .sum();
+        let got = model.domain_power(&chip, d0, &a, &t);
+        assert!((got.get() - manual.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_current_is_power_over_vdd() {
+        let (chip, model) = model();
+        let (a, t) = uniform(&chip, 0.8, 80.0);
+        let d0 = chip.domains()[0].id();
+        let p = model.domain_power(&chip, d0, &a, &t);
+        let i = model.domain_current(&chip, d0, &a, &t);
+        assert!((i.get() - p.get() / 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_domain_current_fits_nine_phases() {
+        // A core domain at full tilt must demand roughly what its 9
+        // phases can deliver (≈ 13.5 A at peak efficiency) — this anchors
+        // the regulator-bank sizing to the power model.
+        let (chip, model) = model();
+        let (a, t) = uniform(&chip, 1.0, 80.0);
+        let core = chip
+            .domains()
+            .iter()
+            .find(|d| d.kind() == floorplan::DomainKind::Core)
+            .unwrap();
+        let i = model.domain_current(&chip, core.id(), &a, &t);
+        assert!(
+            i.get() > 9.0 && i.get() < 15.0,
+            "core current {i} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn total_chip_current_spans_fig6_band() {
+        // Fig. 6's total power axis runs ≈ 20–100 W; mid-activity traces
+        // should land inside it.
+        let (chip, model) = model();
+        let (a, t) = uniform(&chip, 0.5, 70.0);
+        let total = model.chip_power(&a, &t);
+        assert!(total.get() > 20.0 && total.get() < 120.0, "total {total}");
+    }
+}

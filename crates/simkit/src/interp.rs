@@ -1,0 +1,197 @@
+//! Piecewise-linear interpolation.
+//!
+//! Regulator efficiency curves (η vs. output current) are supplied as
+//! breakpoint tables; [`PiecewiseLinear`] evaluates them with clamping at
+//! the domain edges, which matches how data-sheet curves are used.
+
+use crate::error::{Error, Result};
+
+/// A piecewise-linear function defined by strictly increasing breakpoints.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::PiecewiseLinear;
+///
+/// let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 10.0), (2.0, 10.0)])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(1.5), 10.0);
+/// // Out-of-domain inputs clamp to the edge values.
+/// assert_eq!(f.eval(-1.0), 0.0);
+/// assert_eq!(f.eval(5.0), 10.0);
+/// # Ok::<(), simkit::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Creates an interpolant from `(x, y)` breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyDomain`] when no points are given;
+    /// * [`Error::InvalidArgument`] when x values are not strictly
+    ///   increasing or any coordinate is non-finite.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(Error::EmptyDomain);
+        }
+        for window in points.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(Error::invalid_argument(format!(
+                    "x breakpoints must be strictly increasing ({} then {})",
+                    window[0].0, window[1].0
+                )));
+            }
+        }
+        if points
+            .iter()
+            .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+        {
+            return Err(Error::invalid_argument("non-finite breakpoint"));
+        }
+        Ok(PiecewiseLinear { points })
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Domain `[x_min, x_max]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.points[0].0, self.points[self.points.len() - 1].0)
+    }
+
+    /// Evaluates the interpolant at `x`, clamping beyond the domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the bracketing segment.
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The x in the domain at which the interpolant attains its maximum
+    /// value (maxima are always at breakpoints for piecewise-linear
+    /// functions). Ties resolve to the smallest x.
+    pub fn argmax(&self) -> (f64, f64) {
+        let mut best = self.points[0];
+        for &(x, y) in &self.points[1..] {
+            if y > best.1 {
+                best = (x, y);
+            }
+        }
+        best
+    }
+
+    /// Builds a new interpolant with every x scaled by `sx` and every y by
+    /// `sy` — used to re-calibrate a normalized efficiency curve to a
+    /// particular regulator's current rating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `sx <= 0` (which would break
+    /// monotonicity) or either factor is non-finite.
+    pub fn scaled(&self, sx: f64, sy: f64) -> Result<PiecewiseLinear> {
+        if sx <= 0.0 || !sx.is_finite() || !sy.is_finite() {
+            return Err(Error::invalid_argument("invalid scale factors"));
+        }
+        PiecewiseLinear::new(
+            self.points
+                .iter()
+                .map(|&(x, y)| (x * sx, y * sy))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 4.0), (4.0, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let f = ramp();
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(3.0), 2.0);
+        assert_eq!(f.eval(2.0), 4.0);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let f = ramp();
+        assert_eq!(f.eval(-10.0), 0.0);
+        assert_eq!(f.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn exact_breakpoints() {
+        let f = ramp();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(4.0), 0.0);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let f = ramp();
+        assert_eq!(f.argmax(), (2.0, 4.0));
+    }
+
+    #[test]
+    fn argmax_tie_takes_first() {
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(f.argmax(), (1.0, 5.0));
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let f = PiecewiseLinear::new(vec![(1.0, 7.0)]).unwrap();
+        assert_eq!(f.eval(-5.0), 7.0);
+        assert_eq!(f.eval(1.0), 7.0);
+        assert_eq!(f.eval(100.0), 7.0);
+        assert_eq!(f.domain(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn rejects_empty_and_unsorted() {
+        assert_eq!(PiecewiseLinear::new(vec![]).unwrap_err(), Error::EmptyDomain);
+        assert!(PiecewiseLinear::new(vec![(1.0, 0.0), (1.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(2.0, 0.0), (1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(PiecewiseLinear::new(vec![(0.0, f64::NAN)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(f64::INFINITY, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn scaling_transforms_domain_and_range() {
+        let f = ramp().scaled(2.0, 0.5).unwrap();
+        assert_eq!(f.domain(), (0.0, 8.0));
+        assert_eq!(f.eval(4.0), 2.0);
+        assert_eq!(f.argmax(), (4.0, 2.0));
+    }
+
+    #[test]
+    fn scaling_rejects_bad_factors() {
+        assert!(ramp().scaled(0.0, 1.0).is_err());
+        assert!(ramp().scaled(-1.0, 1.0).is_err());
+        assert!(ramp().scaled(1.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! Sparse linear algebra for the thermal RC network and PDN solvers.
+//!
+//! The thermal model discretises the die into a grid whose conductance
+//! matrix is sparse, symmetric, and positive definite; the PDN's grid
+//! conductance matrix has the same structure. Two solvers cover both:
+//!
+//! * [`CsrMatrix::solve_cg`] — conjugate gradient with Jacobi
+//!   preconditioning, for steady-state solves;
+//! * [`CsrMatrix::solve_gauss_seidel`] — Gauss–Seidel sweeps with optional
+//!   successive over-relaxation, for backward-Euler transient steps where
+//!   an excellent initial guess (the previous step) is available.
+
+use crate::error::{Error, Result};
+
+/// Dense vector helpers used by the solvers.
+pub mod vec_ops {
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when lengths differ.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(a: &[f64]) -> f64 {
+        dot(a, a).sqrt()
+    }
+
+    /// `y ← y + alpha·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when lengths differ.
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Maximum absolute difference between two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when lengths differ.
+    pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builder that accumulates `(row, col, value)` triplets; duplicate
+/// coordinates are summed, which makes assembling finite-difference
+/// stencils convenient.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::linalg::TripletBuilder;
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.add(0, 0, 2.0);
+/// b.add(0, 0, 1.0); // accumulates to 3.0
+/// b.add(1, 1, 4.0);
+/// let m = b.build();
+/// assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for an `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; repeated coordinates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "triplet out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Assembles the CSR matrix.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut current_row = 0;
+        for (r, c, v) in self.entries {
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                if row_ptr.len() - 1 == r && last_c == c && row_ptr[r] < col_idx.len() {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 1.0);
+        }
+        b.build()
+    }
+
+    /// Value at `(row, col)`; zero when the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        for k in range {
+            if self.col_idx[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Matrix-vector product writing into a caller-provided buffer
+    /// (avoids allocation inside solver loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when dimensions do not match.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for (row, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Iterates the stored `(column, value)` entries of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of bounds.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        range.map(move |k| (self.col_idx[k], self.values[k]))
+    }
+
+    /// Iterates every stored `(row, column, value)` entry.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |row| {
+            self.row_entries(row).map(move |(col, val)| (row, col, val))
+        })
+    }
+
+    /// Extracts the diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Solves `A·x = b` by preconditioned conjugate gradient. `A` must be
+    /// symmetric positive definite (true for grid conductance matrices with
+    /// a grounding/ambient connection on every diagonal).
+    ///
+    /// `x0` seeds the iteration when provided.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] — `b` length differs from `rows`;
+    /// * [`Error::SingularMatrix`] — a zero diagonal entry defeats the
+    ///   Jacobi preconditioner;
+    /// * [`Error::NonConverged`] — tolerance not met in `max_iter`.
+    pub fn solve_cg(
+        &self,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        tolerance: f64,
+        max_iter: usize,
+    ) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let diag = self.diagonal();
+        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+            return Err(Error::SingularMatrix { index: i });
+        }
+        let n = self.rows;
+        let mut x = match x0 {
+            Some(seed) if seed.len() == n => seed.to_vec(),
+            _ => vec![0.0; n],
+        };
+        let mut r = vec![0.0; n];
+        self.mul_vec_into(&x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let b_norm = vec_ops::norm(b).max(f64::MIN_POSITIVE);
+        if vec_ops::norm(&r) / b_norm <= tolerance {
+            return Ok(x);
+        }
+        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
+        let mut p = z.clone();
+        let mut rz = vec_ops::dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        for iteration in 0..max_iter {
+            self.mul_vec_into(&p, &mut ap);
+            let denom = vec_ops::dot(&p, &ap);
+            if denom.abs() < f64::MIN_POSITIVE {
+                return Err(Error::NonConverged {
+                    iterations: iteration,
+                    residual: vec_ops::norm(&r) / b_norm,
+                });
+            }
+            let alpha = rz / denom;
+            vec_ops::axpy(alpha, &p, &mut x);
+            vec_ops::axpy(-alpha, &ap, &mut r);
+            let rel = vec_ops::norm(&r) / b_norm;
+            if rel <= tolerance {
+                return Ok(x);
+            }
+            for i in 0..n {
+                z[i] = r[i] / diag[i];
+            }
+            let rz_new = vec_ops::dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        Err(Error::NonConverged {
+            iterations: max_iter,
+            residual: vec_ops::norm(&r) / b_norm,
+        })
+    }
+
+    /// Solves `A·x = b` in place by Gauss–Seidel sweeps with relaxation
+    /// factor `omega` (1.0 = plain Gauss–Seidel; 1 < ω < 2 = SOR).
+    /// Converges for the diagonally dominant matrices our grids produce and
+    /// is very fast when `x` starts near the solution.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] — vector lengths differ from `rows`;
+    /// * [`Error::SingularMatrix`] — zero diagonal entry;
+    /// * [`Error::NonConverged`] — update norm still above `tolerance`
+    ///   after `max_sweeps`.
+    pub fn solve_gauss_seidel(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        omega: f64,
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> Result<usize> {
+        if b.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        if x.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        for sweep in 0..max_sweeps {
+            let mut max_update = 0.0f64;
+            for row in 0..self.rows {
+                let mut sigma = 0.0;
+                let mut diag = 0.0;
+                for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                    let col = self.col_idx[k];
+                    if col == row {
+                        diag = self.values[k];
+                    } else {
+                        sigma += self.values[k] * x[col];
+                    }
+                }
+                if diag == 0.0 {
+                    return Err(Error::SingularMatrix { index: row });
+                }
+                let gs = (b[row] - sigma) / diag;
+                let new = (1.0 - omega) * x[row] + omega * gs;
+                max_update = max_update.max((new - x[row]).abs());
+                x[row] = new;
+            }
+            if max_update <= tolerance {
+                return Ok(sweep + 1);
+            }
+        }
+        Err(Error::NonConverged {
+            iterations: max_sweeps,
+            residual: f64::NAN,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small SPD matrix: tridiagonal [−1, 2.5, −1].
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.5);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triplets_accumulate_duplicates() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 1, 1.5);
+        b.add(0, 1, 0.5);
+        b.add(1, 0, -1.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn identity_mul_is_noop() {
+        let m = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.mul_vec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = tridiag(3);
+        // [2.5 -1 0; -1 2.5 -1; 0 -1 2.5] * [1 2 3] = [0.5, 1.0, 5.5]
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((y[0] - 0.5).abs() < 1e-12);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+        assert!((y[2] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_rejects_wrong_length() {
+        let m = tridiag(3);
+        assert!(matches!(
+            m.mul_vec(&[1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let n = 50;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        let x = m.solve_cg(&b, None, 1e-12, 1000).unwrap();
+        assert!(vec_ops::max_abs_diff(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn cg_uses_initial_guess() {
+        let n = 30;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        // Exact initial guess converges immediately.
+        let x = m.solve_cg(&b, Some(&x_true), 1e-10, 1).unwrap();
+        assert!(vec_ops::max_abs_diff(&x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn cg_detects_zero_diagonal() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        // Row 1 has no diagonal entry.
+        b.add(1, 0, 1.0);
+        let m = b.build();
+        assert!(matches!(
+            m.solve_cg(&[1.0, 1.0], None, 1e-10, 10),
+            Err(Error::SingularMatrix { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn cg_reports_non_convergence() {
+        let m = tridiag(100);
+        let b = vec![1.0; 100];
+        let err = m.solve_cg(&b, None, 1e-15, 1).unwrap_err();
+        assert!(matches!(err, Error::NonConverged { .. }));
+    }
+
+    #[test]
+    fn gauss_seidel_solves_diagonally_dominant() {
+        let n = 40;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        let mut x = vec![0.0; n];
+        let sweeps = m
+            .solve_gauss_seidel(&b, &mut x, 1.0, 1e-12, 10_000)
+            .unwrap();
+        assert!(sweeps > 0);
+        assert!(vec_ops::max_abs_diff(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn sor_converges_faster_than_gs() {
+        // 1-D Laplacian [-1, 2, -1]: Gauss–Seidel is slow, SOR with a
+        // near-optimal relaxation factor is dramatically faster.
+        let n = 60;
+        let mut builder = TripletBuilder::new(n, n);
+        for i in 0..n {
+            builder.add(i, i, 2.0);
+            if i > 0 {
+                builder.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                builder.add(i, i + 1, -1.0);
+            }
+        }
+        let m = builder.build();
+        let b = vec![1.0; n];
+        let omega_opt = 2.0 / (1.0 + (std::f64::consts::PI / (n as f64 + 1.0)).sin());
+        let mut x_gs = vec![0.0; n];
+        let mut x_sor = vec![0.0; n];
+        let gs = m
+            .solve_gauss_seidel(&b, &mut x_gs, 1.0, 1e-8, 1_000_000)
+            .unwrap();
+        let sor = m
+            .solve_gauss_seidel(&b, &mut x_sor, omega_opt, 1e-8, 1_000_000)
+            .unwrap();
+        assert!(sor < gs, "SOR {sor} sweeps vs GS {gs}");
+        assert!(vec_ops::max_abs_diff(&x_gs, &x_sor) < 1e-4);
+    }
+
+    #[test]
+    fn gauss_seidel_warm_start_is_cheap() {
+        let n = 40;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        let mut x = x_true.clone();
+        let sweeps = m.solve_gauss_seidel(&b, &mut x, 1.0, 1e-12, 100).unwrap();
+        assert!(sweeps <= 2, "warm start took {sweeps} sweeps");
+    }
+
+    #[test]
+    fn vec_ops_behave() {
+        assert_eq!(vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((vec_ops::norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        let mut y = vec![1.0, 1.0];
+        vec_ops::axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert_eq!(vec_ops::max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(0, 0, 1.0);
+        b.add(2, 2, 1.0);
+        let m = b.build();
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Uniformly sampled time series and multi-channel traces.
+//!
+//! Power demand, temperature, and voltage-noise histories in this workspace
+//! are all uniformly sampled signals. [`TimeSeries`] stores one channel;
+//! [`TraceMatrix`] stores one channel per spatial entity (functional unit,
+//! regulator, grid cell) sharing a common time base.
+
+use crate::error::{Error, Result};
+use crate::units::Seconds;
+
+/// A uniformly sampled scalar signal.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{TimeSeries, units::Seconds};
+///
+/// let mut s = TimeSeries::new(Seconds::from_micros(1.0));
+/// s.push(1.0);
+/// s.push(3.0);
+/// s.push(2.0);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.max(), Some(3.0));
+/// assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimeSeries {
+    dt: Seconds,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given sample interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn new(dt: Seconds) -> Self {
+        assert!(dt.get() > 0.0, "sample interval must be positive");
+        TimeSeries {
+            dt,
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from existing samples.
+    pub fn from_values(dt: Seconds, values: Vec<f64>) -> Self {
+        assert!(dt.get() > 0.0, "sample interval must be positive");
+        TimeSeries { dt, values }
+    }
+
+    /// Sample interval.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration (`len × dt`).
+    pub fn duration(&self) -> Seconds {
+        self.dt * self.values.len() as f64
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Returns the sample at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.values.get(index).copied()
+    }
+
+    /// The sample covering time `t`, clamped to the series bounds.
+    ///
+    /// Returns `None` only when the series is empty.
+    pub fn at_time(&self, t: Seconds) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let idx = (t.get() / self.dt.get()).floor().max(0.0) as usize;
+        Some(self.values[idx.min(self.values.len() - 1)])
+    }
+
+    /// All samples as a slice.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        let dt = self.dt;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (dt * i as f64, v))
+    }
+
+    /// Maximum sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| m.max(v)))
+        })
+    }
+
+    /// Minimum sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| m.min(v)))
+        })
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Index of the maximum sample, `None` when empty. Ties resolve to the
+    /// earliest occurrence.
+    pub fn argmax(&self) -> Option<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .fold(None, |best: Option<(usize, f64)>, (i, &v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((i, v)),
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Averages consecutive windows of `factor` samples, producing a series
+    /// with `factor×` coarser resolution. A final partial window is averaged
+    /// over the samples it actually contains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if `factor` is zero.
+    pub fn downsample(&self, factor: usize) -> Result<TimeSeries> {
+        if factor == 0 {
+            return Err(Error::invalid_argument("downsample factor must be > 0"));
+        }
+        let mut out = Vec::with_capacity(self.values.len().div_ceil(factor));
+        for chunk in self.values.chunks(factor) {
+            out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        }
+        Ok(TimeSeries {
+            dt: self.dt * factor as f64,
+            values: out,
+        })
+    }
+
+    /// Extracts `count` windows of `window_len` samples spread evenly over
+    /// the series — the VoltSpot-style sampling methodology (Section 5 of
+    /// the paper uses 200 windows of 2 K cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when the series is shorter than a
+    /// single window or when `count`/`window_len` is zero.
+    pub fn sample_windows(&self, count: usize, window_len: usize) -> Result<Vec<&[f64]>> {
+        if count == 0 || window_len == 0 {
+            return Err(Error::invalid_argument(
+                "window count and length must be > 0",
+            ));
+        }
+        if self.values.len() < window_len {
+            return Err(Error::invalid_argument(format!(
+                "series of {} samples cannot supply windows of {window_len}",
+                self.values.len()
+            )));
+        }
+        let span = self.values.len() - window_len;
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let start = if count == 1 {
+                0
+            } else {
+                (span as f64 * k as f64 / (count - 1) as f64).round() as usize
+            };
+            out.push(&self.values[start..start + window_len]);
+        }
+        Ok(out)
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+/// A set of time-aligned channels: one row per entity, one column per
+/// sample instant.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::series::TraceMatrix;
+/// use simkit::units::Seconds;
+///
+/// let mut m = TraceMatrix::new(2, Seconds::from_micros(1.0));
+/// m.push_column(&[1.0, 2.0]).unwrap();
+/// m.push_column(&[3.0, 4.0]).unwrap();
+/// assert_eq!(m.channel(1), &[2.0, 4.0]);
+/// assert_eq!(m.column_sum(1), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceMatrix {
+    dt: Seconds,
+    channels: Vec<Vec<f64>>,
+}
+
+impl TraceMatrix {
+    /// Creates a matrix with `channel_count` empty channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn new(channel_count: usize, dt: Seconds) -> Self {
+        assert!(dt.get() > 0.0, "sample interval must be positive");
+        TraceMatrix {
+            dt,
+            channels: vec![Vec::new(); channel_count],
+        }
+    }
+
+    /// Sample interval shared by all channels.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Number of channels (rows).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of samples per channel (columns).
+    pub fn sample_count(&self) -> usize {
+        self.channels.first().map_or(0, Vec::len)
+    }
+
+    /// Appends one sample instant: `values[i]` goes to channel `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `values` does not have one
+    /// entry per channel.
+    pub fn push_column(&mut self, values: &[f64]) -> Result<()> {
+        if values.len() != self.channels.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.channels.len(),
+                actual: values.len(),
+            });
+        }
+        for (channel, &v) in self.channels.iter_mut().zip(values) {
+            channel.push(v);
+        }
+        Ok(())
+    }
+
+    /// Full history of channel `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn channel(&self, index: usize) -> &[f64] {
+        &self.channels[index]
+    }
+
+    /// Snapshot of every channel at sample `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of bounds.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        self.channels.iter().map(|c| c[col]).collect()
+    }
+
+    /// Sum across channels at sample `col` (e.g. total chip power at one
+    /// instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of bounds.
+    pub fn column_sum(&self, col: usize) -> f64 {
+        self.channels.iter().map(|c| c[col]).sum()
+    }
+
+    /// The per-instant channel sum as a [`TimeSeries`].
+    pub fn total(&self) -> TimeSeries {
+        let n = self.sample_count();
+        let mut values = Vec::with_capacity(n);
+        for col in 0..n {
+            values.push(self.column_sum(col));
+        }
+        TimeSeries::from_values(self.dt, values)
+    }
+
+    /// A single channel copied out as a [`TimeSeries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn channel_series(&self, index: usize) -> TimeSeries {
+        TimeSeries::from_values(self.dt, self.channels[index].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(Seconds::from_micros(1.0), values.to_vec())
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = series(&[2.0, -1.0, 5.0, 0.0]);
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.mean(), Some(1.5));
+        assert_eq!(s.argmax(), Some(2));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_statistics_are_none() {
+        let s = TimeSeries::new(Seconds::from_micros(1.0));
+        assert_eq!(s.max(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.argmax(), None);
+        assert_eq!(s.at_time(Seconds::ZERO), None);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_to_first() {
+        let s = series(&[1.0, 7.0, 7.0, 3.0]);
+        assert_eq!(s.argmax(), Some(1));
+    }
+
+    #[test]
+    fn at_time_clamps() {
+        let s = series(&[10.0, 20.0, 30.0]);
+        assert_eq!(s.at_time(Seconds::ZERO), Some(10.0));
+        assert_eq!(s.at_time(Seconds::from_micros(1.5)), Some(20.0));
+        assert_eq!(s.at_time(Seconds::from_micros(99.0)), Some(30.0));
+    }
+
+    #[test]
+    fn duration_is_len_times_dt() {
+        let s = series(&[0.0; 5]);
+        assert!((s.duration().as_micros() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_averages_and_coarsens() {
+        let s = series(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        let d = s.downsample(2).unwrap();
+        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert!((d.dt().as_micros() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_zero_errors() {
+        assert!(series(&[1.0]).downsample(0).is_err());
+    }
+
+    #[test]
+    fn sample_windows_spread_evenly() {
+        let s = series(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let windows = s.sample_windows(3, 10).unwrap();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0][0], 0.0);
+        assert_eq!(windows[1][0], 45.0);
+        assert_eq!(windows[2][0], 90.0);
+        assert!(windows.iter().all(|w| w.len() == 10));
+    }
+
+    #[test]
+    fn sample_windows_single_window_starts_at_zero() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        let windows = s.sample_windows(1, 3).unwrap();
+        assert_eq!(windows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sample_windows_too_short_errors() {
+        let s = series(&[1.0, 2.0]);
+        assert!(s.sample_windows(2, 5).is_err());
+        assert!(s.sample_windows(0, 1).is_err());
+    }
+
+    #[test]
+    fn iter_yields_timestamps() {
+        let s = series(&[4.0, 5.0]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[1].0.as_micros() - 1.0).abs() < 1e-12);
+        assert_eq!(pairs[1].1, 5.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = TimeSeries::new(Seconds::from_micros(1.0));
+        s.extend([1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn trace_matrix_columns_and_totals() {
+        let mut m = TraceMatrix::new(3, Seconds::from_micros(1.0));
+        m.push_column(&[1.0, 2.0, 3.0]).unwrap();
+        m.push_column(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.channel_count(), 3);
+        assert_eq!(m.sample_count(), 2);
+        assert_eq!(m.column(1), vec![4.0, 5.0, 6.0]);
+        assert_eq!(m.column_sum(0), 6.0);
+        let total = m.total();
+        assert_eq!(total.values(), &[6.0, 15.0]);
+        assert_eq!(m.channel_series(2).values(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn trace_matrix_rejects_wrong_width() {
+        let mut m = TraceMatrix::new(2, Seconds::from_micros(1.0));
+        let err = m.push_column(&[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Zero-cost newtypes for physical quantities.
+//!
+//! Every inter-crate interface in the workspace exchanges values through
+//! these types rather than bare `f64`s, so a power trace cannot be fed where
+//! a temperature trace is expected. Each type is a transparent wrapper over
+//! `f64` with the arithmetic that makes physical sense for it:
+//! same-unit addition/subtraction, scalar scaling, and a ratio operation
+//! that yields a plain `f64`.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::units::{Volts, Amps, Watts};
+//!
+//! let v = Volts::new(1.03);
+//! let i = Amps::new(12.0);
+//! let p: Watts = v * i;
+//! assert!((p.get() - 12.36).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Defines a transparent `f64` newtype with unit-safe arithmetic.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw value.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// Returns the raw value.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Same-unit division produces a dimensionless ratio.
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> Self {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> Self {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(value: f64) -> Self {
+                $name(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Electrical current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Electrical potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Temperature in degrees Celsius.
+    ///
+    /// Stored as Celsius because every number the paper reports is in °C;
+    /// use [`Celsius::to_kelvin`] when absolute temperature is required
+    /// (e.g. in leakage models).
+    Celsius,
+    "°C"
+);
+unit!(
+    /// Duration in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Length in meters.
+    Meters,
+    "m"
+);
+
+impl Celsius {
+    /// Converts to kelvin.
+    #[inline]
+    pub fn to_kelvin(self) -> f64 {
+        self.get() + 273.15
+    }
+
+    /// Builds a temperature from kelvin.
+    #[inline]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        Celsius::new(kelvin - 273.15)
+    }
+}
+
+impl Seconds {
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Seconds::new(us * 1e-6)
+    }
+
+    /// Returns the duration in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.get() * 1e6
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds::new(ms * 1e-3)
+    }
+
+    /// Returns the duration in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds::new(ns * 1e-9)
+    }
+}
+
+impl Meters {
+    /// Builds a length from millimeters (floorplans are specified in mm).
+    #[inline]
+    pub fn from_mm(mm: f64) -> Self {
+        Meters::new(mm * 1e-3)
+    }
+
+    /// Returns the length in millimeters.
+    #[inline]
+    pub fn as_mm(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Builds a length from micrometers.
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Meters::new(um * 1e-6)
+    }
+}
+
+impl Hertz {
+    /// Builds a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz::new(ghz * 1e9)
+    }
+
+    /// The duration of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        debug_assert!(self.get() > 0.0, "period of zero frequency");
+        Seconds::new(1.0 / self.get())
+    }
+}
+
+/// `P = V × I`
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+/// `P = I × V`
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+/// `I = P / V`
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+/// `V = P / I`
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    #[inline]
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.get() / rhs.get())
+    }
+}
+
+/// `V = I × R`
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.get() * rhs.get())
+    }
+}
+
+/// `I = V / R`
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+/// `E = P × t`
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+/// `P = E / t`
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Watts::new(2.0);
+        let b = Watts::new(3.0);
+        assert_eq!(a + b, Watts::new(5.0));
+        assert_eq!(b - a, Watts::new(1.0));
+        assert_eq!(a * 2.0, Watts::new(4.0));
+        assert_eq!(2.0 * a, Watts::new(4.0));
+        assert_eq!(b / a, 1.5);
+        assert_eq!(-a, Watts::new(-2.0));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut p = Watts::new(1.0);
+        p += Watts::new(2.0);
+        assert_eq!(p, Watts::new(3.0));
+        p -= Watts::new(0.5);
+        assert_eq!(p, Watts::new(2.5));
+    }
+
+    #[test]
+    fn cross_unit_products() {
+        let p = Volts::new(1.0) * Amps::new(5.0);
+        assert_eq!(p, Watts::new(5.0));
+        let i = Watts::new(10.0) / Volts::new(2.0);
+        assert_eq!(i, Amps::new(5.0));
+        let v = Amps::new(2.0) * Ohms::new(3.0);
+        assert_eq!(v, Volts::new(6.0));
+        let e = Watts::new(4.0) * Seconds::new(2.0);
+        assert_eq!(e, Joules::new(8.0));
+        assert_eq!(e / Seconds::new(2.0), Watts::new(4.0));
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        let t = Celsius::new(80.0);
+        assert!((t.to_kelvin() - 353.15).abs() < 1e-12);
+        let back = Celsius::from_kelvin(t.to_kelvin());
+        assert!((back.get() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert!((Seconds::from_micros(1500.0).as_millis() - 1.5).abs() < 1e-12);
+        assert!((Seconds::from_millis(2.0).get() - 2e-3).abs() < 1e-15);
+        assert!((Seconds::from_nanos(250.0).get() - 2.5e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    fn length_constructors() {
+        assert!((Meters::from_mm(21.0).get() - 0.021).abs() < 1e-15);
+        assert!((Meters::from_mm(21.0).as_mm() - 21.0).abs() < 1e-12);
+        assert!((Meters::from_um(200.0).get() - 2e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frequency_period() {
+        let f = Hertz::from_ghz(4.0);
+        assert!((f.period().get() - 0.25e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)]
+            .iter()
+            .sum();
+        assert_eq!(total, Watts::new(6.0));
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(format!("{:.2}", Watts::new(1.234)), "1.23 W");
+        assert_eq!(format!("{}", Celsius::new(66.0)), "66 °C");
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let t = Celsius::new(95.0);
+        assert_eq!(
+            t.clamp(Celsius::new(0.0), Celsius::new(90.0)),
+            Celsius::new(90.0)
+        );
+        assert_eq!(t.max(Celsius::new(100.0)), Celsius::new(100.0));
+        assert_eq!(t.min(Celsius::new(90.0)), Celsius::new(90.0));
+    }
+}

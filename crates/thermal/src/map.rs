@@ -1,0 +1,172 @@
+//! Per-node power injection maps.
+
+use crate::model::ThermalModel;
+use floorplan::{BlockId, VrId};
+use simkit::units::Watts;
+use simkit::{Error, Result};
+
+/// Heat injected into each node of a [`ThermalModel`]'s network.
+///
+/// Block powers are spread over the silicon cells the block covers
+/// (area-weighted); regulator conversion losses are injected into the
+/// cell containing the regulator site.
+///
+/// # Examples
+///
+/// ```
+/// use thermal::{ThermalModel, ThermalConfig, PowerMap};
+/// use floorplan::reference::power8_like;
+/// use simkit::units::Watts;
+///
+/// let chip = power8_like();
+/// let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+/// let mut map = PowerMap::new(&model);
+/// map.add_block(chip.blocks()[0].id(), Watts::new(5.0))?;
+/// map.add_vr(chip.vr_sites()[0].id(), Watts::new(0.2))?;
+/// assert!((map.total().get() - 5.2).abs() < 1e-12);
+/// # Ok::<(), simkit::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMap<'m> {
+    model: &'m ThermalModel,
+    values: Vec<f64>,
+}
+
+impl<'m> PowerMap<'m> {
+    /// An empty (all-zero) map for the given model.
+    pub fn new(model: &'m ThermalModel) -> Self {
+        PowerMap {
+            model,
+            values: vec![0.0; model.node_count()],
+        }
+    }
+
+    /// Adds a block's power, spread area-weighted over its cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for negative or non-finite
+    /// power.
+    pub fn add_block(&mut self, block: BlockId, power: Watts) -> Result<()> {
+        self.validate(power)?;
+        for &(cell, fraction) in self.model.block_coverage(block) {
+            self.values[cell] += power.get() * fraction;
+        }
+        Ok(())
+    }
+
+    /// Adds a regulator's conversion loss into its containing cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for negative or non-finite
+    /// power.
+    pub fn add_vr(&mut self, vr: VrId, loss: Watts) -> Result<()> {
+        self.validate(loss)?;
+        self.values[self.model.vr_cell(vr)] += loss.get();
+        Ok(())
+    }
+
+    /// Adds power at an arbitrary die location (meters), e.g. for custom
+    /// heat sources in what-if studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for negative or non-finite
+    /// power.
+    pub fn add_at(&mut self, x_m: f64, y_m: f64, power: Watts) -> Result<()> {
+        self.validate(power)?;
+        let cell = self.model.cell_of_point(x_m, y_m);
+        self.values[cell] += power.get();
+        Ok(())
+    }
+
+    /// Total injected power.
+    pub fn total(&self) -> Watts {
+        Watts::new(self.values.iter().sum())
+    }
+
+    /// Per-node injected power (watts), silicon cells first.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Resets the map to all zeros (cheaper than building a new one in
+    /// per-step loops).
+    pub fn clear(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn validate(&self, power: Watts) -> Result<()> {
+        if !power.is_finite() || power.get() < 0.0 {
+            return Err(Error::invalid_argument(format!(
+                "injected power must be finite and non-negative, got {power}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalConfig;
+    use floorplan::reference::power8_like;
+
+    #[test]
+    fn block_power_is_conserved() {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        let mut map = PowerMap::new(&model);
+        for block in chip.blocks() {
+            map.add_block(block.id(), Watts::new(2.0)).unwrap();
+        }
+        let expected = 2.0 * chip.blocks().len() as f64;
+        assert!((map.total().get() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vr_loss_lands_in_one_cell() {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        let mut map = PowerMap::new(&model);
+        map.add_vr(chip.vr_sites()[5].id(), Watts::new(0.3)).unwrap();
+        let nonzero = map.values().iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(nonzero, 1);
+        assert!((map.total().get() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        let mut map = PowerMap::new(&model);
+        assert!(map.add_block(chip.blocks()[0].id(), Watts::new(-1.0)).is_err());
+        assert!(map
+            .add_vr(chip.vr_sites()[0].id(), Watts::new(f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        let mut map = PowerMap::new(&model);
+        map.add_block(chip.blocks()[0].id(), Watts::new(4.0)).unwrap();
+        map.clear();
+        assert_eq!(map.total(), Watts::ZERO);
+    }
+
+    #[test]
+    fn add_at_targets_the_right_cell() {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        let mut map = PowerMap::new(&model);
+        // Center of the die.
+        map.add_at(10.5e-3, 10.5e-3, Watts::new(1.0)).unwrap();
+        let idx = map.values().iter().position(|&v| v > 0.0).unwrap();
+        let (nx, _) = model.grid_size();
+        let (i, j) = (idx % nx, idx / nx);
+        assert_eq!((i, j), (16, 16));
+    }
+}

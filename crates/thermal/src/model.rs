@@ -1,0 +1,505 @@
+//! Thermal network assembly and solvers.
+
+use crate::config::ThermalConfig;
+use crate::map::PowerMap;
+use crate::state::ThermalState;
+use floorplan::{BlockId, Floorplan, VrId};
+use simkit::linalg::{CsrMatrix, TripletBuilder};
+use simkit::units::{Celsius, Seconds};
+use simkit::{Error, Result};
+
+/// The assembled compact thermal model of one chip.
+///
+/// Node layout: `nx·ny` silicon cells (row-major from the lower-left),
+/// then `nx·ny` spreader cells, then one lumped sink node.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    nx: usize,
+    ny: usize,
+    n_cells: usize,
+    n_nodes: usize,
+    /// Cell footprint area, m².
+    cell_area: f64,
+    conductance: CsrMatrix,
+    capacitance: Vec<f64>,
+    g_convection: f64,
+    /// Per block: `(silicon cell, fraction of block area)` covering it.
+    block_cells: Vec<Vec<(usize, f64)>>,
+    /// Per regulator: its containing silicon cell.
+    vr_cells: Vec<usize>,
+    die_origin_m: (f64, f64),
+    cell_size_m: (f64, f64),
+}
+
+impl ThermalModel {
+    /// Discretises `chip` and assembles the RC network.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid resolution is zero.
+    pub fn new(chip: &Floorplan, config: ThermalConfig) -> Self {
+        assert!(config.nx > 0 && config.ny > 0, "grid must be non-empty");
+        let nx = config.nx;
+        let ny = config.ny;
+        let n_cells = nx * ny;
+        let n_nodes = 2 * n_cells + 1;
+        let sink = 2 * n_cells;
+
+        let die = chip.die();
+        let die_w = die.width.get();
+        let die_h = die.height.get();
+        let cell_w = die_w / nx as f64;
+        let cell_h = die_h / ny as f64;
+        let cell_area = cell_w * cell_h;
+        let p = &config.package;
+
+        // --- Conductances -------------------------------------------------
+        let g_lat_si_x = p.k_silicon * p.t_silicon * (cell_h / cell_w);
+        let g_lat_si_y = p.k_silicon * p.t_silicon * (cell_w / cell_h);
+        let g_lat_sp_x = p.k_spreader * p.t_spreader * (cell_h / cell_w);
+        let g_lat_sp_y = p.k_spreader * p.t_spreader * (cell_w / cell_h);
+
+        let r_si_half = (p.t_silicon / 2.0) / (p.k_silicon * cell_area);
+        let r_tim = p.t_tim / (p.k_tim * cell_area);
+        let r_sp_half = (p.t_spreader / 2.0) / (p.k_spreader * cell_area);
+        let g_vert_si_sp = 1.0 / (r_si_half + r_tim + r_sp_half);
+        let r_sp_sink = r_sp_half + p.sink_base_resistance * n_cells as f64;
+        let g_vert_sp_sink = 1.0 / r_sp_sink;
+        let g_convection = 1.0 / p.convection_resistance;
+
+        let mut g = TripletBuilder::new(n_nodes, n_nodes);
+        let mut add_edge = |a: usize, b: usize, cond: f64| {
+            g.add(a, a, cond);
+            g.add(b, b, cond);
+            g.add(a, b, -cond);
+            g.add(b, a, -cond);
+        };
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = j * nx + i;
+                let sp = n_cells + c;
+                if i + 1 < nx {
+                    add_edge(c, c + 1, g_lat_si_x);
+                    add_edge(sp, sp + 1, g_lat_sp_x);
+                }
+                if j + 1 < ny {
+                    add_edge(c, c + nx, g_lat_si_y);
+                    add_edge(sp, sp + nx, g_lat_sp_y);
+                }
+                add_edge(c, sp, g_vert_si_sp);
+                add_edge(sp, sink, g_vert_sp_sink);
+            }
+        }
+        // Convection to ambient: diagonal-only (ambient enters the rhs).
+        g.add(sink, sink, g_convection);
+        let conductance = g.build();
+
+        // --- Capacitances --------------------------------------------------
+        let c_si = p.c_silicon * cell_area * p.t_silicon;
+        let c_sp = p.c_spreader * cell_area * p.t_spreader;
+        let mut capacitance = vec![c_si; n_cells];
+        capacitance.extend(std::iter::repeat_n(c_sp, n_cells));
+        capacitance.push(p.sink_capacitance);
+
+        // --- Geometry maps --------------------------------------------------
+        let tiles = die.tiles(nx, ny);
+        let block_cells = chip
+            .blocks()
+            .iter()
+            .map(|block| {
+                let rect = block.rect();
+                let area = rect.area();
+                let mut cover = Vec::new();
+                // Only scan the tile range the block can touch.
+                let x0 = ((rect.origin.x.get() - die.origin.x.get()) / cell_w).floor() as usize;
+                let y0 = ((rect.origin.y.get() - die.origin.y.get()) / cell_h).floor() as usize;
+                let x1 = (((rect.right().get() - die.origin.x.get()) / cell_w).ceil() as usize)
+                    .min(nx);
+                let y1 = (((rect.top().get() - die.origin.y.get()) / cell_h).ceil() as usize)
+                    .min(ny);
+                for j in y0..y1 {
+                    for i in x0..x1 {
+                        let idx = j * nx + i;
+                        let overlap = tiles[idx].intersection_area(&rect);
+                        if overlap > 0.0 {
+                            cover.push((idx, overlap / area));
+                        }
+                    }
+                }
+                cover
+            })
+            .collect();
+        let vr_cells = chip
+            .vr_sites()
+            .iter()
+            .map(|site| {
+                let cx = site.center().x.get() - die.origin.x.get();
+                let cy = site.center().y.get() - die.origin.y.get();
+                let i = ((cx / cell_w) as usize).min(nx - 1);
+                let j = ((cy / cell_h) as usize).min(ny - 1);
+                j * nx + i
+            })
+            .collect();
+
+        ThermalModel {
+            config,
+            nx,
+            ny,
+            n_cells,
+            n_nodes,
+            cell_area,
+            conductance,
+            capacitance,
+            g_convection,
+            block_cells,
+            vr_cells,
+            die_origin_m: (die.origin.x.get(), die.origin.y.get()),
+            cell_size_m: (cell_w, cell_h),
+        }
+    }
+
+    /// The configuration used to build this model.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn grid_size(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of silicon cells.
+    pub fn cell_count(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Total RC-network node count (silicon + spreader + sink).
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Footprint area of one silicon cell, m².
+    pub fn cell_area(&self) -> f64 {
+        self.cell_area
+    }
+
+    /// Ambient temperature of the package.
+    pub fn ambient(&self) -> Celsius {
+        self.config.package.ambient
+    }
+
+    /// `(cell, fraction)` coverage of a block over the silicon grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range.
+    pub(crate) fn block_coverage(&self, block: BlockId) -> &[(usize, f64)] {
+        &self.block_cells[block.0]
+    }
+
+    /// The silicon cell containing a regulator site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the regulator id is out of range.
+    pub(crate) fn vr_cell(&self, vr: VrId) -> usize {
+        self.vr_cells[vr.0]
+    }
+
+    /// The silicon cell containing a die point (clamped to the grid).
+    pub(crate) fn cell_of_point(&self, x_m: f64, y_m: f64) -> usize {
+        let i = (((x_m - self.die_origin_m.0) / self.cell_size_m.0) as usize).min(self.nx - 1);
+        let j = (((y_m - self.die_origin_m.1) / self.cell_size_m.1) as usize).min(self.ny - 1);
+        j * self.nx + i
+    }
+
+    /// The self-heating temperature rise of a regulator above its cell,
+    /// per watt of conversion loss.
+    pub fn vr_self_resistance(&self) -> f64 {
+        self.config.vr_self_resistance
+    }
+
+    /// A uniformly-ambient initial state.
+    pub fn ambient_state(&self) -> ThermalState {
+        ThermalState::uniform(self, self.ambient())
+    }
+
+    fn rhs(&self, power: &PowerMap) -> Vec<f64> {
+        let mut b = power.values().to_vec();
+        b[self.n_nodes - 1] += self.g_convection * self.ambient().get();
+        b
+    }
+
+    /// Steady-state temperatures under a fixed power map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`Error::NonConverged`]) — which do not
+    /// occur for physical (non-negative, finite) power maps.
+    pub fn steady_state(&self, power: &PowerMap) -> Result<ThermalState> {
+        let b = self.rhs(power);
+        let x0 = vec![self.ambient().get(); self.n_nodes];
+        let temps = self.conductance.solve_cg(&b, Some(&x0), 1e-10, 20_000)?;
+        Ok(ThermalState::from_raw(self, temps))
+    }
+
+    /// Iterates steady-state solves against a temperature-dependent power
+    /// map (the HotSpot-in-a-feedback-loop methodology of Section 5:
+    /// leakage depends on temperature, temperature depends on power) until
+    /// the hottest node moves less than `tol_c` between iterations.
+    ///
+    /// Returns the converged state and the number of iterations taken.
+    ///
+    /// # Errors
+    ///
+    /// * Solver failures are propagated;
+    /// * [`Error::NonConverged`] when `max_iter` passes do not reach
+    ///   `tol_c`.
+    pub fn steady_state_with_feedback<'s, F>(
+        &'s self,
+        max_iter: usize,
+        tol_c: f64,
+        mut power_of: F,
+    ) -> Result<(ThermalState, usize)>
+    where
+        F: FnMut(&ThermalState) -> Result<PowerMap<'s>>,
+    {
+        let mut state = self.ambient_state();
+        for iteration in 1..=max_iter {
+            let power = power_of(&state)?;
+            let next = self.steady_state(&power)?;
+            let delta = state.max_abs_difference(&next);
+            state = next;
+            if delta < tol_c {
+                return Ok((state, iteration));
+            }
+        }
+        Err(Error::NonConverged {
+            iterations: max_iter,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Prepares a backward-Euler stepper for a fixed time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not positive.
+    pub fn stepper(&self, dt: Seconds) -> TransientStepper<'_> {
+        assert!(dt.get() > 0.0, "time step must be positive");
+        // A = G + C/dt: same sparsity as G plus (already present) diagonal.
+        let mut b = TripletBuilder::new(self.n_nodes, self.n_nodes);
+        for row in 0..self.n_nodes {
+            b.add(row, row, self.capacitance[row] / dt.get());
+        }
+        let a = add_matrices(&self.conductance, b.build());
+        TransientStepper {
+            model: self,
+            dt,
+            system: a,
+        }
+    }
+}
+
+/// Adds two CSR matrices with identical dimensions (used to form
+/// `G + C/Δt`).
+fn add_matrices(a: &CsrMatrix, b: CsrMatrix) -> CsrMatrix {
+    let mut out = TripletBuilder::new(a.rows(), a.cols());
+    for (row, col, val) in a.iter_entries().chain(b.iter_entries()) {
+        out.add(row, col, val);
+    }
+    out.build()
+}
+
+/// A prepared backward-Euler integrator bound to one [`ThermalModel`] and
+/// a fixed step size.
+#[derive(Debug, Clone)]
+pub struct TransientStepper<'m> {
+    model: &'m ThermalModel,
+    dt: Seconds,
+    system: CsrMatrix,
+}
+
+impl TransientStepper<'_> {
+    /// The fixed step size.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Advances `state` by one step under the given power map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; physical inputs converge.
+    pub fn step(&self, state: &mut ThermalState, power: &PowerMap) -> Result<()> {
+        let n = self.model.n_nodes;
+        let mut b = self.model.rhs(power);
+        let temps = state.raw();
+        for i in 0..n {
+            b[i] += self.model.capacitance[i] / self.dt.get() * temps[i];
+        }
+        let mut x = temps.to_vec();
+        self.system
+            .solve_gauss_seidel(&b, &mut x, 1.1, 1e-7, 2_000)?;
+        state.set_raw(x);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::PowerMap;
+    use floorplan::reference::power8_like;
+    use simkit::units::Watts;
+
+    fn setup() -> (floorplan::Floorplan, ThermalModel) {
+        let chip = power8_like();
+        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+        (chip, model)
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient() {
+        let (_, model) = setup();
+        let power = PowerMap::new(&model);
+        let state = model.steady_state(&power).unwrap();
+        assert!((state.max_silicon().get() - 45.0).abs() < 1e-6);
+        assert!((state.min_silicon().get() - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_power_raises_mean_by_total_times_resistance() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        let total = 100.0;
+        for block in chip.blocks() {
+            power
+                .add_block(block.id(), Watts::new(total / chip.blocks().len() as f64))
+                .unwrap();
+        }
+        let state = model.steady_state(&power).unwrap();
+        // Sink temperature ≈ ambient + P × (R_conv) and silicon sits above
+        // that; with R_conv = 0.12 the sink alone adds 12 °C.
+        let t_mean = state.mean_silicon().get();
+        assert!(t_mean > 45.0 + total * 0.12, "mean {t_mean}");
+        assert!(t_mean < 95.0, "mean {t_mean}");
+    }
+
+    #[test]
+    fn hotspot_forms_under_concentrated_power() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        // Dump 20 W into one EXU only.
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.EXU")
+            .unwrap();
+        power.add_block(exu.id(), Watts::new(20.0)).unwrap();
+        let state = model.steady_state(&power).unwrap();
+        let t_exu = state.block_temperature(&model, exu.id());
+        let far = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core3.EXU")
+            .unwrap();
+        let t_far = state.block_temperature(&model, far.id());
+        assert!(
+            t_exu.get() > t_far.get() + 5.0,
+            "exu {t_exu} vs far {t_far}"
+        );
+        assert!(state.gradient() > 5.0);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(1.0)).unwrap();
+        }
+        let steady = model.steady_state(&power).unwrap();
+        // The sink's RC time constant is ~17 s; backward Euler is
+        // unconditionally stable, so march 120 simulated seconds in 2 s
+        // steps to let the whole stack settle.
+        let stepper = model.stepper(Seconds::new(2.0));
+        let mut state = model.ambient_state();
+        for _ in 0..60 {
+            stepper.step(&mut state, &power).unwrap();
+        }
+        let gap = (steady.max_silicon().get() - state.max_silicon().get()).abs();
+        assert!(gap < 0.5, "gap {gap}");
+    }
+
+    #[test]
+    fn transient_step_moves_towards_heat() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.EXU")
+            .unwrap();
+        power.add_block(exu.id(), Watts::new(10.0)).unwrap();
+        let stepper = model.stepper(Seconds::from_micros(100.0));
+        let mut state = model.ambient_state();
+        stepper.step(&mut state, &power).unwrap();
+        let after_one = state.block_temperature(&model, exu.id());
+        assert!(after_one.get() > 45.0);
+        for _ in 0..9 {
+            stepper.step(&mut state, &power).unwrap();
+        }
+        let after_ten = state.block_temperature(&model, exu.id());
+        assert!(after_ten > after_one);
+    }
+
+    #[test]
+    fn vr_self_heating_is_visible() {
+        let (chip, model) = setup();
+        let power = PowerMap::new(&model);
+        let state = model.steady_state(&power).unwrap();
+        let vr = chip.vr_sites()[0].id();
+        let cold = state.vr_temperature(&model, vr, Watts::ZERO);
+        let hot = state.vr_temperature(&model, vr, Watts::new(0.5));
+        assert!((hot.get() - cold.get() - 0.5 * model.vr_self_resistance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_loop_converges() {
+        let (chip, model) = setup();
+        let blocks: Vec<_> = chip.blocks().iter().map(|b| b.id()).collect();
+        let (state, iters) = model
+            .steady_state_with_feedback(50, 0.01, |state| {
+                let mut pm = PowerMap::new(&model);
+                for &b in &blocks {
+                    // Mildly temperature-dependent power (like leakage).
+                    let t = state.block_temperature(&model, b).get();
+                    let p = 1.0 + 0.01 * (t - 45.0);
+                    pm.add_block(b, Watts::new(p))?;
+                }
+                Ok(pm)
+            })
+            .unwrap();
+        assert!(iters >= 2, "took {iters} iterations");
+        assert!(state.max_silicon().get() > 45.0);
+    }
+
+    #[test]
+    fn block_coverage_fractions_sum_to_one() {
+        let (chip, model) = setup();
+        for block in chip.blocks() {
+            let sum: f64 = model.block_coverage(block.id()).iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "block {}", block.name());
+        }
+    }
+
+    #[test]
+    fn node_counts() {
+        let (_, model) = setup();
+        assert_eq!(model.grid_size(), (32, 32));
+        assert_eq!(model.cell_count(), 1024);
+        assert_eq!(model.node_count(), 2049);
+    }
+}

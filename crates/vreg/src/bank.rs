@@ -1,0 +1,263 @@
+//! A parallel network of identical component regulators in one
+//! Vdd-domain — the object that regulator gating reconfigures.
+
+use crate::design::RegulatorDesign;
+use simkit::units::{Amps, Volts, Watts};
+use simkit::{Error, Result};
+
+/// A Vdd-domain's bank of `total` electrically identical component
+/// regulators connected in parallel.
+///
+/// Active regulators share the domain's load current evenly (the phases
+/// of a multi-phase regulator interleave by construction; POWER8
+/// microregulators balance via their common output grid). The bank knows
+/// how many regulators must be on to supply a demand at peak efficiency,
+/// and what conversion loss each active regulator dissipates.
+///
+/// # Examples
+///
+/// ```
+/// use vreg::{RegulatorBank, RegulatorDesign};
+/// use simkit::units::{Amps, Volts};
+///
+/// let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+/// let n_on = bank.required_active(Amps::new(7.0));
+/// assert_eq!(n_on, 5);
+/// let loss = bank.per_regulator_loss(Amps::new(7.0), n_on, Volts::new(1.03))?;
+/// assert!(loss.get() > 0.0);
+/// # Ok::<(), simkit::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegulatorBank {
+    design: RegulatorDesign,
+    total: usize,
+}
+
+impl RegulatorBank {
+    /// Creates a bank of `total` component regulators of one design.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total` is zero.
+    pub fn new(design: RegulatorDesign, total: usize) -> Self {
+        assert!(total > 0, "a bank needs at least one regulator");
+        RegulatorBank { design, total }
+    }
+
+    /// The common component-regulator design.
+    pub fn design(&self) -> &RegulatorDesign {
+        &self.design
+    }
+
+    /// Number of component regulators in the bank.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Maximum current the full bank can deliver (at the curve's edge,
+    /// past peak efficiency).
+    pub fn max_current(&self) -> Amps {
+        let (_, hi) = self.design.curve().current_domain();
+        hi * self.total as f64
+    }
+
+    /// Minimum number of active regulators that can supply `demand` while
+    /// operating at (or as close as possible to) peak efficiency — the
+    /// `n_on` of the paper.
+    ///
+    /// Each component regulator peaks at `I_peak`; loading the active set
+    /// so that each carries at most `I_peak` keeps everyone on the flat
+    /// top of its curve, so `n_on = ceil(demand / I_peak)`, clamped to
+    /// `[1, total]`. Zero or negative demand still keeps one regulator on
+    /// (the domain is never unpowered).
+    pub fn required_active(&self, demand: Amps) -> usize {
+        if demand.get() <= 0.0 {
+            return 1;
+        }
+        let n = (demand.get() / self.design.peak_current().get()).ceil() as usize;
+        n.clamp(1, self.total)
+    }
+
+    /// Per-regulator load current when `n_on` regulators share `demand`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `n_on` is zero or exceeds
+    /// the bank size.
+    pub fn per_regulator_current(&self, demand: Amps, n_on: usize) -> Result<Amps> {
+        self.validate_n_on(n_on)?;
+        Ok(Amps::new(demand.get().max(0.0) / n_on as f64))
+    }
+
+    /// Effective conversion efficiency of the bank when `n_on` regulators
+    /// share `demand` evenly — every active regulator operates at the
+    /// same point of the common curve, so the bank efficiency equals the
+    /// per-regulator efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `n_on` is invalid.
+    pub fn efficiency(&self, demand: Amps, n_on: usize) -> Result<f64> {
+        let share = self.per_regulator_current(demand, n_on)?;
+        Ok(self.design.curve().eval(share))
+    }
+
+    /// Conversion loss dissipated by **each** active regulator
+    /// (Eqn. 1 of the paper: `P_loss = P_out · (1/η − 1)` split over the
+    /// active set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `n_on` is invalid.
+    pub fn per_regulator_loss(&self, demand: Amps, n_on: usize, vdd: Volts) -> Result<Watts> {
+        let share = self.per_regulator_current(demand, n_on)?;
+        let eta = self.design.curve().eval(share);
+        let pout = vdd * share;
+        Ok(pout * (1.0 / eta - 1.0))
+    }
+
+    /// Total conversion loss over the whole active set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `n_on` is invalid.
+    pub fn total_loss(&self, demand: Amps, n_on: usize, vdd: Volts) -> Result<Watts> {
+        Ok(self.per_regulator_loss(demand, n_on, vdd)? * n_on as f64)
+    }
+
+    /// The bank's *effective* efficiency curve under ideal gating: for a
+    /// sweep of demands, the efficiency achieved when `n_on` is chosen by
+    /// [`RegulatorBank::required_active`]. This is the near-flat dotted
+    /// line of Fig. 2/5.
+    ///
+    /// Returns `(demand amps, η)` pairs for `samples` points spanning
+    /// `(0, max]`.
+    pub fn effective_curve(&self, max_demand: Amps, samples: usize) -> Vec<(f64, f64)> {
+        (1..=samples)
+            .map(|k| {
+                let demand = max_demand * (k as f64 / samples as f64);
+                let n_on = self.required_active(demand);
+                let eta = self
+                    .efficiency(demand, n_on)
+                    .expect("required_active yields valid n_on");
+                (demand.get(), eta)
+            })
+            .collect()
+    }
+
+    fn validate_n_on(&self, n_on: usize) -> Result<()> {
+        if n_on == 0 || n_on > self.total {
+            return Err(Error::invalid_argument(format!(
+                "n_on {n_on} outside [1, {}]",
+                self.total
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::RegulatorDesign;
+
+    fn core_bank() -> RegulatorBank {
+        RegulatorBank::new(RegulatorDesign::fivr(), 9)
+    }
+
+    #[test]
+    fn required_active_rounds_up() {
+        let bank = core_bank();
+        // 1.5 A per phase at peak.
+        assert_eq!(bank.required_active(Amps::new(0.1)), 1);
+        assert_eq!(bank.required_active(Amps::new(1.5)), 1);
+        assert_eq!(bank.required_active(Amps::new(1.51)), 2);
+        assert_eq!(bank.required_active(Amps::new(13.4)), 9);
+    }
+
+    #[test]
+    fn required_active_clamps_to_bank_size() {
+        let bank = core_bank();
+        assert_eq!(bank.required_active(Amps::new(100.0)), 9);
+    }
+
+    #[test]
+    fn zero_demand_keeps_one_on() {
+        let bank = core_bank();
+        assert_eq!(bank.required_active(Amps::ZERO), 1);
+        assert_eq!(bank.required_active(Amps::new(-1.0)), 1);
+    }
+
+    #[test]
+    fn even_current_sharing() {
+        let bank = core_bank();
+        let share = bank.per_regulator_current(Amps::new(6.0), 4).unwrap();
+        assert!((share.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gating_beats_all_on_at_light_load() {
+        // The central premise of Fig. 7: at light load, keeping all
+        // regulators on wastes conversion efficiency.
+        let bank = core_bank();
+        let demand = Amps::new(2.0);
+        let gated = bank
+            .efficiency(demand, bank.required_active(demand))
+            .unwrap();
+        let all_on = bank.efficiency(demand, 9).unwrap();
+        assert!(gated > all_on + 0.05, "gated {gated} vs all-on {all_on}");
+    }
+
+    #[test]
+    fn effective_curve_is_near_flat() {
+        let bank = core_bank();
+        let curve = bank.effective_curve(Amps::new(13.5), 100);
+        // Past the first phase's ramp-up region, gating holds efficiency
+        // within a few percent of peak.
+        let floor = curve
+            .iter()
+            .filter(|&&(i, _)| i > 1.0)
+            .map(|&(_, eta)| eta)
+            .fold(f64::INFINITY, f64::min);
+        assert!(floor > 0.85, "effective-curve floor {floor}");
+    }
+
+    #[test]
+    fn per_regulator_loss_matches_eqn1() {
+        let bank = core_bank();
+        let vdd = Volts::new(1.03);
+        let demand = Amps::new(1.5);
+        let loss = bank.per_regulator_loss(demand, 1, vdd).unwrap();
+        // At peak: Pout = 1.03 × 1.5 = 1.545 W, η = 0.9 → loss ≈ 0.1717 W.
+        let expected = 1.03 * 1.5 * (1.0 / 0.9 - 1.0);
+        assert!((loss.get() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_loss_scales_with_active_set() {
+        let bank = core_bank();
+        let vdd = Volts::new(1.03);
+        let total = bank.total_loss(Amps::new(3.0), 2, vdd).unwrap();
+        let per = bank.per_regulator_loss(Amps::new(3.0), 2, vdd).unwrap();
+        assert!((total.get() - 2.0 * per.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_n_on_is_rejected() {
+        let bank = core_bank();
+        assert!(bank.efficiency(Amps::new(1.0), 0).is_err());
+        assert!(bank.efficiency(Amps::new(1.0), 10).is_err());
+    }
+
+    #[test]
+    fn max_current_covers_tdp_class_demand() {
+        let bank = core_bank();
+        assert!(bank.max_current().get() > 13.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one regulator")]
+    fn zero_size_bank_panics() {
+        RegulatorBank::new(RegulatorDesign::fivr(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-domain regulator on/off state.
+
+use floorplan::VrId;
+use simkit::{Error, Result};
+
+/// The on/off state of every component regulator on the chip.
+///
+/// Indexed by the chip-global [`VrId`] of the `floorplan` crate. Policies
+/// produce a new `GatingState` at every decision point; the engine diffs
+/// consecutive states to know which regulators toggled.
+///
+/// # Examples
+///
+/// ```
+/// use vreg::GatingState;
+/// use floorplan::VrId;
+///
+/// let mut state = GatingState::all_on(4);
+/// state.set(VrId(2), false)?;
+/// assert!(!state.is_on(VrId(2)));
+/// assert_eq!(state.active_count(), 3);
+/// # Ok::<(), simkit::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatingState {
+    on: Vec<bool>,
+}
+
+impl GatingState {
+    /// All `count` regulators on — the paper's `all-on` baseline.
+    pub fn all_on(count: usize) -> Self {
+        GatingState {
+            on: vec![true; count],
+        }
+    }
+
+    /// All `count` regulators off (the `off-chip` baseline, where on-chip
+    /// regulators contribute no conversion-loss heat).
+    pub fn all_off(count: usize) -> Self {
+        GatingState {
+            on: vec![false; count],
+        }
+    }
+
+    /// Number of regulators tracked.
+    pub fn len(&self) -> usize {
+        self.on.len()
+    }
+
+    /// Whether the state tracks no regulators.
+    pub fn is_empty(&self) -> bool {
+        self.on.is_empty()
+    }
+
+    /// Whether regulator `id` is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn is_on(&self, id: VrId) -> bool {
+        self.on[id.0]
+    }
+
+    /// Sets regulator `id` on or off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `id` is out of range.
+    pub fn set(&mut self, id: VrId, on: bool) -> Result<()> {
+        let len = self.on.len();
+        let slot = self
+            .on
+            .get_mut(id.0)
+            .ok_or_else(|| Error::invalid_argument(format!("{id} outside gating state of {len}")))?;
+        *slot = on;
+        Ok(())
+    }
+
+    /// Total number of active regulators.
+    pub fn active_count(&self) -> usize {
+        self.on.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of active regulators among `ids` (e.g. one domain's set).
+    pub fn active_among(&self, ids: &[VrId]) -> usize {
+        ids.iter().filter(|&&id| self.is_on(id)).count()
+    }
+
+    /// Iterator over the ids of all active regulators.
+    pub fn iter_on(&self) -> impl Iterator<Item = VrId> + '_ {
+        self.on
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| VrId(i))
+    }
+
+    /// Ids that changed between `before` and `self`, as
+    /// `(id, now_on)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the two states track a
+    /// different number of regulators.
+    pub fn diff(&self, before: &GatingState) -> Result<Vec<(VrId, bool)>> {
+        if self.on.len() != before.on.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.on.len(),
+                actual: before.on.len(),
+            });
+        }
+        Ok(self
+            .on
+            .iter()
+            .zip(&before.on)
+            .enumerate()
+            .filter(|(_, (now, was))| now != was)
+            .map(|(i, (&now, _))| (VrId(i), now))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_on_and_all_off() {
+        let on = GatingState::all_on(5);
+        assert_eq!(on.active_count(), 5);
+        let off = GatingState::all_off(5);
+        assert_eq!(off.active_count(), 0);
+        assert_eq!(on.len(), 5);
+        assert!(!on.is_empty());
+    }
+
+    #[test]
+    fn set_and_query() {
+        let mut s = GatingState::all_off(3);
+        s.set(VrId(1), true).unwrap();
+        assert!(s.is_on(VrId(1)));
+        assert!(!s.is_on(VrId(0)));
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn set_out_of_range_errors() {
+        let mut s = GatingState::all_on(2);
+        assert!(s.set(VrId(2), false).is_err());
+    }
+
+    #[test]
+    fn active_among_subset() {
+        let mut s = GatingState::all_on(6);
+        s.set(VrId(0), false).unwrap();
+        s.set(VrId(4), false).unwrap();
+        assert_eq!(s.active_among(&[VrId(0), VrId(1), VrId(4)]), 1);
+    }
+
+    #[test]
+    fn iter_on_lists_active_ids() {
+        let mut s = GatingState::all_off(4);
+        s.set(VrId(1), true).unwrap();
+        s.set(VrId(3), true).unwrap();
+        let ids: Vec<_> = s.iter_on().collect();
+        assert_eq!(ids, vec![VrId(1), VrId(3)]);
+    }
+
+    #[test]
+    fn diff_reports_toggles() {
+        let before = GatingState::all_on(3);
+        let mut after = before.clone();
+        after.set(VrId(2), false).unwrap();
+        let changes = after.diff(&before).unwrap();
+        assert_eq!(changes, vec![(VrId(2), false)]);
+    }
+
+    #[test]
+    fn diff_size_mismatch_errors() {
+        let a = GatingState::all_on(2);
+        let b = GatingState::all_on(3);
+        assert!(a.diff(&b).is_err());
+    }
+}

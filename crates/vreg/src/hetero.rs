@@ -1,0 +1,324 @@
+//! Heterogeneous regulator networks.
+//!
+//! Section 3.1 of the paper notes that the component regulators of a
+//! distributed power delivery network "can be homogeneous or
+//! heterogeneous in terms of circuit topology and other electrical
+//! characteristics" (after Vaisband & Friedman). A
+//! [`HeterogeneousBank`] mixes different designs in one Vdd-domain:
+//! e.g. a couple of large, efficient buck phases for the base load plus
+//! small fast LDOs for trimming — and generalises the gating arithmetic
+//! of [`crate::RegulatorBank`] to that setting.
+
+use crate::design::RegulatorDesign;
+use simkit::units::{Amps, Volts, Watts};
+use simkit::{Error, Result};
+
+/// A parallel network of *different* component regulators in one domain.
+///
+/// Active members share the load current in proportion to their peak
+/// currents, so every active member operates at the same fraction of its
+/// own design point — the policy that keeps a mixed network at its
+/// collective peak efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use vreg::{HeterogeneousBank, RegulatorDesign};
+/// use simkit::units::Amps;
+///
+/// // Two big buck phases + two small LDO trimmers.
+/// let bank = HeterogeneousBank::new(vec![
+///     RegulatorDesign::fivr(),
+///     RegulatorDesign::fivr(),
+///     RegulatorDesign::power8_ldo(),
+///     RegulatorDesign::power8_ldo(),
+/// ]);
+/// let active = bank.required_active(Amps::new(2.0));
+/// assert!(!active.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeterogeneousBank {
+    members: Vec<RegulatorDesign>,
+}
+
+impl HeterogeneousBank {
+    /// Creates a bank from the member designs (order defines member
+    /// indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty.
+    pub fn new(members: Vec<RegulatorDesign>) -> Self {
+        assert!(!members.is_empty(), "a bank needs at least one regulator");
+        HeterogeneousBank { members }
+    }
+
+    /// The member designs.
+    pub fn members(&self) -> &[RegulatorDesign] {
+        &self.members
+    }
+
+    /// Number of member regulators.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the bank has no members (never true — construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Sum of the members' peak currents — the demand the whole bank can
+    /// carry at collective peak efficiency.
+    pub fn peak_capacity(&self) -> Amps {
+        self.members.iter().map(|m| m.peak_current()).sum()
+    }
+
+    /// The minimal member subset (by index) that can carry `demand` at
+    /// peak efficiency: members are activated in descending peak-current
+    /// order (big phases first, small trimmers last) until the summed
+    /// peak capacity covers the demand. At least one member stays on.
+    pub fn required_active(&self, demand: Amps) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.members.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.members[b]
+                .peak_current()
+                .partial_cmp(&self.members[a].peak_current())
+                .expect("finite currents")
+                .then(a.cmp(&b))
+        });
+        let mut active = Vec::new();
+        let mut capacity = Amps::ZERO;
+        for idx in order {
+            active.push(idx);
+            capacity += self.members[idx].peak_current();
+            if capacity.get() >= demand.get() {
+                break;
+            }
+        }
+        active.sort_unstable();
+        active
+    }
+
+    /// Per-member load currents when the members in `active` share
+    /// `demand` proportionally to their peak currents. Inactive members
+    /// carry zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `active` is empty or
+    /// contains an out-of-range or duplicate index.
+    pub fn share_currents(&self, demand: Amps, active: &[usize]) -> Result<Vec<Amps>> {
+        self.validate_active(active)?;
+        let capacity: f64 = active
+            .iter()
+            .map(|&i| self.members[i].peak_current().get())
+            .sum();
+        let mut shares = vec![Amps::ZERO; self.members.len()];
+        let demand = demand.get().max(0.0);
+        for &i in active {
+            let fraction = self.members[i].peak_current().get() / capacity;
+            shares[i] = Amps::new(demand * fraction);
+        }
+        Ok(shares)
+    }
+
+    /// The bank's effective conversion efficiency for `demand` over the
+    /// given active set (output power over input power, aggregated over
+    /// members at their individual operating points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `active` is invalid.
+    pub fn efficiency(&self, demand: Amps, active: &[usize]) -> Result<f64> {
+        let shares = self.share_currents(demand, active)?;
+        if demand.get() <= 0.0 {
+            // No load: define efficiency as the active members' mean
+            // light-load efficiency.
+            let mean = active
+                .iter()
+                .map(|&i| self.members[i].curve().eval(Amps::ZERO))
+                .sum::<f64>()
+                / active.len() as f64;
+            return Ok(mean);
+        }
+        let mut pout = 0.0;
+        let mut pin = 0.0;
+        for &i in active {
+            let share = shares[i].get();
+            if share == 0.0 {
+                continue;
+            }
+            let eta = self.members[i].curve().eval(shares[i]);
+            pout += share;
+            pin += share / eta;
+        }
+        Ok(pout / pin)
+    }
+
+    /// Per-member conversion losses (watts) for `demand` over `active`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `active` is invalid.
+    pub fn member_losses(
+        &self,
+        demand: Amps,
+        active: &[usize],
+        vdd: Volts,
+    ) -> Result<Vec<Watts>> {
+        let shares = self.share_currents(demand, active)?;
+        Ok(shares
+            .iter()
+            .enumerate()
+            .map(|(i, &share)| {
+                if share.get() == 0.0 {
+                    Watts::ZERO
+                } else {
+                    let eta = self.members[i].curve().eval(share);
+                    (vdd * share) * (1.0 / eta - 1.0)
+                }
+            })
+            .collect())
+    }
+
+    fn validate_active(&self, active: &[usize]) -> Result<()> {
+        if active.is_empty() {
+            return Err(Error::invalid_argument("active set must not be empty"));
+        }
+        let mut seen = vec![false; self.members.len()];
+        for &i in active {
+            if i >= self.members.len() {
+                return Err(Error::invalid_argument(format!(
+                    "member {i} outside bank of {}",
+                    self.members.len()
+                )));
+            }
+            if seen[i] {
+                return Err(Error::invalid_argument(format!("duplicate member {i}")));
+            }
+            seen[i] = true;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::EfficiencyCurve;
+    use crate::design::RegulatorTopology;
+    use simkit::units::Seconds;
+
+    /// A small trimmer design: 0.5 A at 85 % peak.
+    fn trimmer() -> RegulatorDesign {
+        RegulatorDesign::new(
+            "trim",
+            RegulatorTopology::LowDropout,
+            EfficiencyCurve::scaled_reference(0.85, Amps::new(0.5)).unwrap(),
+            20.0,
+            Seconds::from_nanos(1.0),
+        )
+    }
+
+    fn mixed_bank() -> HeterogeneousBank {
+        HeterogeneousBank::new(vec![
+            RegulatorDesign::fivr(),   // 1.5 A
+            RegulatorDesign::fivr(),   // 1.5 A
+            trimmer(),                 // 0.5 A
+            trimmer(),                 // 0.5 A
+        ])
+    }
+
+    #[test]
+    fn capacity_sums_members() {
+        let bank = mixed_bank();
+        assert!((bank.peak_capacity().get() - 4.0).abs() < 1e-12);
+        assert_eq!(bank.len(), 4);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    fn required_active_prefers_big_phases() {
+        let bank = mixed_bank();
+        // 1 A fits in one big phase.
+        assert_eq!(bank.required_active(Amps::new(1.0)), vec![0]);
+        // 2.5 A needs both big phases.
+        assert_eq!(bank.required_active(Amps::new(2.5)), vec![0, 1]);
+        // 3.2 A pulls in a trimmer.
+        assert_eq!(bank.required_active(Amps::new(3.2)), vec![0, 1, 2]);
+        // Zero demand keeps one regulator on.
+        assert_eq!(bank.required_active(Amps::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn shares_are_proportional_to_peaks() {
+        let bank = mixed_bank();
+        let shares = bank.share_currents(Amps::new(3.5), &[0, 1, 2]).unwrap();
+        // Capacities 1.5/1.5/0.5 → shares 1.5, 1.5, 0.5.
+        assert!((shares[0].get() - 1.5).abs() < 1e-12);
+        assert!((shares[1].get() - 1.5).abs() < 1e-12);
+        assert!((shares[2].get() - 0.5).abs() < 1e-12);
+        assert_eq!(shares[3], Amps::ZERO);
+        // Conservation.
+        let total: f64 = shares.iter().map(|s| s.get()).sum();
+        assert!((total - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_load_runs_everyone_at_their_peak() {
+        let bank = mixed_bank();
+        let active = vec![0, 1, 2, 3];
+        let eta = bank.efficiency(bank.peak_capacity(), &active).unwrap();
+        // Aggregated: between the trimmer's 85 % and the bucks' 90 %.
+        assert!(eta > 0.85 && eta < 0.90, "η {eta}");
+    }
+
+    #[test]
+    fn gating_helps_mixed_banks_too() {
+        let bank = mixed_bank();
+        let demand = Amps::new(1.2);
+        let gated = bank
+            .efficiency(demand, &bank.required_active(demand))
+            .unwrap();
+        let all_on = bank.efficiency(demand, &[0, 1, 2, 3]).unwrap();
+        assert!(gated > all_on, "gated {gated} vs all-on {all_on}");
+    }
+
+    #[test]
+    fn losses_match_efficiency_accounting() {
+        let bank = mixed_bank();
+        let vdd = Volts::new(1.03);
+        let demand = Amps::new(3.0);
+        let active = vec![0, 1, 2, 3];
+        let losses = bank.member_losses(demand, &active, vdd).unwrap();
+        let total_loss: f64 = losses.iter().map(|l| l.get()).sum();
+        let eta = bank.efficiency(demand, &active).unwrap();
+        let pout = vdd.get() * demand.get();
+        let expected = pout * (1.0 / eta - 1.0);
+        assert!((total_loss - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_active_sets_are_rejected() {
+        let bank = mixed_bank();
+        assert!(bank.share_currents(Amps::new(1.0), &[]).is_err());
+        assert!(bank.share_currents(Amps::new(1.0), &[7]).is_err());
+        assert!(bank.share_currents(Amps::new(1.0), &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn zero_demand_efficiency_is_light_load() {
+        let bank = mixed_bank();
+        let eta = bank.efficiency(Amps::ZERO, &[0]).unwrap();
+        // Light-load efficiency of one buck phase.
+        assert!(eta < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one regulator")]
+    fn empty_bank_panics() {
+        HeterogeneousBank::new(vec![]);
+    }
+}

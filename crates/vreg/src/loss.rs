@@ -1,0 +1,101 @@
+//! Conversion-loss accounting and cooling limits.
+//!
+//! Implements Eqn. 1 of the paper — `P_loss = P_out · (1/η − 1)` — and the
+//! Section 2 case study that motivates the whole work: at Haswell's
+//! reported 33.6 W/mm² output density and 90 % peak efficiency, the loss
+//! density of 3.7 W/mm² already exceeds the ~1.5 W/mm² air-cooling limit.
+
+use simkit::units::Watts;
+
+/// Air-cooling heat-flux limit, W/mm² (Huang et al.).
+pub const AIR_COOLING_LIMIT_W_MM2: f64 = 1.5;
+
+/// Microchannel (liquid) cooling heat-flux limit, W/mm².
+pub const MICROCHANNEL_COOLING_LIMIT_W_MM2: f64 = 7.9;
+
+/// Conversion loss for a given output power and efficiency —
+/// Eqn. 1: `P_loss = P_out × (1/η − 1)`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `eta` is outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use vreg::loss::conversion_loss;
+/// use simkit::units::Watts;
+///
+/// let loss = conversion_loss(Watts::new(9.0), 0.9);
+/// assert!((loss.get() - 1.0).abs() < 1e-12);
+/// ```
+pub fn conversion_loss(p_out: Watts, eta: f64) -> Watts {
+    debug_assert!(eta > 0.0 && eta <= 1.0, "η outside (0, 1]: {eta}");
+    p_out * (1.0 / eta - 1.0)
+}
+
+/// Input power drawn from the upstream converter for a given output power
+/// and efficiency: `P_in = P_out / η`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `eta` is outside `(0, 1]`.
+pub fn input_power(p_out: Watts, eta: f64) -> Watts {
+    debug_assert!(eta > 0.0 && eta <= 1.0, "η outside (0, 1]: {eta}");
+    p_out / eta
+}
+
+/// Loss heat-flux density in W/mm² for a regulator of the given footprint.
+pub fn loss_density_w_mm2(p_loss: Watts, area_mm2: f64) -> f64 {
+    debug_assert!(area_mm2 > 0.0);
+    p_loss.get() / area_mm2
+}
+
+/// Whether a loss density exceeds the air-cooling limit — the paper's
+/// criterion for a regulator being able to cause a thermal emergency on
+/// its own.
+pub fn exceeds_air_cooling(loss_density_w_mm2: f64) -> bool {
+    loss_density_w_mm2 > AIR_COOLING_LIMIT_W_MM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqn1_at_90_percent() {
+        // η = 0.9 → loss is 1/9 of output power.
+        let loss = conversion_loss(Watts::new(90.0), 0.9);
+        assert!((loss.get() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_efficiency_has_no_loss() {
+        assert_eq!(conversion_loss(Watts::new(50.0), 1.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn input_power_is_output_over_eta() {
+        let pin = input_power(Watts::new(45.0), 0.9);
+        assert!((pin.get() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haswell_case_study() {
+        // Section 2: P_out/area = 33.6 W/mm², η_peak = 90 % →
+        // loss density ≈ 3.7 W/mm², above air cooling but below
+        // microchannel cooling.
+        let area_mm2 = 1.0;
+        let p_out = Watts::new(33.6);
+        let loss = conversion_loss(p_out, 0.90);
+        let density = loss_density_w_mm2(loss, area_mm2);
+        assert!((density - 3.733).abs() < 0.01, "density {density}");
+        assert!(exceeds_air_cooling(density));
+        assert!(density < MICROCHANNEL_COOLING_LIMIT_W_MM2);
+    }
+
+    #[test]
+    fn low_density_is_coolable() {
+        assert!(!exceeds_air_cooling(1.0));
+    }
+}

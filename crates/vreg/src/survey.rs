@@ -1,0 +1,201 @@
+//! The ISSCC 2015 regulator survey behind Fig. 1 of the paper.
+//!
+//! Fig. 1 plots the reported conversion efficiency of eight recent,
+//! highly optimized integrated regulators over output load currents
+//! spanning seven decades (0.01 mA – 10 A). The exact measured curves are
+//! only published as figures; this module encodes representative
+//! breakpoint tables reconstructed from each paper's headline numbers
+//! (peak efficiency, rated load range), which is sufficient to regenerate
+//! the figure's shape: every design peaks somewhere in its rated range and
+//! degrades off-peak.
+
+use crate::curve::EfficiencyCurve;
+
+/// One surveyed design: citation tag, description, and its η(I_out)
+/// curve with currents in **amps**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyEntry {
+    /// Citation tag as printed in Fig. 1 (e.g. `"[15]"`).
+    pub tag: &'static str,
+    /// Short description of the design.
+    pub description: &'static str,
+    /// Reported efficiency curve.
+    pub curve: EfficiencyCurve,
+}
+
+/// Returns the eight surveyed ISSCC 2015 designs of Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// let survey = vreg::survey::isscc2015();
+/// assert_eq!(survey.len(), 8);
+/// // Every design peaks between 40 % and 95 %:
+/// for entry in &survey {
+///     let peak = entry.curve.peak_efficiency();
+///     assert!(peak > 0.40 && peak < 0.95, "{} peak {peak}", entry.tag);
+/// }
+/// ```
+pub fn isscc2015() -> Vec<SurveyEntry> {
+    let mk = |points: &[(f64, f64)]| {
+        EfficiencyCurve::from_points(points.to_vec()).expect("static survey tables are valid")
+    };
+    vec![
+        SurveyEntry {
+            tag: "[15]",
+            description: "Kim et al. — 4-phase time-based buck, 87% peak",
+            curve: mk(&[
+                (0.001, 0.55),
+                (0.005, 0.68),
+                (0.020, 0.78),
+                (0.080, 0.85),
+                (0.200, 0.87),
+                (0.500, 0.84),
+                (1.000, 0.78),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[29]",
+            description: "Park et al. — biomedical PWM buck, >80% in µA loads",
+            curve: mk(&[
+                (0.000045, 0.62),
+                (0.000200, 0.74),
+                (0.000800, 0.81),
+                (0.002000, 0.83),
+                (0.004000, 0.81),
+                (0.010000, 0.72),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[37]",
+            description: "Su et al. — single-inductor multiple-output buck, 90% peak",
+            curve: mk(&[
+                (0.010, 0.60),
+                (0.050, 0.75),
+                (0.200, 0.85),
+                (0.600, 0.90),
+                (1.500, 0.87),
+                (3.000, 0.80),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[36]",
+            description: "Song et al. — 4-phase GaN DC-DC, 8.4 W",
+            curve: mk(&[
+                (0.050, 0.58),
+                (0.200, 0.74),
+                (0.800, 0.86),
+                (2.000, 0.91),
+                (5.000, 0.88),
+                (8.000, 0.83),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[31]",
+            description: "Schaef et al. — 3-phase resonant SC, 85% at 0.91 W/mm²",
+            curve: mk(&[
+                (0.020, 0.55),
+                (0.100, 0.72),
+                (0.400, 0.82),
+                (1.000, 0.85),
+                (2.000, 0.82),
+                (4.000, 0.74),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[1]",
+            description: "Andersen et al. — feedforward SC, 10 W in 32 nm SOI",
+            curve: mk(&[
+                (0.100, 0.60),
+                (0.500, 0.76),
+                (2.000, 0.85),
+                (6.000, 0.88),
+                (10.000, 0.86),
+                (15.000, 0.80),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[26]",
+            description: "Lu et al. — 123-phase converter ring with fast DVS",
+            curve: mk(&[
+                (0.010, 0.52),
+                (0.060, 0.68),
+                (0.300, 0.79),
+                (1.000, 0.83),
+                (3.000, 0.80),
+                (6.000, 0.72),
+            ]),
+        },
+        SurveyEntry {
+            tag: "[14]",
+            description: "Jiang et al. — 2/3-phase fully integrated SC in bulk CMOS",
+            curve: mk(&[
+                (0.0005, 0.50),
+                (0.0030, 0.64),
+                (0.0150, 0.74),
+                (0.0600, 0.80),
+                (0.2000, 0.77),
+                (0.5000, 0.68),
+            ]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::units::Amps;
+
+    #[test]
+    fn survey_has_eight_entries_with_unique_tags() {
+        let survey = isscc2015();
+        assert_eq!(survey.len(), 8);
+        let mut tags: Vec<_> = survey.iter().map(|e| e.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 8);
+    }
+
+    #[test]
+    fn currents_span_fig1_axis() {
+        // Fig. 1's x-axis runs from 0.01 mA to 10 A; the survey must cover
+        // several decades on both ends.
+        let survey = isscc2015();
+        let min_i = survey
+            .iter()
+            .map(|e| e.curve.current_domain().0.get())
+            .fold(f64::INFINITY, f64::min);
+        let max_i = survey
+            .iter()
+            .map(|e| e.curve.current_domain().1.get())
+            .fold(0.0, f64::max);
+        assert!(min_i < 1e-4, "min {min_i}");
+        assert!(max_i > 5.0, "max {max_i}");
+    }
+
+    #[test]
+    fn every_design_degrades_off_peak() {
+        for entry in isscc2015() {
+            let peak_i = entry.curve.peak_current();
+            let peak = entry.curve.peak_efficiency();
+            let (lo, hi) = entry.curve.current_domain();
+            let at_lo = entry.curve.eval(lo);
+            let at_hi = entry.curve.eval(hi);
+            assert!(at_lo < peak, "{} flat at light load", entry.tag);
+            assert!(at_hi < peak, "{} flat at overload", entry.tag);
+            assert!(peak_i > lo && peak_i < hi, "{} peak at edge", entry.tag);
+        }
+    }
+
+    #[test]
+    fn efficiencies_match_fig1_band() {
+        // Fig. 1's y-axis runs 40–90 %+; all sampled efficiencies must
+        // stay within a sensible band.
+        for entry in isscc2015() {
+            for &(i, _) in entry.curve.points() {
+                let eta = entry.curve.eval(Amps::new(i));
+                assert!((0.40..=0.95).contains(&eta), "{} η {eta}", entry.tag);
+            }
+        }
+    }
+}

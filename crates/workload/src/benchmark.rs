@@ -1,0 +1,125 @@
+//! The SPLASH-2x benchmark suite.
+
+use std::fmt;
+
+/// The 14 SPLASH-2x benchmarks the paper evaluates (8-thread runs,
+/// region of interest). Labels match the x-axis abbreviations used in the
+/// paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Benchmark {
+    /// Barnes–Hut N-body simulation.
+    Barnes,
+    /// Blocked sparse Cholesky factorisation.
+    Cholesky,
+    /// Radix-√n six-step FFT.
+    Fft,
+    /// Fast multipole method N-body.
+    Fmm,
+    /// Blocked dense LU, contiguous blocks.
+    LuCb,
+    /// Blocked dense LU, non-contiguous blocks.
+    LuNcb,
+    /// Ocean simulation, contiguous partitions.
+    OceanCp,
+    /// Ocean simulation, non-contiguous partitions.
+    OceanNcp,
+    /// Hierarchical radiosity.
+    Radiosity,
+    /// Integer radix sort.
+    Radix,
+    /// Ray tracer.
+    Raytrace,
+    /// Volume renderer.
+    Volrend,
+    /// Water simulation, O(n²) algorithm.
+    WaterNsquared,
+    /// Water simulation, spatial algorithm.
+    WaterSpatial,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's figure order.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Barnes,
+        Benchmark::Cholesky,
+        Benchmark::Fft,
+        Benchmark::Fmm,
+        Benchmark::LuCb,
+        Benchmark::LuNcb,
+        Benchmark::OceanCp,
+        Benchmark::OceanNcp,
+        Benchmark::Radiosity,
+        Benchmark::Radix,
+        Benchmark::Raytrace,
+        Benchmark::Volrend,
+        Benchmark::WaterNsquared,
+        Benchmark::WaterSpatial,
+    ];
+
+    /// The abbreviated label used on the paper's figure axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "barnes",
+            Benchmark::Cholesky => "chol",
+            Benchmark::Fft => "fft",
+            Benchmark::Fmm => "fmm",
+            Benchmark::LuCb => "lu_cb",
+            Benchmark::LuNcb => "lu_ncb",
+            Benchmark::OceanCp => "oc_cp",
+            Benchmark::OceanNcp => "oc_ncp",
+            Benchmark::Radiosity => "radio",
+            Benchmark::Radix => "radix",
+            Benchmark::Raytrace => "rayt",
+            Benchmark::Volrend => "volr",
+            Benchmark::WaterNsquared => "water_n",
+            Benchmark::WaterSpatial => "water_s",
+        }
+    }
+
+    /// A stable per-benchmark RNG seed so traces are reproducible.
+    pub fn seed(self) -> u64 {
+        // Order in ALL, offset into a fixed namespace.
+        0x7468_6572_6D6F_0000
+            | Benchmark::ALL
+                .iter()
+                .position(|&b| b == self)
+                .expect("ALL is exhaustive") as u64
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_fourteen_unique() {
+        let mut labels: Vec<_> = Benchmark::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), 14);
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 14);
+    }
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(Benchmark::Cholesky.label(), "chol");
+        assert_eq!(Benchmark::LuNcb.to_string(), "lu_ncb");
+        assert_eq!(Benchmark::Raytrace.label(), "rayt");
+        assert_eq!(Benchmark::WaterSpatial.label(), "water_s");
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let mut seeds: Vec<_> = Benchmark::ALL.iter().map(|b| b.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 14);
+    }
+}

@@ -1,0 +1,231 @@
+//! Multiprogrammed workloads: a different benchmark per core.
+//!
+//! Section 7 of the paper notes that ThermoGater "controls each
+//! voltage-domain independently and accounts for the evolution of the
+//! power conversion efficiency with the workload. Therefore, ThermoGater
+//! policies can accommodate heterogeneity in the workload, including
+//! multi-programming." This module supplies that heterogeneity: a
+//! [`WorkloadMix`] assigns one benchmark to each core, and a
+//! [`WorkloadSpec`] unifies single-program and multiprogrammed runs.
+
+use crate::benchmark::Benchmark;
+use crate::profile::BenchmarkProfile;
+use std::fmt;
+
+/// A per-core benchmark assignment for a multiprogrammed run.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Benchmark, WorkloadMix};
+///
+/// let mix = WorkloadMix::alternating(Benchmark::Fft, Benchmark::Raytrace, 8);
+/// assert_eq!(mix.core_count(), 8);
+/// assert_eq!(mix.benchmark_for_core(0), Benchmark::Fft);
+/// assert_eq!(mix.benchmark_for_core(1), Benchmark::Raytrace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadMix {
+    per_core: Vec<Benchmark>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix from explicit per-core assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_core` is empty.
+    pub fn new(per_core: Vec<Benchmark>) -> Self {
+        assert!(!per_core.is_empty(), "a mix needs at least one core");
+        WorkloadMix { per_core }
+    }
+
+    /// Every core runs the same benchmark (equivalent to a single-program
+    /// run, useful for A/B testing the mix machinery).
+    pub fn uniform(benchmark: Benchmark, cores: usize) -> Self {
+        WorkloadMix::new(vec![benchmark; cores])
+    }
+
+    /// Cores alternate between two benchmarks (`a` on even cores).
+    pub fn alternating(a: Benchmark, b: Benchmark, cores: usize) -> Self {
+        WorkloadMix::new(
+            (0..cores)
+                .map(|i| if i % 2 == 0 { a } else { b })
+                .collect(),
+        )
+    }
+
+    /// Number of cores covered.
+    pub fn core_count(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// The benchmark assigned to core `core` (wraps around when the chip
+    /// has more cores than the mix specifies).
+    pub fn benchmark_for_core(&self, core: usize) -> Benchmark {
+        self.per_core[core % self.per_core.len()]
+    }
+
+    /// The per-core assignments.
+    pub fn assignments(&self) -> &[Benchmark] {
+        &self.per_core
+    }
+
+    /// A deterministic seed mixing every assignment.
+    pub fn seed(&self) -> u64 {
+        self.per_core
+            .iter()
+            .enumerate()
+            .fold(0x6D69_7800u64, |acc, (i, b)| {
+                acc.rotate_left(7) ^ b.seed().wrapping_mul(i as u64 + 1)
+            })
+    }
+}
+
+impl fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mix(")?;
+        for (i, b) in self.per_core.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// What a simulation runs: one benchmark on all threads, or a
+/// multiprogrammed mix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// The classic 8-thread single-program run.
+    Single(Benchmark),
+    /// One benchmark per core.
+    Mix(WorkloadMix),
+}
+
+impl WorkloadSpec {
+    /// The benchmark of core `core` under this spec.
+    pub fn benchmark_for_core(&self, core: usize) -> Benchmark {
+        match self {
+            WorkloadSpec::Single(b) => *b,
+            WorkloadSpec::Mix(m) => m.benchmark_for_core(core),
+        }
+    }
+
+    /// The profile of core `core` under this spec.
+    pub fn profile_for_core(&self, core: usize) -> BenchmarkProfile {
+        BenchmarkProfile::of(self.benchmark_for_core(core))
+    }
+
+    /// The single benchmark, when this is a single-program spec.
+    pub fn as_single(&self) -> Option<Benchmark> {
+        match self {
+            WorkloadSpec::Single(b) => Some(*b),
+            WorkloadSpec::Mix(_) => None,
+        }
+    }
+
+    /// Deterministic seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            WorkloadSpec::Single(b) => b.seed(),
+            WorkloadSpec::Mix(m) => m.seed(),
+        }
+    }
+
+    /// Mean di/dt severity over `cores` cores (used for shared/uncore
+    /// domains).
+    pub fn mean_didt_severity(&self, cores: usize) -> f64 {
+        let cores = cores.max(1);
+        (0..cores)
+            .map(|c| self.profile_for_core(c).didt_severity)
+            .sum::<f64>()
+            / cores as f64
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::Single(b) => write!(f, "{b}"),
+            WorkloadSpec::Mix(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<Benchmark> for WorkloadSpec {
+    fn from(benchmark: Benchmark) -> Self {
+        WorkloadSpec::Single(benchmark)
+    }
+}
+
+impl From<WorkloadMix> for WorkloadSpec {
+    fn from(mix: WorkloadMix) -> Self {
+        WorkloadSpec::Mix(mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_assigns_by_parity() {
+        let mix = WorkloadMix::alternating(Benchmark::Fft, Benchmark::Volrend, 4);
+        assert_eq!(mix.benchmark_for_core(0), Benchmark::Fft);
+        assert_eq!(mix.benchmark_for_core(1), Benchmark::Volrend);
+        assert_eq!(mix.benchmark_for_core(2), Benchmark::Fft);
+        // Wrap-around for larger chips.
+        assert_eq!(mix.benchmark_for_core(5), Benchmark::Volrend);
+    }
+
+    #[test]
+    fn uniform_mix_matches_single() {
+        let mix = WorkloadMix::uniform(Benchmark::Barnes, 8);
+        let spec = WorkloadSpec::from(mix);
+        for c in 0..8 {
+            assert_eq!(spec.benchmark_for_core(c), Benchmark::Barnes);
+        }
+    }
+
+    #[test]
+    fn seeds_depend_on_assignment_order() {
+        let a = WorkloadMix::new(vec![Benchmark::Fft, Benchmark::Radix]);
+        let b = WorkloadMix::new(vec![Benchmark::Radix, Benchmark::Fft]);
+        assert_ne!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn display_labels() {
+        let mix = WorkloadMix::new(vec![Benchmark::Fft, Benchmark::Raytrace]);
+        assert_eq!(mix.to_string(), "mix(fft+rayt)");
+        assert_eq!(WorkloadSpec::Single(Benchmark::Cholesky).to_string(), "chol");
+    }
+
+    #[test]
+    fn single_spec_roundtrip() {
+        let spec: WorkloadSpec = Benchmark::LuNcb.into();
+        assert_eq!(spec.as_single(), Some(Benchmark::LuNcb));
+        assert_eq!(spec.seed(), Benchmark::LuNcb.seed());
+        let mix_spec: WorkloadSpec = WorkloadMix::uniform(Benchmark::LuNcb, 2).into();
+        assert_eq!(mix_spec.as_single(), None);
+    }
+
+    #[test]
+    fn mean_didt_severity_averages_cores() {
+        let fft = BenchmarkProfile::of(Benchmark::Fft).didt_severity;
+        let rayt = BenchmarkProfile::of(Benchmark::Raytrace).didt_severity;
+        let spec: WorkloadSpec =
+            WorkloadMix::alternating(Benchmark::Fft, Benchmark::Raytrace, 8).into();
+        let mean = spec.mean_didt_severity(8);
+        assert!((mean - (fft + rayt) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_mix_panics() {
+        WorkloadMix::new(vec![]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Activity-trace generation.
+
+use crate::benchmark::Benchmark;
+use crate::mix::WorkloadSpec;
+use crate::profile::BenchmarkProfile;
+use floorplan::{BlockId, DomainKind, Floorplan, UnitKind};
+use simkit::series::TraceMatrix;
+use simkit::units::Seconds;
+use simkit::DeterministicRng;
+
+/// Default trace resolution: 1 µs, matching the power-trace granularity
+/// the paper's SNIPER+McPAT flow produces.
+pub const DEFAULT_DT: Seconds = Seconds::new(1e-6);
+
+/// A generated per-block activity trace over one benchmark ROI.
+///
+/// Activities are utilisations in `[0, 1]`, one channel per
+/// [`BlockId`] of the floorplan the trace was generated for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityTrace {
+    spec: WorkloadSpec,
+    activity: TraceMatrix,
+}
+
+impl ActivityTrace {
+    /// Assembles a trace from parts (used by the CSV replay reader).
+    pub(crate) fn from_parts(spec: WorkloadSpec, activity: TraceMatrix) -> Self {
+        ActivityTrace { spec, activity }
+    }
+
+    /// The workload this trace models (single benchmark or mix).
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The benchmark this trace models, when it is a single-program run.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a multiprogrammed trace; use [`ActivityTrace::spec`]
+    /// there.
+    pub fn benchmark(&self) -> Benchmark {
+        self.spec
+            .as_single()
+            .expect("benchmark() on a multiprogrammed trace; use spec()")
+    }
+
+    /// The per-block activity channels.
+    pub fn activity(&self) -> &TraceMatrix {
+        &self.activity
+    }
+
+    /// Sample interval.
+    pub fn dt(&self) -> Seconds {
+        self.activity.dt()
+    }
+
+    /// Number of samples per channel.
+    pub fn sample_count(&self) -> usize {
+        self.activity.sample_count()
+    }
+
+    /// Activity history of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block id is out of range for the generating chip.
+    pub fn block_activity(&self, block: BlockId) -> &[f64] {
+        self.activity.channel(block.0)
+    }
+
+    /// Activity of one block at one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn sample(&self, block: BlockId, index: usize) -> f64 {
+        self.activity.channel(block.0)[index]
+    }
+}
+
+/// Generates synthetic activity traces for a chip.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Benchmark, TraceGenerator};
+/// use floorplan::reference::power8_like;
+/// use simkit::units::Seconds;
+///
+/// let chip = power8_like();
+/// let trace = TraceGenerator::new(&chip)
+///     .generate(Benchmark::Fft, Seconds::from_millis(1.0));
+/// assert_eq!(trace.sample_count(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator<'a> {
+    chip: &'a Floorplan,
+    dt: Seconds,
+    seed_offset: u64,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator for the given chip with the default 1 µs
+    /// resolution.
+    pub fn new(chip: &'a Floorplan) -> Self {
+        TraceGenerator {
+            chip,
+            dt: DEFAULT_DT,
+            seed_offset: 0,
+        }
+    }
+
+    /// Overrides the sample interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not positive.
+    pub fn with_dt(mut self, dt: Seconds) -> Self {
+        assert!(dt.get() > 0.0, "dt must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Perturbs the per-benchmark seed, e.g. to generate independent
+    /// replicas of the same benchmark.
+    pub fn with_seed_offset(mut self, offset: u64) -> Self {
+        self.seed_offset = offset;
+        self
+    }
+
+    /// Generates the activity trace of a single benchmark for
+    /// `duration`.
+    ///
+    /// Deterministic: the same generator configuration always produces
+    /// the same trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duration` is shorter than one sample.
+    pub fn generate(&self, benchmark: Benchmark, duration: Seconds) -> ActivityTrace {
+        self.generate_spec(&WorkloadSpec::Single(benchmark), duration)
+    }
+
+    /// Generates the activity trace of an arbitrary workload spec —
+    /// single-program or multiprogrammed — for `duration`.
+    ///
+    /// In a mix, each core runs its own benchmark's stochastic process;
+    /// shared uncore blocks see the utilisation-and-memory-intensity mix
+    /// the cores collectively produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duration` is shorter than one sample.
+    pub fn generate_spec(&self, spec: &WorkloadSpec, duration: Seconds) -> ActivityTrace {
+        let samples = (duration.get() / self.dt.get()).round() as usize;
+        assert!(samples > 0, "duration shorter than one sample");
+        let mut rng = DeterministicRng::new(spec.seed() ^ self.seed_offset);
+
+        let cores = self.core_indices();
+        let distinct_cores = self
+            .chip
+            .domains()
+            .iter()
+            .filter(|d| d.kind() == DomainKind::Core)
+            .count()
+            .max(1);
+
+        // Per-core profile and state: imbalance factor, phase offset,
+        // AR(1) noise, burst countdown, burst RNG.
+        let core_profiles: Vec<BenchmarkProfile> = (0..distinct_cores)
+            .map(|i| spec.profile_for_core(i))
+            .collect();
+        let mut core_state: Vec<CoreState> = core_profiles
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| CoreState::new(&mut rng, profile, i))
+            .collect();
+        // Per-block jitter streams.
+        let mut block_rng: Vec<DeterministicRng> = (0..self.chip.blocks().len())
+            .map(|i| rng.fork(i as u64))
+            .collect();
+        // Uncore shares one slower AR(1) wander, parameterised by the
+        // average noise character of the mix.
+        let uncore_ar = core_profiles.iter().map(|p| p.noise_ar).sum::<f64>()
+            / core_profiles.len() as f64;
+        let uncore_sigma = core_profiles.iter().map(|p| p.noise_sigma).sum::<f64>()
+            / core_profiles.len() as f64;
+        let mut uncore_noise = 0.0f64;
+        let mut uncore_rng = rng.fork(0xDEAD);
+
+        let mut matrix = TraceMatrix::new(self.chip.blocks().len(), self.dt);
+        let mut column = vec![0.0f64; self.chip.blocks().len()];
+        let dt_us = self.dt.as_micros();
+
+        for s in 0..samples {
+            let t_us = s as f64 * dt_us;
+            // Advance per-core processes.
+            for (state, profile) in core_state.iter_mut().zip(&core_profiles) {
+                state.step(profile, t_us, dt_us);
+            }
+            // Memory traffic the cores collectively generate.
+            let mean_memory_drive = core_state
+                .iter()
+                .zip(&core_profiles)
+                .map(|(c, p)| c.util * p.memory_intensity)
+                .sum::<f64>()
+                / core_state.len() as f64;
+            // Uncore wander.
+            uncore_noise = uncore_ar * uncore_noise
+                + uncore_sigma * 0.5 * (1.0 - uncore_ar * uncore_ar).sqrt()
+                    * uncore_rng.normal();
+
+            for (block_idx, block) in self.chip.blocks().iter().enumerate() {
+                let jitter = 0.02 * block_rng[block_idx].normal();
+                let util = match cores[block_idx] {
+                    Some(core) => {
+                        let core_util = core_state[core].util;
+                        let mem = core_profiles[core].memory_intensity;
+                        core_util * kind_weight(block.kind(), mem) + jitter
+                    }
+                    None => {
+                        let w = uncore_weight(block.kind());
+                        mean_memory_drive * w + uncore_noise + jitter
+                    }
+                };
+                column[block_idx] = util.clamp(0.02, 1.0);
+            }
+            matrix
+                .push_column(&column)
+                .expect("column length fixed to block count");
+        }
+
+        ActivityTrace {
+            spec: spec.clone(),
+            activity: matrix,
+        }
+    }
+
+    /// For each block: the index (0-based, over core domains only) of the
+    /// core domain it belongs to, or `None` for uncore blocks.
+    fn core_indices(&self) -> Vec<Option<usize>> {
+        let mut core_of_domain = vec![None; self.chip.domains().len()];
+        let mut next = 0usize;
+        for (i, d) in self.chip.domains().iter().enumerate() {
+            if d.kind() == DomainKind::Core {
+                core_of_domain[i] = Some(next);
+                next += 1;
+            }
+        }
+        let mut out = vec![None; self.chip.blocks().len()];
+        for domain in self.chip.domains() {
+            for &bid in domain.blocks() {
+                out[bid.0] = core_of_domain[domain.id().0];
+            }
+        }
+        out
+    }
+}
+
+/// Relative activity of a unit inside an active core.
+fn kind_weight(kind: UnitKind, memory_intensity: f64) -> f64 {
+    match kind {
+        UnitKind::Execution => 1.0 + 0.15 * (1.0 - memory_intensity),
+        UnitKind::LoadStore => 0.85 + 0.25 * memory_intensity,
+        UnitKind::InstructionSchedule => 0.78,
+        UnitKind::InstructionFetch => 0.72,
+        UnitKind::L2Cache => 0.40 + 0.35 * memory_intensity,
+        // Uncore kinds normally route through `uncore_weight`, but a
+        // custom floorplan may place them inside a core domain.
+        UnitKind::L3Cache => 0.35 + 0.40 * memory_intensity,
+        UnitKind::Noc => 0.50,
+        UnitKind::MemoryController => 0.45,
+        // `UnitKind` is non-exhaustive; treat future kinds as average logic.
+        _ => 0.70,
+    }
+}
+
+/// Relative activity of an uncore block, applied on top of
+/// `mean_core_util × memory_intensity`.
+fn uncore_weight(kind: UnitKind) -> f64 {
+    match kind {
+        UnitKind::L3Cache => 0.80,
+        UnitKind::Noc => 0.95,
+        UnitKind::MemoryController => 0.85,
+        // A logic unit in an uncore domain behaves like moderate logic.
+        _ => 0.70,
+    }
+}
+
+#[derive(Debug)]
+struct CoreState {
+    imbalance: f64,
+    phase_offset: f64,
+    noise: f64,
+    burst_remaining_us: f64,
+    util: f64,
+    rng: DeterministicRng,
+}
+
+impl CoreState {
+    fn new(rng: &mut DeterministicRng, profile: &BenchmarkProfile, index: usize) -> Self {
+        let mut core_rng = rng.fork(0x636F_7265 ^ index as u64);
+        let imbalance =
+            1.0 + profile.thread_imbalance * (2.0 * core_rng.uniform_f64() - 1.0);
+        // Barrier-synchronised codes keep every thread on (nearly) the
+        // same phase; task-parallel ones drift apart.
+        let phase_offset = (1.0 - profile.phase_sync) * core_rng.uniform_f64();
+        CoreState {
+            imbalance,
+            phase_offset,
+            noise: 0.0,
+            burst_remaining_us: 0.0,
+            util: profile.mean_util,
+            rng: core_rng,
+        }
+    }
+
+    fn step(&mut self, profile: &BenchmarkProfile, t_us: f64, dt_us: f64) {
+        // Plateau-shaped program phases: tanh-squashed sinusoid.
+        let raw = (2.0 * std::f64::consts::PI
+            * (t_us / profile.phase_period_us + self.phase_offset))
+            .sin();
+        let phase = (3.0 * raw).tanh() / 3.0f64.tanh();
+        // AR(1) noise with stationary variance `noise_sigma²`.
+        self.noise = profile.noise_ar * self.noise
+            + profile.noise_sigma
+                * (1.0 - profile.noise_ar * profile.noise_ar).sqrt()
+                * self.rng.normal();
+        // Poisson burst arrivals.
+        if self.burst_remaining_us > 0.0 {
+            self.burst_remaining_us -= dt_us;
+        } else {
+            let p_arrival = profile.burst_rate_per_ms * dt_us / 1000.0;
+            if self.rng.bernoulli(p_arrival) {
+                self.burst_remaining_us = profile.burst_len_us;
+            }
+        }
+        let burst = if self.burst_remaining_us > 0.0 {
+            profile.burst_gain
+        } else {
+            0.0
+        };
+        self.util = (profile.mean_util * self.imbalance
+            + profile.phase_depth * phase
+            + self.noise
+            + burst)
+            .clamp(0.02, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use floorplan::reference::power8_like;
+
+    fn short_trace(benchmark: Benchmark) -> (floorplan::Floorplan, ActivityTrace) {
+        let chip = power8_like();
+        let trace = TraceGenerator::new(&chip).generate(benchmark, Seconds::from_millis(2.0));
+        (chip, trace)
+    }
+
+    #[test]
+    fn trace_shape_matches_chip_and_duration() {
+        let (chip, trace) = short_trace(Benchmark::Barnes);
+        assert_eq!(trace.activity().channel_count(), chip.blocks().len());
+        assert_eq!(trace.sample_count(), 2000);
+        assert_eq!(trace.benchmark(), Benchmark::Barnes);
+    }
+
+    #[test]
+    fn activities_stay_in_unit_interval() {
+        let (_, trace) = short_trace(Benchmark::Fft);
+        for ch in 0..trace.activity().channel_count() {
+            for &v in trace.activity().channel(ch) {
+                assert!((0.0..=1.0).contains(&v), "activity {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let chip = power8_like();
+        let a = TraceGenerator::new(&chip).generate(Benchmark::Radix, Seconds::from_millis(1.0));
+        let b = TraceGenerator::new(&chip).generate(Benchmark::Radix, Seconds::from_millis(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_offset_changes_the_trace() {
+        let chip = power8_like();
+        let a = TraceGenerator::new(&chip).generate(Benchmark::Radix, Seconds::from_millis(1.0));
+        let b = TraceGenerator::new(&chip)
+            .with_seed_offset(1)
+            .generate(Benchmark::Radix, Seconds::from_millis(1.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cholesky_runs_hotter_than_raytrace() {
+        let (_, chol) = short_trace(Benchmark::Cholesky);
+        let (_, rayt) = short_trace(Benchmark::Raytrace);
+        let mean = |t: &ActivityTrace| {
+            let total = t.activity().total();
+            total.mean().unwrap() / t.activity().channel_count() as f64
+        };
+        assert!(mean(&chol) > 2.0 * mean(&rayt));
+    }
+
+    #[test]
+    fn exu_is_more_active_than_l2_within_a_core() {
+        let (chip, trace) = short_trace(Benchmark::Barnes);
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.EXU")
+            .unwrap();
+        let l2 = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.L2")
+            .unwrap();
+        let mean = |bid: BlockId| {
+            let v = trace.block_activity(bid);
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(exu.id()) > mean(l2.id()));
+    }
+
+    #[test]
+    fn lu_ncb_shows_phase_structure() {
+        // The per-chip total should swing appreciably over a phase period.
+        let (_, trace) = short_trace(Benchmark::LuNcb);
+        let total = trace.activity().total();
+        let smoothed = total.downsample(100).unwrap(); // 100 µs bins
+        let max = smoothed.max().unwrap();
+        let min = smoothed.min().unwrap();
+        assert!(
+            (max - min) / max > 0.25,
+            "phase swing too small: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn custom_dt_respected() {
+        let chip = power8_like();
+        let trace = TraceGenerator::new(&chip)
+            .with_dt(Seconds::from_micros(10.0))
+            .generate(Benchmark::Volrend, Seconds::from_millis(1.0));
+        assert_eq!(trace.sample_count(), 100);
+        assert!((trace.dt().as_micros() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let chip = power8_like();
+        let a = TraceGenerator::new(&chip).generate(Benchmark::Fft, Seconds::from_millis(1.0));
+        let b = TraceGenerator::new(&chip).generate(Benchmark::Fmm, Seconds::from_millis(1.0));
+        assert_ne!(a.activity(), b.activity());
+    }
+}

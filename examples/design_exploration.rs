@@ -1,0 +1,83 @@
+//! Early design-space exploration with the fast block-mode thermal
+//! model: sweep the per-domain regulator count and see the steady-state
+//! thermal cost of a sparser distributed network (the paper's
+//! footnote 2), without paying for full grid-mode co-simulation.
+//!
+//! ```text
+//! cargo run --release --example design_exploration
+//! ```
+
+use floorplan::reference::power8_like_with_vr_counts;
+use power::{PowerModel, TechnologyParams};
+use simkit::units::{Celsius, Watts};
+use thermal::{BlockThermalModel, PackageParams};
+use vreg::{RegulatorBank, RegulatorDesign};
+
+fn main() -> Result<(), simkit::Error> {
+    println!(
+        "{:>9} {:>7} {:>12} {:>12} {:>12}",
+        "VRs/core", "VRs/L3", "η @ 60 % (%)", "VR loss (W)", "T_max (°C)"
+    );
+
+    for (core_vrs, l3_vrs) in [(4, 2), (6, 2), (9, 3), (12, 4)] {
+        let chip = power8_like_with_vr_counts(core_vrs, l3_vrs);
+        let power = PowerModel::calibrated(&chip, TechnologyParams::table1());
+        let thermal = BlockThermalModel::new(&chip, PackageParams::default());
+
+        // A representative 60 %-utilisation operating point.
+        let activity = 0.6;
+        let t_guess = Celsius::new(70.0);
+        let mut block_powers: Vec<Watts> = chip
+            .blocks()
+            .iter()
+            .map(|b| power.block_power(b.id(), activity, t_guess))
+            .collect();
+
+        // Regulator losses under peak-efficiency gating, added onto the
+        // blocks hosting each active regulator.
+        let vdd = TechnologyParams::table1().vdd;
+        let mut total_loss = Watts::ZERO;
+        let mut eta_acc = 0.0;
+        for domain in chip.domains() {
+            let bank = RegulatorBank::new(RegulatorDesign::fivr(), domain.vr_count());
+            let demand = domain
+                .blocks()
+                .iter()
+                .map(|&b| block_powers[b.0])
+                .sum::<Watts>()
+                / vdd;
+            let n_on = bank.required_active(demand);
+            let loss = bank.per_regulator_loss(demand, n_on, vdd)?;
+            eta_acc += bank.efficiency(demand, n_on)?;
+            // The first n_on regulators of the domain stand in for the
+            // active set in this static exploration.
+            for (k, &vr) in domain.vrs().iter().enumerate() {
+                if k < n_on {
+                    let block = thermal.vr_block(vr.0);
+                    block_powers[block.0] += loss;
+                    total_loss += loss;
+                }
+            }
+        }
+        let eta = eta_acc / chip.domains().len() as f64;
+
+        let temps = thermal.steady_state(&block_powers)?;
+        let t_max = temps.iter().map(|t| t.get()).fold(f64::MIN, f64::max);
+
+        println!(
+            "{:>9} {:>7} {:>12.2} {:>12.2} {:>12.2}",
+            core_vrs,
+            l3_vrs,
+            eta * 100.0,
+            total_loss.get(),
+            t_max
+        );
+    }
+
+    println!(
+        "\nBlock-mode exploration runs in milliseconds per design point; \
+         switch to `SimulationEngine` (grid mode, closed loop) for the \
+         final numbers of a chosen configuration."
+    );
+    Ok(())
+}

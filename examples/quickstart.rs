@@ -1,0 +1,53 @@
+//! Quickstart: simulate one benchmark under ThermoGater's practical
+//! thermally- and voltage-noise-aware policy and print the headline
+//! metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use floorplan::reference::power8_like;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+fn main() -> Result<(), simkit::Error> {
+    // 1. The chip: an 8-core POWER8-like part with 96 distributed
+    //    on-chip voltage regulators over 16 Vdd-domains.
+    let chip = power8_like();
+    println!(
+        "chip: {} blocks, {} Vdd-domains, {} regulators, {:.0} mm²",
+        chip.blocks().len(),
+        chip.domains().len(),
+        chip.vr_sites().len(),
+        chip.die_area_mm2()
+    );
+
+    // 2. The engine: workload → power → regulators → thermal → noise →
+    //    governor, closed-loop. `fast()` keeps this example snappy;
+    //    `standard()` is the paper-faithful configuration.
+    let engine = SimulationEngine::new(&chip, EngineConfig::fast());
+
+    // 3. Run the PracVT policy — ThermoGater's practical, deployable
+    //    governor — on one SPLASH-2x workload.
+    let result = engine.run(Benchmark::LuNcb, PolicyKind::PracVT)?;
+
+    println!("benchmark: {}", result.benchmark());
+    println!("policy:    {}", result.policy());
+    println!("T_max:             {:.2}", result.max_temperature());
+    println!("thermal gradient:  {:.2} °C", result.max_gradient());
+    println!(
+        "conversion η:      {:.1} % (vs η_peak = 90 %)",
+        result.mean_efficiency() * 100.0
+    );
+    println!("regulator loss:    {:.2}", result.mean_total_vr_loss());
+    println!(
+        "max voltage noise: {:.1} % of Vdd",
+        result.max_noise_percent().unwrap_or(0.0)
+    );
+    println!(
+        "mean active regulators: {:.1} / {}",
+        result.mean_active_count(),
+        chip.vr_sites().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Render the chip's steady-state heat map under a chosen workload and
+//! gating policy as ASCII art — a Fig. 12-style view from the library's
+//! public API.
+//!
+//! ```text
+//! cargo run --release --example thermal_map [benchmark-label] [policy]
+//! ```
+//!
+//! e.g. `cargo run --release --example thermal_map chol oracv`.
+
+use floorplan::reference::power8_like;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+fn main() -> Result<(), simkit::Error> {
+    let bench_label = std::env::args().nth(1).unwrap_or_else(|| "chol".into());
+    let policy_arg = std::env::args().nth(2).unwrap_or_else(|| "allon".into());
+    let benchmark = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.label() == bench_label)
+        .unwrap_or(Benchmark::Cholesky);
+    let policy = match policy_arg.as_str() {
+        "offchip" => PolicyKind::OffChip,
+        "naive" => PolicyKind::Naive,
+        "oract" => PolicyKind::OracT,
+        "oracv" => PolicyKind::OracV,
+        "oracvt" => PolicyKind::OracVT,
+        "pract" => PolicyKind::PracT,
+        "pracvt" => PolicyKind::PracVT,
+        _ => PolicyKind::AllOn,
+    };
+
+    let chip = power8_like();
+    let engine = SimulationEngine::new(&chip, EngineConfig::fast());
+    let result = engine.run(benchmark, policy)?;
+
+    println!(
+        "{} under {} — T_max {:.1} °C, gradient {:.1} °C\n",
+        benchmark,
+        policy,
+        result.max_temperature().get(),
+        result.max_gradient()
+    );
+
+    // Shade ramp over the heat map captured at the instant of T_max.
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let map = result.heatmap_at_tmax();
+    let (lo, hi) = map.iter().flatten().fold(
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |(lo, hi), &v| (lo.min(v), hi.max(v)),
+    );
+    for row in map.iter().rev() {
+        let line: String = row
+            .iter()
+            .map(|&v| {
+                let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                RAMP[((t * (RAMP.len() - 1) as f64) as usize).min(RAMP.len() - 1)] as char
+            })
+            .collect();
+        println!("{line}");
+    }
+    println!("\nscale: ' ' = {lo:.1} °C … '@' = {hi:.1} °C");
+    println!(
+        "(cores occupy the upper two bands; the bottom band is L3 banks, \
+         NOC column, and memory controllers)"
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the ThermoGater reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the actual library
+//! surface lives in the member crates:
+//!
+//! * [`thermogater`] — the paper's contribution: the thermally-aware
+//!   regulator-gating governor and its policies;
+//! * [`floorplan`], [`vreg`], [`workload`], [`power`], [`thermal`],
+//!   [`pdn`] — the substrates (chip geometry, regulator models, synthetic
+//!   SPLASH-2x power traces, power/thermal/voltage-noise simulation);
+//! * [`experiments`] — drivers that regenerate every table and figure of
+//!   the paper;
+//! * [`simkit`] — shared units/geometry/solvers toolkit.
+
+pub use experiments;
+pub use floorplan;
+pub use pdn;
+pub use power;
+pub use simkit;
+pub use thermal;
+pub use thermogater;
+pub use vreg;
+pub use workload;
