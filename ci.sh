@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI: formatting, lints, build, and the full test suite.
+# `crates/bench` is excluded (its Criterion harness needs registry
+# access); everything below runs with no network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -49,8 +49,7 @@ fn ablation_placement(c: &mut Criterion) {
         b.iter(|| {
             let mut local = chip.clone();
             black_box(
-                optimize_placement(&mut local, &PdnConfig::reference(), &powers, 0.5, 1)
-                    .unwrap(),
+                optimize_placement(&mut local, &PdnConfig::reference(), &powers, 0.5, 1).unwrap(),
             )
         })
     });

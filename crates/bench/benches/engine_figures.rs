@@ -28,8 +28,18 @@ fn fig06(c: &mut Criterion) {
 
 fn fig07(c: &mut Criterion) {
     // Loss savings need the all-on baseline as well.
-    run_cell(c, "fig07/raytrace_allon", Benchmark::Raytrace, PolicyKind::AllOn);
-    run_cell(c, "fig07/raytrace_gated", Benchmark::Raytrace, PolicyKind::OracT);
+    run_cell(
+        c,
+        "fig07/raytrace_allon",
+        Benchmark::Raytrace,
+        PolicyKind::AllOn,
+    );
+    run_cell(
+        c,
+        "fig07/raytrace_gated",
+        Benchmark::Raytrace,
+        PolicyKind::OracT,
+    );
 }
 
 fn fig08(c: &mut Criterion) {
@@ -38,16 +48,36 @@ fn fig08(c: &mut Criterion) {
 
 fn fig09_fig10(c: &mut Criterion) {
     // One representative cell per policy class of the thermal sweeps.
-    run_cell(c, "fig09_10/chol_offchip", Benchmark::Cholesky, PolicyKind::OffChip);
-    run_cell(c, "fig09_10/chol_oracvt", Benchmark::Cholesky, PolicyKind::OracVT);
+    run_cell(
+        c,
+        "fig09_10/chol_offchip",
+        Benchmark::Cholesky,
+        PolicyKind::OffChip,
+    );
+    run_cell(
+        c,
+        "fig09_10/chol_oracvt",
+        Benchmark::Cholesky,
+        PolicyKind::OracVT,
+    );
 }
 
 fn fig12(c: &mut Criterion) {
-    run_cell(c, "fig12/chol_oracv_heatmap", Benchmark::Cholesky, PolicyKind::OracV);
+    run_cell(
+        c,
+        "fig12/chol_oracv_heatmap",
+        Benchmark::Cholesky,
+        PolicyKind::OracV,
+    );
 }
 
 fn fig13(c: &mut Criterion) {
-    run_cell(c, "fig13/lu_ncb_oracv_activity", Benchmark::LuNcb, PolicyKind::OracV);
+    run_cell(
+        c,
+        "fig13/lu_ncb_oracv_activity",
+        Benchmark::LuNcb,
+        PolicyKind::OracV,
+    );
 }
 
 criterion_group!(benches, fig06, fig07, fig08, fig09_fig10, fig12, fig13);

@@ -26,7 +26,7 @@ fn thermal_solvers(c: &mut Criterion) {
         b.iter(|| model.steady_state(black_box(&pm)).unwrap())
     });
 
-    let stepper = model.stepper(Seconds::from_micros(20.0));
+    let mut stepper = model.stepper(Seconds::from_micros(20.0));
     let mut state = model.steady_state(&pm).unwrap();
     c.bench_function("thermal/transient_step_32x32", |b| {
         b.iter(|| stepper.step(black_box(&mut state), &pm).unwrap())

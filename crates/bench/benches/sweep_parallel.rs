@@ -1,0 +1,52 @@
+//! Wall-clock comparison of the sweep executor at one worker thread
+//! versus the machine's full width, over a 4-cell benchmark × policy
+//! grid at the tiny configuration. Cache files are wiped before every
+//! iteration so each measurement simulates all four cells.
+//!
+//! Run from `crates/bench` on a machine with registry access:
+//! `cargo bench --bench sweep_parallel`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use experiments::context::ExpOptions;
+use experiments::sweep::{cache_dir, grid, policy_tag};
+use std::fs;
+use std::hint::black_box;
+use thermogater::PolicyKind;
+use workload::Benchmark;
+
+const BENCHMARKS: [Benchmark; 2] = [Benchmark::Fft, Benchmark::Volrend];
+const POLICIES: [PolicyKind; 2] = [PolicyKind::AllOn, PolicyKind::Naive];
+
+fn wipe_cells(opts: &ExpOptions) {
+    let dir = cache_dir(opts);
+    for b in BENCHMARKS {
+        for p in POLICIES {
+            let _ = fs::remove_file(dir.join(format!("{}-{}.csv", b.label(), policy_tag(p))));
+        }
+    }
+}
+
+fn sweep_parallel(c: &mut Criterion) {
+    let width = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep_parallel");
+    group.sample_size(10);
+
+    for threads in [1, width] {
+        let opts = ExpOptions::tiny().with_threads(threads);
+        group.bench_function(format!("grid_4_cells_{threads}_threads"), |b| {
+            b.iter_batched(
+                || wipe_cells(&opts),
+                |()| black_box(grid(&opts, &BENCHMARKS, &POLICIES)),
+                BatchSize::PerIteration,
+            )
+        });
+        if threads == width {
+            break; // width == 1: both configurations are the same run.
+        }
+    }
+    group.finish();
+    wipe_cells(&ExpOptions::tiny());
+}
+
+criterion_group!(benches, sweep_parallel);
+criterion_main!(benches);

@@ -34,8 +34,11 @@ use crate::result::{DecisionRecord, SimulationResult};
 use crate::sensor::ThermalSensorArray;
 use floorplan::{DomainId, Floorplan};
 use pdn::transient::{cycles_over, noise_series, TransientParams};
-use pdn::{EmergencyDetector, EmergencyPredictor, NoiseAnalyzer, PdnConfig, PdnModel, WindowInputs};
+use pdn::{
+    EmergencyDetector, EmergencyPredictor, NoiseAnalyzer, PdnConfig, PdnModel, WindowInputs,
+};
 use power::{PowerModel, TechnologyParams};
+use simkit::perf::{PhaseTimes, Timer};
 use simkit::series::{TimeSeries, TraceMatrix};
 use simkit::units::{Seconds, Watts};
 use simkit::{DeterministicRng, Result};
@@ -162,9 +165,11 @@ impl<'c> SimulationEngine<'c> {
                     < 1e-12,
             "thermal step must divide the decision interval"
         );
-        let n_decisions =
-            (config.duration.get() / config.decision_interval.get()).round() as usize;
-        assert!(n_decisions > 0, "duration shorter than one decision interval");
+        let n_decisions = (config.duration.get() / config.decision_interval.get()).round() as usize;
+        assert!(
+            n_decisions > 0,
+            "duration shorter than one decision interval"
+        );
 
         let power = PowerModel::calibrated(chip, config.tech.clone());
         let thermal = ThermalModel::new(chip, config.thermal.clone());
@@ -224,8 +229,9 @@ impl<'c> SimulationEngine<'c> {
     /// requested horizon clamp to their final sample.
     fn steps_from_trace(&self, trace: &ActivityTrace, n_decisions: usize) -> Vec<Vec<f64>> {
         let total_steps = n_decisions * self.steps_per_decision;
-        let samples_per_step =
-            (self.config.thermal_step.get() / trace.dt().get()).round().max(1.0) as usize;
+        let samples_per_step = (self.config.thermal_step.get() / trace.dt().get())
+            .round()
+            .max(1.0) as usize;
         let n_blocks = self.chip.blocks().len();
         let mut out = Vec::with_capacity(total_steps);
         for s in 0..total_steps {
@@ -337,7 +343,7 @@ impl<'c> SimulationEngine<'c> {
         k: usize,
         gating: &GatingState,
         state: &mut ThermalState,
-        stepper: &thermal::TransientStepper<'_>,
+        stepper: &mut thermal::TransientStepper<'_>,
         vr_losses: &mut [f64],
         mut observe: F,
     ) -> Result<()>
@@ -414,10 +420,7 @@ impl<'c> SimulationEngine<'c> {
     /// # Errors
     ///
     /// Propagates solver failures and degenerate-statistics errors.
-    pub fn calibrate_predictor_spec(
-        &self,
-        spec: &WorkloadSpec,
-    ) -> Result<(ThermalPredictor, f64)> {
+    pub fn calibrate_predictor_spec(&self, spec: &WorkloadSpec) -> Result<(ThermalPredictor, f64)> {
         let n_dec = self.config.profiling_decisions.max(3);
         let acts = self.step_activities(spec, n_dec);
         self.calibrate_predictor_inner(&acts, n_dec)
@@ -431,7 +434,7 @@ impl<'c> SimulationEngine<'c> {
         n_dec: usize,
     ) -> Result<(ThermalPredictor, f64)> {
         let mut state = self.initial_state(acts, true)?;
-        let stepper = self.thermal.stepper(self.config.thermal_step);
+        let mut stepper = self.thermal.stepper(self.config.thermal_step);
         let n_vrs = self.chip.vr_sites().len();
         let mut vr_losses = vec![0.0f64; n_vrs];
 
@@ -463,7 +466,7 @@ impl<'c> SimulationEngine<'c> {
                 k,
                 &gating,
                 &mut state,
-                &stepper,
+                &mut stepper,
                 &mut vr_losses,
                 |view| {
                     for (acc, &l) in loss_acc.iter_mut().zip(view.vr_losses) {
@@ -515,8 +518,11 @@ impl<'c> SimulationEngine<'c> {
     ///
     /// Propagates solver and calibration failures.
     pub fn run_spec(&self, spec: &WorkloadSpec, policy: PolicyKind) -> Result<SimulationResult> {
+        let mut perf = PhaseTimes::new();
+        let t = Timer::start();
         let acts = self.step_activities(spec, self.n_decisions);
-        self.run_inner(spec, &acts, None, policy)
+        perf.add("trace", t.elapsed_seconds());
+        self.run_inner(spec, &acts, None, policy, perf)
     }
 
     /// Runs the governor against an externally supplied activity trace
@@ -530,33 +536,37 @@ impl<'c> SimulationEngine<'c> {
     /// * [`simkit::Error::DimensionMismatch`] when the trace's channel
     ///   count differs from the chip's block count;
     /// * solver and calibration failures are propagated.
-    pub fn run_trace(
-        &self,
-        trace: &ActivityTrace,
-        policy: PolicyKind,
-    ) -> Result<SimulationResult> {
+    pub fn run_trace(&self, trace: &ActivityTrace, policy: PolicyKind) -> Result<SimulationResult> {
         if trace.activity().channel_count() != self.chip.blocks().len() {
             return Err(simkit::Error::DimensionMismatch {
                 expected: self.chip.blocks().len(),
                 actual: trace.activity().channel_count(),
             });
         }
+        let mut perf = PhaseTimes::new();
+        let t = Timer::start();
         let acts = self.steps_from_trace(trace, self.n_decisions);
         // Profile θ on the leading decisions of the same trace.
         let n_dec = self.config.profiling_decisions.max(3).min(self.n_decisions);
         let profiling_acts = self.steps_from_trace(trace, n_dec);
+        perf.add("trace", t.elapsed_seconds());
         let calibration = if policy.uses_thermal_ranking() && policy != PolicyKind::Naive {
-            Some(self.calibrate_predictor_inner(&profiling_acts, n_dec)?)
+            let t = Timer::start();
+            let cal = self.calibrate_predictor_inner(&profiling_acts, n_dec)?;
+            perf.add("calibrate", t.elapsed_seconds());
+            Some(cal)
         } else {
             None
         };
-        self.run_inner(trace.spec(), &acts, Some(calibration), policy)
+        self.run_inner(trace.spec(), &acts, Some(calibration), policy, perf)
     }
 
     /// The main loop over prepared step activities. `calibration` is
     /// `None` to let the engine profile θ itself (synthetic path), or
     /// `Some(optional-predictor)` when the caller already decided
-    /// (trace-replay path).
+    /// (trace-replay path). `perf` carries the caller's already-timed
+    /// phases (trace synthesis, possibly calibration) and accumulates the
+    /// run's own phases.
     #[allow(clippy::type_complexity)]
     fn run_inner(
         &self,
@@ -564,6 +574,7 @@ impl<'c> SimulationEngine<'c> {
         acts: &[Vec<f64>],
         calibration: Option<Option<(ThermalPredictor, f64)>>,
         policy: PolicyKind,
+        mut perf: PhaseTimes,
     ) -> Result<SimulationResult> {
         let cfg = &self.config;
         let vdd = cfg.tech.vdd;
@@ -601,18 +612,21 @@ impl<'c> SimulationEngine<'c> {
             Some(Some((p, r2))) => (Some(p), Some(r2)),
             Some(None) => (None, None),
             None if needs_predictor => {
+                let t = Timer::start();
                 let (p, r2) = self.calibrate_predictor_spec(spec)?;
+                perf.add("calibrate", t.elapsed_seconds());
                 (Some(p), Some(r2))
             }
             None => (None, None),
         };
 
+        let t_steady = Timer::start();
         let mut state = self.initial_state(acts, policy != PolicyKind::OffChip)?;
-        let stepper = self.thermal.stepper(cfg.thermal_step);
+        perf.add("steady", t_steady.elapsed_seconds());
+        let mut stepper = self.thermal.stepper(cfg.thermal_step);
 
         let mut vr_losses = vec![0.0f64; n_vrs];
-        let mut sensors =
-            ThermalSensorArray::new(n_vrs, cfg.sensor_latency, cfg.thermal_step);
+        let mut sensors = ThermalSensorArray::new(n_vrs, cfg.sensor_latency, cfg.thermal_step);
         sensors.record(&self.vr_temperatures(&state, &vr_losses));
         let mut forecaster = DomainPowerForecaster::new(n_domains);
         let mut emergency_predictor =
@@ -644,14 +658,20 @@ impl<'c> SimulationEngine<'c> {
         let mut emergency_cycles = 0usize;
         let mut analyzed_cycles = 0usize;
         let mut worst_window: Option<(f64, Vec<f64>)> = None;
+        // Noise analysis runs interleaved with the policy and transient
+        // phases; it accumulates here and is subtracted from whichever
+        // phase hosted it so the report attributes time where it is spent.
+        let mut noise_secs = 0.0f64;
 
         for k in 0..self.n_decisions {
+            let noise_at_decide = noise_secs;
+            let t_decide = Timer::start();
             let step0 = k * self.steps_per_decision;
             // --- Demand views -----------------------------------------
             let block_powers_now = self.block_powers(&acts[step0], &state);
             let currents_now = self.domain_currents(&block_powers_now);
             let next_mean_acts =
-                Self::mean_activities(&acts, step0, step0 + self.steps_per_decision);
+                Self::mean_activities(acts, step0, step0 + self.steps_per_decision);
             let block_powers_next = self.block_powers(&next_mean_acts, &state);
             let currents_next = self.domain_currents(&block_powers_next);
 
@@ -738,17 +758,13 @@ impl<'c> SimulationEngine<'c> {
             };
             let rankings = rank_regulators(policy, &inputs)?;
             let mut applied_emergency = vec![false; n_domains];
-            let mut gating = gating_from_rankings(
-                policy,
-                self.chip,
-                &rankings,
-                &n_on,
-                &applied_emergency,
-            )?;
+            let mut gating =
+                gating_from_rankings(policy, self.chip, &rankings, &n_on, &applied_emergency)?;
             if policy.reacts_to_emergencies() && !interval_windows.is_empty() {
                 // Ground truth: would the planned gating put any domain
                 // over the emergency threshold during this interval's
                 // measurement windows?
+                let t_truth = Timer::start();
                 let mut truth = vec![false; n_domains];
                 for (_, mults) in &interval_windows {
                     let report = self.analyzer.analyze(
@@ -762,10 +778,11 @@ impl<'c> SimulationEngine<'c> {
                         },
                     )?;
                     for (d, flag) in truth.iter_mut().enumerate() {
-                        *flag |= report.domain_fraction(DomainId(d))
-                            > detector.threshold_fraction();
+                        *flag |=
+                            report.domain_fraction(DomainId(d)) > detector.threshold_fraction();
                     }
                 }
+                noise_secs += t_truth.elapsed_seconds();
                 let emergency_flags: Vec<bool> = if policy.is_oracular() {
                     truth
                 } else {
@@ -790,15 +807,21 @@ impl<'c> SimulationEngine<'c> {
                 gating: gating.clone(),
                 n_on: n_on.clone(),
             });
+            perf.add(
+                "policy",
+                t_decide.elapsed_seconds() - (noise_secs - noise_at_decide),
+            );
 
             // --- Simulate the interval --------------------------------
+            let noise_at_step = noise_secs;
+            let t_step = Timer::start();
             let mut interval_domain_power = vec![0.0f64; n_domains];
             self.simulate_interval(
-                &acts,
+                acts,
                 k,
                 &gating,
                 &mut state,
-                &stepper,
+                &mut stepper,
                 &mut vr_losses,
                 |view| {
                     // Power + efficiency accounting.
@@ -813,8 +836,11 @@ impl<'c> SimulationEngine<'c> {
                         .domains()
                         .iter()
                         .map(|domain| {
-                            let p: Watts =
-                                domain.blocks().iter().map(|&b| view.block_powers[b.0]).sum();
+                            let p: Watts = domain
+                                .blocks()
+                                .iter()
+                                .map(|&b| view.block_powers[b.0])
+                                .sum();
                             self.banks[domain.id().0].required_active(p / vdd)
                         })
                         .sum();
@@ -828,11 +854,8 @@ impl<'c> SimulationEngine<'c> {
                             .sum();
                         interval_domain_power[d] += p;
                         pout_acc += p;
-                        let domain_loss: f64 = domain
-                            .vrs()
-                            .iter()
-                            .map(|&v| view.vr_losses[v.0])
-                            .sum();
+                        let domain_loss: f64 =
+                            domain.vrs().iter().map(|&v| view.vr_losses[v.0]).sum();
                         step_loss += domain_loss;
                         pin_acc += p + domain_loss;
                     }
@@ -863,6 +886,7 @@ impl<'c> SimulationEngine<'c> {
                     };
                     if let Some(mults) = window_here {
                         let mults: &Vec<Vec<f64>> = mults;
+                        let t_noise = Timer::start();
                         let report = self.analyzer.analyze(
                             self.chip,
                             &self.pdn,
@@ -890,8 +914,7 @@ impl<'c> SimulationEngine<'c> {
                                 }
                             })
                             .collect();
-                        let pct =
-                            fractions.iter().copied().fold(0.0f64, f64::max) * 100.0;
+                        let pct = fractions.iter().copied().fold(0.0f64, f64::max) * 100.0;
                         window_noise.push(pct);
 
                         // Emergency residency (Table 2) + worst trace
@@ -899,11 +922,8 @@ impl<'c> SimulationEngine<'c> {
                         // static IR component, so no second grid solve.
                         let mut window_emergency_cycles = 0usize;
                         for (d, domain) in self.chip.domains().iter().enumerate() {
-                            let params = self.transient_params(
-                                domain,
-                                view.gating,
-                                view.block_powers,
-                            );
+                            let params =
+                                self.transient_params(domain, view.gating, view.block_powers);
                             let mut over = cycles_over(
                                 &cfg.pdn,
                                 &params,
@@ -922,10 +942,7 @@ impl<'c> SimulationEngine<'c> {
                         emergency_cycles += window_emergency_cycles;
                         analyzed_cycles += WINDOW_CYCLES - WARMUP_CYCLES;
 
-                        if worst_window
-                            .as_ref()
-                            .is_none_or(|(best, _)| pct > *best)
-                        {
+                        if worst_window.as_ref().is_none_or(|(best, _)| pct > *best) {
                             // Record the worst domain's per-cycle trace.
                             let worst_domain = (0..n_domains)
                                 .max_by(|&a, &b| {
@@ -952,16 +969,25 @@ impl<'c> SimulationEngine<'c> {
                             .collect();
                             worst_window = Some((pct, trace));
                         }
+                        noise_secs += t_noise.elapsed_seconds();
                     }
                     Ok(())
                 },
             )?;
+            perf.add(
+                "transient",
+                t_step.elapsed_seconds() - (noise_secs - noise_at_step),
+            );
             forecaster.observe(
                 &interval_domain_power
                     .iter()
                     .map(|&p| Watts::new(p / self.steps_per_decision as f64))
                     .collect::<Vec<_>>(),
             );
+        }
+
+        if noise_secs > 0.0 {
+            perf.add("noise", noise_secs);
         }
 
         let steps_f = total_steps as f64;
@@ -975,7 +1001,11 @@ impl<'c> SimulationEngine<'c> {
             vr_temps,
             max_temperature_c: max_t,
             max_gradient_c: max_gradient,
-            mean_efficiency: if pin_acc > 0.0 { pout_acc / pin_acc } else { 1.0 },
+            mean_efficiency: if pin_acc > 0.0 {
+                pout_acc / pin_acc
+            } else {
+                1.0
+            },
             mean_total_vr_loss_w: loss_acc / steps_f,
             window_noise_percent: window_noise,
             emergency_cycle_fraction: if analyzed_cycles > 0 {
@@ -986,6 +1016,7 @@ impl<'c> SimulationEngine<'c> {
             heatmap_at_tmax,
             worst_window_trace: worst_window.map(|(_, trace)| trace),
             predictor_r_squared: r_squared,
+            perf,
         })
     }
 
@@ -1007,11 +1038,7 @@ impl<'c> SimulationEngine<'c> {
             let bank = &self.banks[d];
             let share = n_on[d].clamp(1, domain.vr_count());
             let loss_if_on = bank
-                .per_regulator_loss(
-                    simkit::units::Amps::new(domain_currents[d]),
-                    share,
-                    vdd,
-                )
+                .per_regulator_loss(simkit::units::Amps::new(domain_currents[d]), share, vdd)
                 .map(|w| w.get())
                 .unwrap_or(0.0);
             for &v in domain.vrs() {
@@ -1041,14 +1068,9 @@ impl<'c> SimulationEngine<'c> {
                     .map(|&b| activities[b.0])
                     .sum::<f64>()
                     / domain.blocks().len() as f64;
-                generate_window(
-                    rng,
-                    WINDOW_CYCLES,
-                    mean_act,
-                    didt_severity[domain.id().0],
-                )
-                .multipliers()
-                .to_vec()
+                generate_window(rng, WINDOW_CYCLES, mean_act, didt_severity[domain.id().0])
+                    .multipliers()
+                    .to_vec()
             })
             .collect()
     }
@@ -1158,7 +1180,9 @@ mod tests {
         let chip = power8_like();
         let engine = SimulationEngine::new(&chip, tiny_config());
         let r = engine.run(Benchmark::Barnes, PolicyKind::PracT).unwrap();
-        let r2 = r.predictor_r_squared().expect("practical policies calibrate");
+        let r2 = r
+            .predictor_r_squared()
+            .expect("practical policies calibrate");
         assert!(r2 > 0.8, "R² {r2}");
     }
 
@@ -1198,12 +1222,34 @@ mod tests {
         );
         // Replaying the same trace the synthetic path would generate
         // reproduces the synthetic result exactly.
-        let trace = TraceGenerator::new(&chip)
-            .generate(Benchmark::Volrend, engine.config().duration);
+        let trace =
+            TraceGenerator::new(&chip).generate(Benchmark::Volrend, engine.config().duration);
         let replayed = engine.run_trace(&trace, PolicyKind::OracT).unwrap();
         let synthetic = engine.run(Benchmark::Volrend, PolicyKind::OracT).unwrap();
         assert_eq!(replayed.max_temperature(), synthetic.max_temperature());
         assert_eq!(replayed.max_noise_percent(), synthetic.max_noise_percent());
+    }
+
+    #[test]
+    fn run_reports_phase_times() {
+        let chip = power8_like();
+        let engine = SimulationEngine::new(&chip, tiny_config());
+        let r = engine.run(Benchmark::Fft, PolicyKind::OracT).unwrap();
+        let perf = r.phase_times();
+        for phase in [
+            "trace",
+            "calibrate",
+            "steady",
+            "policy",
+            "transient",
+            "noise",
+        ] {
+            assert!(perf.samples(phase) > 0, "phase {phase} has no samples");
+        }
+        // Transient stepping runs once per decision interval.
+        assert_eq!(perf.samples("transient"), 3);
+        assert!(perf.total_seconds() > 0.0);
+        assert!(perf.render().contains("transient"));
     }
 
     #[test]

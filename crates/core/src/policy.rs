@@ -98,7 +98,10 @@ impl PolicyKind {
 
     /// Whether the policy has oracular knowledge of the future.
     pub fn is_oracular(self) -> bool {
-        matches!(self, PolicyKind::OracT | PolicyKind::OracV | PolicyKind::OracVT)
+        matches!(
+            self,
+            PolicyKind::OracT | PolicyKind::OracV | PolicyKind::OracVT
+        )
     }
 
     /// Whether the policy is implementable in hardware (sensors,

@@ -140,9 +140,7 @@ impl DomainPowerForecaster {
     ///
     /// Panics when `domain` is out of range.
     pub fn forecast(&self, domain: usize, fallback: Watts) -> Watts {
-        self.windows[domain]
-            .forecast()
-            .map_or(fallback, Watts::new)
+        self.windows[domain].forecast().map_or(fallback, Watts::new)
     }
 
     /// Number of domains tracked.

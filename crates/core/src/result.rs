@@ -2,6 +2,7 @@
 
 use crate::policy::PolicyKind;
 use floorplan::VrId;
+use simkit::perf::PhaseTimes;
 use simkit::series::{TimeSeries, TraceMatrix};
 use simkit::units::{Celsius, Watts};
 use vreg::GatingState;
@@ -63,6 +64,8 @@ pub struct SimulationResult {
     pub(crate) worst_window_trace: Option<Vec<f64>>,
     /// Predictor R² (practical policies only).
     pub(crate) predictor_r_squared: Option<f64>,
+    /// Wall-clock seconds per simulation phase.
+    pub(crate) perf: PhaseTimes,
 }
 
 impl SimulationResult {
@@ -142,11 +145,7 @@ impl SimulationResult {
         if self.decisions.is_empty() {
             return 0.0;
         }
-        let on = self
-            .decisions
-            .iter()
-            .filter(|d| d.gating.is_on(vr))
-            .count();
+        let on = self.decisions.iter().filter(|d| d.gating.is_on(vr)).count();
         on as f64 / self.decisions.len() as f64
     }
 
@@ -207,6 +206,13 @@ impl SimulationResult {
     pub fn predictor_r_squared(&self) -> Option<f64> {
         self.predictor_r_squared
     }
+
+    /// Wall-clock time spent in each simulation phase (trace synthesis,
+    /// calibration, steady-state init, policy decisions, transient
+    /// stepping, noise analysis).
+    pub fn phase_times(&self) -> &PhaseTimes {
+        &self.perf
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +252,7 @@ mod tests {
             heatmap_at_tmax: vec![vec![50.0; 2]; 2],
             worst_window_trace: Some(vec![1.0, 2.0]),
             predictor_r_squared: None,
+            perf: PhaseTimes::new(),
         }
     }
 

@@ -95,8 +95,7 @@ impl ThermalSensorArray {
         // The newest snapshot sits just before next_slot; we want the one
         // `latency_steps` older (clamped to what exists).
         let lag = self.latency_steps.min(available - 1);
-        let idx =
-            (self.next_slot + self.history.len() - 1 - lag) % self.history.len();
+        let idx = (self.next_slot + self.history.len() - 1 - lag) % self.history.len();
         self.history[idx]
             .iter()
             .map(|&t| self.quantise(t))
@@ -159,22 +158,14 @@ mod tests {
 
     #[test]
     fn quantisation_rounds() {
-        let mut s = ThermalSensorArray::new(
-            1,
-            Seconds::ZERO,
-            Seconds::from_micros(10.0),
-        );
+        let mut s = ThermalSensorArray::new(1, Seconds::ZERO, Seconds::from_micros(10.0));
         s.record(&[61.37]);
         assert_eq!(s.read(), vec![61.25]);
     }
 
     #[test]
     fn latency_steps_derived_from_durations() {
-        let s = ThermalSensorArray::new(
-            4,
-            Seconds::from_micros(100.0),
-            Seconds::from_micros(20.0),
-        );
+        let s = ThermalSensorArray::new(4, Seconds::from_micros(100.0), Seconds::from_micros(20.0));
         assert_eq!(s.latency_steps(), 5);
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());

@@ -25,7 +25,13 @@ fn main() {
         let t = |label: &str, improved: bool| {
             rows.iter()
                 .find(|r| r.policy.label() == label)
-                .map(|r| if improved { r.tmax_improved } else { r.tmax_air })
+                .map(|r| {
+                    if improved {
+                        r.tmax_improved
+                    } else {
+                        r.tmax_air
+                    }
+                })
                 .unwrap_or(f64::NAN)
         };
         t("off-chip", true) < t("OracT", true)

@@ -5,10 +5,7 @@ use experiments::figures::regulator::fig01_curves;
 use experiments::report::{banner, TextTable};
 
 fn main() {
-    banner(
-        "Fig. 1",
-        "η vs. I_out of the ISSCC 2015 regulator survey",
-    );
+    banner("Fig. 1", "η vs. I_out of the ISSCC 2015 regulator survey");
     for curve in fig01_curves() {
         println!("\n{}", curve.label);
         let mut table = TextTable::new(&["I_out (A)", "η (%)"]);

@@ -17,8 +17,15 @@ fn main() {
         // hottest VR and its peak temp
         let mut best = (0usize, f64::MIN);
         for v in 0..96 {
-            let m = r.vr_temperatures().channel(v).iter().copied().fold(f64::MIN, f64::max);
-            if m > best.1 { best = (v, m); }
+            let m = r
+                .vr_temperatures()
+                .channel(v)
+                .iter()
+                .copied()
+                .fold(f64::MIN, f64::max);
+            if m > best.1 {
+                best = (v, m);
+            }
         }
         let site = chip.vr_site(floorplan::VrId(best.0));
         println!("{us:6.0}us Tmax {:6.2} hottestVR VR{} temp {:6.2} domain {} hood {:?} center ({:.1},{:.1})mm",
@@ -27,8 +34,21 @@ fn main() {
             site.center().x.as_mm(), site.center().y.as_mm());
         // heatmap max location
         let hm = r.heatmap_at_tmax();
-        let mut hot=(0usize,0usize,f64::MIN);
-        for (j,row) in hm.iter().enumerate() { for (i,&t) in row.iter().enumerate() { if t>hot.2 {hot=(i,j,t);} } }
-        println!("          heatmap max {:.2} at cell ({},{}) of 64 → ({:.1},{:.1})mm", hot.2, hot.0, hot.1, hot.0 as f64*0.328+0.16, hot.1 as f64*0.328+0.16);
+        let mut hot = (0usize, 0usize, f64::MIN);
+        for (j, row) in hm.iter().enumerate() {
+            for (i, &t) in row.iter().enumerate() {
+                if t > hot.2 {
+                    hot = (i, j, t);
+                }
+            }
+        }
+        println!(
+            "          heatmap max {:.2} at cell ({},{}) of 64 → ({:.1},{:.1})mm",
+            hot.2,
+            hot.0,
+            hot.1,
+            hot.0 as f64 * 0.328 + 0.16,
+            hot.1 as f64 * 0.328 + 0.16
+        );
     }
 }

@@ -83,10 +83,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("{flag} expects a value"))
-        };
+        let mut value = || it.next().ok_or_else(|| format!("{flag} expects a value"));
         match flag.as_str() {
             "--bench" => args.spec = WorkloadSpec::Single(parse_benchmark(&value()?)?),
             "--mix" => {
@@ -101,15 +98,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--policy" => args.policy = parse_policy(&value()?)?,
             "--duration-ms" => {
-                args.duration_ms =
-                    Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
+                args.duration_ms = Some(value()?.parse().map_err(|e| format!("bad duration: {e}"))?)
             }
             "--windows" => {
                 args.windows = Some(value()?.parse().map_err(|e| format!("bad windows: {e}"))?)
             }
-            "--grid" => {
-                args.grid = Some(value()?.parse().map_err(|e| format!("bad grid: {e}"))?)
-            }
+            "--grid" => args.grid = Some(value()?.parse().map_err(|e| format!("bad grid: {e}"))?),
             "--design" => {
                 args.design = Some(match value()?.as_str() {
                     "fivr" => RegulatorDesign::fivr(),

@@ -5,30 +5,88 @@ use thermal::ThermalConfig;
 use thermogater::EngineConfig;
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExpOptions {
     /// Run a reduced configuration (shorter ROI, coarser grid, fewer
     /// noise windows) for fast iteration.
     pub quick: bool,
+    /// Run a minimal configuration (3 ms ROI, 4 noise windows) — for
+    /// tests and benchmarks of the sweep machinery itself.
+    pub tiny: bool,
+    /// Sweep worker-thread count. `None` defers to the `SIMKIT_THREADS`
+    /// environment variable, then to the machine's available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl ExpOptions {
-    /// Parses the process arguments (`--quick` is the only flag).
+    /// Parses the process arguments (`--quick`, `--tiny`,
+    /// `--threads=N`). `THERMOGATER_QUICK` in the environment also
+    /// selects the quick configuration.
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("THERMOGATER_QUICK").is_ok();
-        ExpOptions { quick }
+        let quick =
+            std::env::args().any(|a| a == "--quick") || std::env::var("THERMOGATER_QUICK").is_ok();
+        let tiny = std::env::args().any(|a| a == "--tiny");
+        let threads = std::env::args()
+            .find_map(|a| a.strip_prefix("--threads=").and_then(|n| n.parse().ok()));
+        ExpOptions {
+            quick,
+            tiny,
+            threads,
+        }
     }
 
     /// Explicit constructor for benches and tests.
     pub fn new(quick: bool) -> Self {
-        ExpOptions { quick }
+        ExpOptions {
+            quick,
+            ..ExpOptions::default()
+        }
+    }
+
+    /// The minimal configuration (3 ms ROI, coarse grid, 4 noise
+    /// windows) — small enough for sweep-machinery tests and benches.
+    pub fn tiny() -> Self {
+        ExpOptions {
+            tiny: true,
+            ..ExpOptions::default()
+        }
+    }
+
+    /// This configuration with an explicit sweep worker-thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        ExpOptions {
+            threads: Some(threads),
+            ..self
+        }
+    }
+
+    /// The sweep worker-thread count: the explicit option, else the
+    /// `SIMKIT_THREADS` environment variable, else the machine's
+    /// available parallelism; never zero.
+    pub fn resolved_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("SIMKIT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 
     /// The engine configuration these options select.
     pub fn engine_config(&self) -> EngineConfig {
-        if self.quick {
+        if self.tiny {
+            EngineConfig {
+                duration: Seconds::from_millis(3.0),
+                thermal: ThermalConfig::coarse(),
+                noise_window_count: 4,
+                profiling_decisions: 4,
+                ..EngineConfig::standard()
+            }
+        } else if self.quick {
             EngineConfig {
                 duration: Seconds::from_millis(6.0),
                 thermal: ThermalConfig::coarse(),
@@ -43,14 +101,15 @@ impl ExpOptions {
 
     /// Cache-directory tag for this configuration.
     pub fn tag(&self) -> &'static str {
-        if self.quick {
+        if self.tiny {
+            "tiny"
+        } else if self.quick {
             "quick"
         } else {
             "full"
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -65,5 +124,22 @@ mod tests {
         assert!(quick.thermal.nx < full.thermal.nx);
         assert_eq!(ExpOptions::new(true).tag(), "quick");
         assert_eq!(ExpOptions::new(false).tag(), "full");
+    }
+
+    #[test]
+    fn tiny_config_is_smallest() {
+        let tiny = ExpOptions::tiny().engine_config();
+        let quick = ExpOptions::new(true).engine_config();
+        assert!(tiny.duration < quick.duration);
+        assert!(tiny.noise_window_count < quick.noise_window_count);
+        assert_eq!(ExpOptions::tiny().tag(), "tiny");
+    }
+
+    #[test]
+    fn explicit_threads_win_and_are_clamped() {
+        assert_eq!(ExpOptions::tiny().with_threads(3).resolved_threads(), 3);
+        assert_eq!(ExpOptions::tiny().with_threads(0).resolved_threads(), 1);
+        // Without an explicit count the resolution is still nonzero.
+        assert!(ExpOptions::tiny().resolved_threads() >= 1);
     }
 }

@@ -278,10 +278,12 @@ pub struct ThermalPlacementRow {
 pub fn ablation_thermal_placement(opts: &ExpOptions) -> Vec<ThermalPlacementRow> {
     let uniform_chip = power8_like();
     let mut shifted_chip = power8_like();
-    pdn::placement::shift_towards_memory(&mut shifted_chip, 1.5)
-        .expect("clamped shift succeeds");
+    pdn::placement::shift_towards_memory(&mut shifted_chip, 1.5).expect("clamped shift succeeds");
     let mut rows = Vec::new();
-    for (placement, chip) in [("uniform", &uniform_chip), ("memory-shifted", &shifted_chip)] {
+    for (placement, chip) in [
+        ("uniform", &uniform_chip),
+        ("memory-shifted", &shifted_chip),
+    ] {
         let engine = SimulationEngine::new(chip, opts.engine_config());
         for policy in [PolicyKind::AllOn, PolicyKind::OracT] {
             eprintln!("[placement] running {placement} × {} …", policy.label());

@@ -81,8 +81,8 @@ pub fn phase_family(
 /// Fig. 2: the 16-phase Intel buck regulator — phases of ≈0.94 A each so
 /// the full bank covers the figure's 0–15 A axis.
 pub fn fig02_family() -> PhaseFamily {
-    let curve = EfficiencyCurve::scaled_reference(0.90, Amps::new(15.0 / 16.0))
-        .expect("static parameters");
+    let curve =
+        EfficiencyCurve::scaled_reference(0.90, Amps::new(15.0 / 16.0)).expect("static parameters");
     let design = RegulatorDesign::new(
         "Intel-16phase",
         vreg::RegulatorTopology::Buck,
@@ -119,12 +119,7 @@ mod tests {
             vec!["2 active", "4 active", "8 active", "12 active", "16 active"]
         );
         // Full bank covers ≥ 15 A.
-        let max_i = fam
-            .effective
-            .points
-            .last()
-            .map(|&(i, _)| i)
-            .unwrap_or(0.0);
+        let max_i = fam.effective.points.last().map(|&(i, _)| i).unwrap_or(0.0);
         assert!(max_i >= 15.0, "axis reach {max_i}");
     }
 

@@ -43,8 +43,7 @@ pub fn fig08(opts: &ExpOptions) -> Fig08Data {
     };
     let swing = |vr: VrId| {
         let t = result.vr_temperatures().channel(vr.0);
-        t.iter().copied().fold(f64::MIN, f64::max)
-            - t.iter().copied().fold(f64::MAX, f64::min)
+        t.iter().copied().fold(f64::MIN, f64::max) - t.iter().copied().fold(f64::MAX, f64::min)
     };
     let vr = (0..n_vrs)
         .map(VrId)

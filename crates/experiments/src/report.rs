@@ -89,6 +89,34 @@ impl TextTable {
     }
 }
 
+/// Renders a per-phase wall-clock breakdown (from
+/// [`SimulationResult::phase_times`](thermogater::SimulationResult::phase_times))
+/// as a column-aligned table with each phase's share of the total.
+pub fn phase_report(perf: &simkit::perf::PhaseTimes) -> String {
+    let total = perf.total_seconds();
+    let mut t = TextTable::new(&["phase", "seconds", "samples", "share"]);
+    for (phase, seconds, samples) in perf.iter() {
+        let share = if total > 0.0 {
+            seconds / total * 100.0
+        } else {
+            0.0
+        };
+        t.add_row(vec![
+            phase.to_string(),
+            format!("{seconds:.3}"),
+            samples.to_string(),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t.add_row(vec![
+        "total".into(),
+        format!("{total:.3}"),
+        String::new(),
+        String::new(),
+    ]);
+    t.render()
+}
+
 /// Formats an `Option<f64>` with fixed precision (`"-"` when absent).
 pub fn fmt_opt(value: Option<f64>, precision: usize) -> String {
     match value {
@@ -162,6 +190,18 @@ mod tests {
         let w = lines[0].chars().count();
         assert!(lines[3].chars().count() <= w + 2);
         assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn phase_report_shows_shares_and_total() {
+        let mut perf = simkit::perf::PhaseTimes::new();
+        perf.add("transient", 3.0);
+        perf.add("noise", 1.0);
+        let s = phase_report(&perf);
+        assert!(s.contains("transient"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("total"));
+        assert!(s.contains("4.000"));
     }
 
     #[test]

@@ -1,17 +1,29 @@
-//! Cached benchmark × policy sweeps.
+//! Cached benchmark × policy sweeps with a parallel executor.
 //!
 //! The headline figures (9, 10, 11) and Table 2 all read the same
 //! 14-benchmark × 8-policy grid; on a single core that sweep takes tens
 //! of minutes at the paper-faithful configuration, so each
 //! (benchmark, policy) cell is cached on disk after its first run. The
 //! cache lives under `target/experiments/<tag>/` and is keyed by the
-//! configuration tag (`full`/`quick`); delete the directory to force
-//! re-runs.
+//! configuration tag (`full`/`quick`/`tiny`); delete the directory to
+//! force re-runs.
+//!
+//! [`grid`] distributes uncached cells over worker threads: each cell
+//! is an independent simulation (its engine, thermal model, and PDN are
+//! built thread-locally), so workers claim cells from a shared atomic
+//! counter and the grid completes in roughly
+//! `cells / min(threads, cells)` serial-cell times. The worker count
+//! comes from [`ExpOptions::resolved_threads`] (`--threads=N`, then
+//! `SIMKIT_THREADS`, then the machine's parallelism); the produced
+//! records — and the per-cell CSV cache files — are byte-identical to a
+//! serial run regardless of thread count.
 
 use crate::context::ExpOptions;
 use floorplan::reference::power8_like;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use thermogater::{PolicyKind, SimulationEngine, SimulationResult};
 use workload::Benchmark;
 
@@ -57,12 +69,15 @@ impl SweepRecord {
         }
     }
 
+    // `{:e}` prints the shortest representation that parses back to the
+    // exact same f64, so a cache round-trip is lossless and a cache-read
+    // record equals the freshly computed one bit for bit.
     fn to_csv(&self) -> String {
         fn opt(v: Option<f64>) -> String {
-            v.map_or("-".into(), |x| format!("{x:.10e}"))
+            v.map_or("-".into(), |x| format!("{x:e}"))
         }
         format!(
-            "{},{},{:.10e},{:.10e},{:.10e},{:.10e},{},{},{:.10e},{}",
+            "{},{},{:e},{:e},{:e},{:e},{},{},{:e},{}",
             self.benchmark.label(),
             policy_tag(self.policy),
             self.tmax_c,
@@ -126,7 +141,9 @@ fn benchmark_from_label(label: &str) -> Option<Benchmark> {
     Benchmark::ALL.into_iter().find(|b| b.label() == label)
 }
 
-fn cache_dir(opts: &ExpOptions) -> PathBuf {
+/// The on-disk cache directory of a configuration
+/// (`target/experiments/<tag>/`). Delete it to force re-runs.
+pub fn cache_dir(opts: &ExpOptions) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../target/experiments")
         .join(opts.tag())
@@ -150,31 +167,85 @@ pub fn record_for(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -
             return record;
         }
     }
-    eprintln!("[sweep] running {} × {} …", benchmark.label(), policy.label());
+    eprintln!(
+        "[sweep] running {} × {} …",
+        benchmark.label(),
+        policy.label()
+    );
     let chip = power8_like();
     let engine = SimulationEngine::new(&chip, opts.engine_config());
     let result = engine
         .run(benchmark, policy)
         .expect("simulation of a physical configuration succeeds");
+    eprintln!(
+        "[sweep] {} × {} phase times:\n{}",
+        benchmark.label(),
+        policy.label(),
+        crate::report::phase_report(result.phase_times()),
+    );
     let record = SweepRecord::from_result(&result);
     fs::create_dir_all(cache_dir(opts)).expect("create cache directory");
     fs::write(&path, record.to_csv()).expect("write cache entry");
     record
 }
 
-/// All records of a benchmark × policy grid (cached per cell).
+/// All records of a benchmark × policy grid (cached per cell), in
+/// benchmark-major order.
+///
+/// Cells run on [`ExpOptions::resolved_threads`] workers; every cell is
+/// simulated by exactly one worker and cached under its own file, so
+/// the output is independent of the thread count.
+///
+/// # Panics
+///
+/// Panics when any cell's simulation fails (physical configurations do
+/// not) or the cache directory cannot be created.
 pub fn grid(
     opts: &ExpOptions,
     benchmarks: &[Benchmark],
     policies: &[PolicyKind],
 ) -> Vec<SweepRecord> {
-    let mut out = Vec::with_capacity(benchmarks.len() * policies.len());
-    for &benchmark in benchmarks {
-        for &policy in policies {
-            out.push(record_for(opts, benchmark, policy));
-        }
+    let cells: Vec<(Benchmark, PolicyKind)> = benchmarks
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
+        .collect();
+    let threads = opts.resolved_threads().min(cells.len().max(1));
+    if threads <= 1 || cells.len() <= 1 {
+        return cells.iter().map(|&(b, p)| record_for(opts, b, p)).collect();
     }
-    out
+
+    // Work stealing over an atomic claim counter: cells vary widely in
+    // cost (policy and cache state), so static partitioning would leave
+    // workers idle behind the slowest stripe.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SweepRecord)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let cells = &cells;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (benchmark, policy) = cells[i];
+                let record = record_for(opts, benchmark, policy);
+                if tx.send((i, record)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
+    for (i, record) in rx {
+        out[i] = Some(record);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every claimed cell sends exactly one record"))
+        .collect()
 }
 
 /// Looks up one cell in a grid produced by [`grid`].

@@ -176,7 +176,13 @@ impl FloorplanBuilder {
             })
             .collect();
         for (site, hood) in self.vr_sites.iter_mut().zip(neighborhoods) {
-            *site = VrSite::new(site.id(), site.domain(), site.center(), site.area_mm2(), hood);
+            *site = VrSite::new(
+                site.id(),
+                site.domain(),
+                site.center(),
+                site.area_mm2(),
+                hood,
+            );
         }
         Floorplan::from_parts(self.die, self.blocks, self.domains, self.vr_sites)
     }
@@ -206,7 +212,12 @@ mod tests {
         let mut b = FloorplanBuilder::new(die());
         let d = b.add_domain("d", DomainKind::Core);
         let err = b
-            .add_block(d, "x", UnitKind::Execution, Rect::from_mm(8.0, 8.0, 5.0, 5.0))
+            .add_block(
+                d,
+                "x",
+                UnitKind::Execution,
+                Rect::from_mm(8.0, 8.0, 5.0, 5.0),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("outside"));
     }
@@ -215,10 +226,20 @@ mod tests {
     fn rejects_overlapping_blocks() {
         let mut b = FloorplanBuilder::new(die());
         let d = b.add_domain("d", DomainKind::Core);
-        b.add_block(d, "a", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 5.0))
-            .unwrap();
+        b.add_block(
+            d,
+            "a",
+            UnitKind::Execution,
+            Rect::from_mm(0.0, 0.0, 5.0, 5.0),
+        )
+        .unwrap();
         let err = b
-            .add_block(d, "b", UnitKind::LoadStore, Rect::from_mm(4.0, 4.0, 5.0, 5.0))
+            .add_block(
+                d,
+                "b",
+                UnitKind::LoadStore,
+                Rect::from_mm(4.0, 4.0, 5.0, 5.0),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("overlaps"));
     }
@@ -227,10 +248,20 @@ mod tests {
     fn abutting_blocks_are_fine() {
         let mut b = FloorplanBuilder::new(die());
         let d = b.add_domain("d", DomainKind::Core);
-        b.add_block(d, "a", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 10.0))
-            .unwrap();
-        b.add_block(d, "b", UnitKind::LoadStore, Rect::from_mm(5.0, 0.0, 5.0, 10.0))
-            .unwrap();
+        b.add_block(
+            d,
+            "a",
+            UnitKind::Execution,
+            Rect::from_mm(0.0, 0.0, 5.0, 10.0),
+        )
+        .unwrap();
+        b.add_block(
+            d,
+            "b",
+            UnitKind::LoadStore,
+            Rect::from_mm(5.0, 0.0, 5.0, 10.0),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -266,17 +297,24 @@ mod tests {
     fn vr_neighborhood_classified_by_nearest_block() {
         let mut b = FloorplanBuilder::new(die());
         let d = b.add_domain("core", DomainKind::Core);
-        b.add_block(d, "EXU", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 10.0, 5.0))
-            .unwrap();
-        b.add_block(d, "L2", UnitKind::L2Cache, Rect::from_mm(0.0, 5.0, 10.0, 5.0))
-            .unwrap();
+        b.add_block(
+            d,
+            "EXU",
+            UnitKind::Execution,
+            Rect::from_mm(0.0, 0.0, 10.0, 5.0),
+        )
+        .unwrap();
+        b.add_block(
+            d,
+            "L2",
+            UnitKind::L2Cache,
+            Rect::from_mm(0.0, 5.0, 10.0, 5.0),
+        )
+        .unwrap();
         let logic_vr = b.add_vr(d, Point::from_mm(5.0, 1.0), 0.04).unwrap();
         let mem_vr = b.add_vr(d, Point::from_mm(5.0, 9.0), 0.04).unwrap();
         let chip = b.build().unwrap();
-        assert_eq!(
-            chip.vr_site(logic_vr).neighborhood(),
-            VrNeighborhood::Logic
-        );
+        assert_eq!(chip.vr_site(logic_vr).neighborhood(), VrNeighborhood::Logic);
         assert_eq!(chip.vr_site(mem_vr).neighborhood(), VrNeighborhood::Memory);
     }
 

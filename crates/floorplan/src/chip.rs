@@ -159,10 +159,20 @@ mod tests {
     fn tiny_chip() -> Floorplan {
         let mut b = FloorplanBuilder::new(Rect::from_mm(0.0, 0.0, 10.0, 10.0));
         let d = b.add_domain("core0", DomainKind::Core);
-        b.add_block(d, "EXU", UnitKind::Execution, Rect::from_mm(0.0, 0.0, 5.0, 10.0))
-            .unwrap();
-        b.add_block(d, "L2", UnitKind::L2Cache, Rect::from_mm(5.0, 0.0, 5.0, 10.0))
-            .unwrap();
+        b.add_block(
+            d,
+            "EXU",
+            UnitKind::Execution,
+            Rect::from_mm(0.0, 0.0, 5.0, 10.0),
+        )
+        .unwrap();
+        b.add_block(
+            d,
+            "L2",
+            UnitKind::L2Cache,
+            Rect::from_mm(5.0, 0.0, 5.0, 10.0),
+        )
+        .unwrap();
         b.add_vr(d, Point::from_mm(2.5, 5.0), 0.04).unwrap();
         b.build().unwrap()
     }
@@ -179,8 +189,14 @@ mod tests {
     #[test]
     fn block_at_point() {
         let chip = tiny_chip();
-        assert_eq!(chip.block_at(Point::from_mm(1.0, 1.0)).unwrap().name(), "EXU");
-        assert_eq!(chip.block_at(Point::from_mm(7.0, 1.0)).unwrap().name(), "L2");
+        assert_eq!(
+            chip.block_at(Point::from_mm(1.0, 1.0)).unwrap().name(),
+            "EXU"
+        );
+        assert_eq!(
+            chip.block_at(Point::from_mm(7.0, 1.0)).unwrap().name(),
+            "L2"
+        );
         assert!(chip.block_at(Point::from_mm(15.0, 1.0)).is_none());
     }
 

@@ -222,7 +222,7 @@ fn uniform_grid(x0: f64, y0: f64, w: f64, h: f64, count: usize) -> Vec<(f64, f64
     // Pick the column count whose grid best matches the aspect ratio
     // while covering exactly `count` sites.
     let mut cols = ((count as f64 * w / h).sqrt().round() as usize).clamp(1, count);
-    while count % cols != 0 {
+    while !count.is_multiple_of(cols) {
         // Prefer exact factorisations (3×3, 3×2, 4×3, …); fall back by
         // decreasing the column count (1 always divides).
         cols -= 1;
@@ -281,13 +281,13 @@ mod tests {
     #[test]
     fn each_core_has_five_units() {
         let chip = power8_like();
-        for d in chip.domains().iter().filter(|d| d.kind() == DomainKind::Core) {
+        for d in chip
+            .domains()
+            .iter()
+            .filter(|d| d.kind() == DomainKind::Core)
+        {
             assert_eq!(d.blocks().len(), 5, "domain {}", d.name());
-            let kinds: Vec<_> = d
-                .blocks()
-                .iter()
-                .map(|&b| chip.block(b).kind())
-                .collect();
+            let kinds: Vec<_> = d.blocks().iter().map(|&b| chip.block(b).kind()).collect();
             assert!(kinds.contains(&UnitKind::InstructionFetch));
             assert!(kinds.contains(&UnitKind::InstructionSchedule));
             assert!(kinds.contains(&UnitKind::Execution));
@@ -299,7 +299,11 @@ mod tests {
     #[test]
     fn core_vr_neighborhoods_split_six_logic_three_memory() {
         let chip = power8_like();
-        for d in chip.domains().iter().filter(|d| d.kind() == DomainKind::Core) {
+        for d in chip
+            .domains()
+            .iter()
+            .filter(|d| d.kind() == DomainKind::Core)
+        {
             let logic = d
                 .vrs()
                 .iter()

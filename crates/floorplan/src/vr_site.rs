@@ -1,7 +1,7 @@
 //! Physical sites of component voltage regulators.
 
 use crate::domain::DomainId;
-use simkit::{Point, Rect, units::Meters};
+use simkit::{units::Meters, Point, Rect};
 use std::fmt;
 
 /// Identifier of a [`VrSite`] within a [`crate::Floorplan`].
@@ -89,10 +89,7 @@ impl VrSite {
     pub fn footprint(&self) -> Rect {
         let side = Meters::from_mm(self.area_mm2.sqrt());
         Rect::new(
-            Point::new(
-                self.center.x - side / 2.0,
-                self.center.y - side / 2.0,
-            ),
+            Point::new(self.center.x - side / 2.0, self.center.y - side / 2.0),
             side,
             side,
         )

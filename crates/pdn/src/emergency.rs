@@ -202,7 +202,10 @@ mod tests {
         let n = 10_000;
         let alarms = (0..n).filter(|_| p.predict(false)).count();
         let rate = alarms as f64 / n as f64;
-        assert!((rate - DEFAULT_FALSE_ALARM_RATE).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - DEFAULT_FALSE_ALARM_RATE).abs() < 0.01,
+            "rate {rate}"
+        );
         let mut strict = EmergencyPredictor::new(0.9, 13).with_false_alarm_rate(0.0);
         assert!((0..100).all(|_| !strict.predict(false)));
     }

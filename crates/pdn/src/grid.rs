@@ -2,9 +2,10 @@
 
 use crate::config::PdnConfig;
 use floorplan::{DomainId, Floorplan, VrId};
-use simkit::linalg::TripletBuilder;
+use simkit::linalg::{CgWorkspace, CsrMatrix, JacobiPreconditioner, TripletBuilder};
 use simkit::units::Watts;
 use simkit::{Error, Result};
+use std::sync::Mutex;
 use vreg::GatingState;
 
 /// Result of one static IR-drop analysis.
@@ -43,11 +44,7 @@ impl IrReport {
 
     /// Worst total drop across all domains as a fraction of Vdd.
     pub fn chip_max_fraction(&self) -> f64 {
-        let worst_local = self
-            .per_domain_volts
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let worst_local = self.per_domain_volts.iter().copied().fold(0.0f64, f64::max);
         (worst_local + self.global_volts) / self.vdd
     }
 
@@ -67,6 +64,26 @@ struct DomainGrid {
     block_cells: Vec<(usize, Vec<(usize, f64)>)>,
     /// Per VR of this domain: `(vr id, cell)`.
     vr_cells: Vec<(VrId, usize)>,
+    /// Sheet conductance matrix, assembled once, with zero-valued
+    /// placeholder entries on every regulator cell's diagonal so that a
+    /// gating configuration is applied by patching values, not by
+    /// re-assembling the matrix.
+    base: CsrMatrix,
+    /// Per VR of this domain: `(vr id, index into the matrix values of
+    /// its cell's diagonal entry)`.
+    vr_entries: Vec<(VrId, usize)>,
+}
+
+/// Per-domain solver scratch, reused across [`PdnModel::ir_drop`] calls:
+/// the patched conductance matrix, its preconditioner, the load/solution
+/// vectors, and the CG workspace.
+#[derive(Debug, Clone)]
+struct DomainScratch {
+    matrix: CsrMatrix,
+    pre: JacobiPreconditioner,
+    i_load: Vec<f64>,
+    volts: Vec<f64>,
+    cg: CgWorkspace,
 }
 
 impl DomainGrid {
@@ -81,12 +98,34 @@ impl DomainGrid {
 ///
 /// See the crate docs for the modelling approach. The model snapshots the
 /// chip geometry at construction; rebuild it after moving regulators.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PdnModel {
     config: PdnConfig,
     grids: Vec<DomainGrid>,
+    /// Interior-mutable solver scratch: `ir_drop` keeps its `&self`
+    /// signature while reusing buffers across calls. The mutex keeps the
+    /// model `Sync`; it is uncontended in practice because each sweep
+    /// worker owns its own engine and model.
+    scratch: Mutex<Vec<DomainScratch>>,
     n_vrs: usize,
     n_blocks: usize,
+}
+
+impl Clone for PdnModel {
+    fn clone(&self) -> Self {
+        PdnModel {
+            config: self.config.clone(),
+            grids: self.grids.clone(),
+            scratch: Mutex::new(
+                self.scratch
+                    .lock()
+                    .expect("pdn scratch lock is never poisoned")
+                    .clone(),
+            ),
+            n_vrs: self.n_vrs,
+            n_blocks: self.n_blocks,
+        }
+    }
 }
 
 impl PdnModel {
@@ -150,7 +189,7 @@ impl PdnModel {
                     })
                     .collect();
 
-                let vr_cells = domain
+                let vr_cells: Vec<(VrId, usize)> = domain
                     .vrs()
                     .iter()
                     .map(|&vid| {
@@ -161,18 +200,72 @@ impl PdnModel {
                     })
                     .collect();
 
+                // Assemble the sheet conductances once. Regulator cells
+                // get a zero-valued diagonal placeholder so the gating
+                // conductance can later be patched in via `values_mut`.
+                let g_sheet = 1.0 / config.r_sheet_ohm;
+                let n = nx * ny;
+                let mut b = TripletBuilder::new(n, n);
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let c = j * nx + i;
+                        if i + 1 < nx {
+                            b.add(c, c, g_sheet);
+                            b.add(c + 1, c + 1, g_sheet);
+                            b.add(c, c + 1, -g_sheet);
+                            b.add(c + 1, c, -g_sheet);
+                        }
+                        if j + 1 < ny {
+                            let cn = c + nx;
+                            b.add(c, c, g_sheet);
+                            b.add(cn, cn, g_sheet);
+                            b.add(c, cn, -g_sheet);
+                            b.add(cn, c, -g_sheet);
+                        }
+                    }
+                }
+                for &(_, cell) in &vr_cells {
+                    b.add(cell, cell, 0.0);
+                }
+                let base = b.build();
+                let vr_entries = vr_cells
+                    .iter()
+                    .map(|&(vid, cell)| {
+                        let k = base
+                            .entry_index(cell, cell)
+                            .expect("placeholder guarantees a diagonal entry");
+                        (vid, k)
+                    })
+                    .collect();
+
                 DomainGrid {
                     nx,
                     ny,
                     cell_mm: config.cell_mm,
                     block_cells,
                     vr_cells,
+                    base,
+                    vr_entries,
+                }
+            })
+            .collect::<Vec<DomainGrid>>();
+        let scratch = grids
+            .iter()
+            .map(|grid| {
+                let n = grid.nx * grid.ny;
+                DomainScratch {
+                    matrix: grid.base.clone(),
+                    pre: JacobiPreconditioner::default(),
+                    i_load: vec![0.0; n],
+                    volts: vec![0.0; n],
+                    cg: CgWorkspace::with_size(n),
                 }
             })
             .collect();
         PdnModel {
             config,
             grids,
+            scratch: Mutex::new(scratch),
             n_vrs: chip.vr_sites().len(),
             n_blocks: chip.blocks().len(),
         }
@@ -207,15 +300,25 @@ impl PdnModel {
             });
         }
         let vdd = self.config.vdd.get();
-        let g_sheet = 1.0 / self.config.r_sheet_ohm;
         let g_vr = 1.0 / self.config.r_vr_ohm;
 
+        let mut scratches = self
+            .scratch
+            .lock()
+            .expect("pdn scratch lock is never poisoned");
         let mut per_domain = Vec::with_capacity(self.grids.len());
         let mut total_current = 0.0;
-        for (d, grid) in self.grids.iter().enumerate() {
+        for (d, (grid, scratch)) in self.grids.iter().zip(scratches.iter_mut()).enumerate() {
             let n = grid.nx * grid.ny;
+            let DomainScratch {
+                matrix,
+                pre,
+                i_load,
+                volts,
+                cg,
+            } = scratch;
             // Load currents.
-            let mut i_load = vec![0.0; n];
+            i_load.iter_mut().for_each(|v| *v = 0.0);
             for (block, cover) in &grid.block_cells {
                 let amps = block_powers[*block].get().max(0.0) / vdd;
                 total_current += amps;
@@ -223,31 +326,14 @@ impl PdnModel {
                     i_load[cell] += amps * fraction;
                 }
             }
-            // Grid conductances.
-            let mut b = TripletBuilder::new(n, n);
-            for j in 0..grid.ny {
-                for i in 0..grid.nx {
-                    let c = j * grid.nx + i;
-                    if i + 1 < grid.nx {
-                        b.add(c, c, g_sheet);
-                        b.add(c + 1, c + 1, g_sheet);
-                        b.add(c, c + 1, -g_sheet);
-                        b.add(c + 1, c, -g_sheet);
-                    }
-                    if j + 1 < grid.ny {
-                        let cn = c + grid.nx;
-                        b.add(c, c, g_sheet);
-                        b.add(cn, cn, g_sheet);
-                        b.add(c, cn, -g_sheet);
-                        b.add(cn, c, -g_sheet);
-                    }
-                }
-            }
-            // Active regulators: low-impedance paths to the supply.
+            // Refresh the cached matrix: sheet conductances from the base
+            // pattern, then the active regulators' low-impedance paths to
+            // the supply patched onto their diagonal slots.
+            matrix.values_mut().copy_from_slice(grid.base.values());
             let mut active = 0;
-            for &(vid, cell) in &grid.vr_cells {
+            for &(vid, k) in &grid.vr_entries {
                 if gating.is_on(vid) {
-                    b.add(cell, cell, g_vr);
+                    matrix.values_mut()[k] += g_vr;
                     active += 1;
                 }
             }
@@ -256,9 +342,10 @@ impl PdnModel {
                     "domain D{d} has no active regulator; its grid is floating"
                 )));
             }
-            let g = b.build();
-            let v = g.solve_cg(&i_load, None, 1e-9, 10 * n)?;
-            per_domain.push(v.iter().copied().fold(0.0f64, f64::max));
+            pre.update(matrix)?;
+            volts.iter_mut().for_each(|v| *v = 0.0);
+            matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+            per_domain.push(volts.iter().copied().fold(0.0f64, f64::max));
         }
         Ok(IrReport {
             per_domain_volts: per_domain,
@@ -277,11 +364,7 @@ impl PdnModel {
     ///
     /// Panics when the domain id is out of range or `block_powers` is
     /// shorter than the block count.
-    pub fn vr_load_proximity(
-        &self,
-        domain: DomainId,
-        block_powers: &[Watts],
-    ) -> Vec<(VrId, f64)> {
+    pub fn vr_load_proximity(&self, domain: DomainId, block_powers: &[Watts]) -> Vec<(VrId, f64)> {
         let grid = &self.grids[domain.0];
         let vdd = self.config.vdd.get();
         // Current per cell.
@@ -352,8 +435,8 @@ impl PdnModel {
             let (x, y) = grid.cell_xy(cell);
             (x - cx).abs() + (y - cy).abs() + 0.2
         };
-        let all: f64 = grid.vr_cells.iter().map(|&(_, c)| dist(c)).sum::<f64>()
-            / grid.vr_cells.len() as f64;
+        let all: f64 =
+            grid.vr_cells.iter().map(|&(_, c)| dist(c)).sum::<f64>() / grid.vr_cells.len() as f64;
         let active: Vec<f64> = grid
             .vr_cells
             .iter()
@@ -445,12 +528,8 @@ mod tests {
     fn drop_scales_with_load() {
         let (chip, model) = setup();
         let all_on = GatingState::all_on(chip.vr_sites().len());
-        let light = model
-            .ir_drop(&all_on, &uniform_powers(&chip, 0.5))
-            .unwrap();
-        let heavy = model
-            .ir_drop(&all_on, &uniform_powers(&chip, 2.0))
-            .unwrap();
+        let light = model.ir_drop(&all_on, &uniform_powers(&chip, 0.5)).unwrap();
+        let heavy = model.ir_drop(&all_on, &uniform_powers(&chip, 2.0)).unwrap();
         assert!(
             (heavy.chip_max_fraction() / light.chip_max_fraction() - 4.0).abs() < 0.1,
             "linear network should scale 4×"
@@ -521,9 +600,45 @@ mod tests {
         for (grid, domain) in model.grids.iter().zip(chip.domains()) {
             assert_eq!(grid.vr_cells.len(), domain.vr_count());
             assert_eq!(grid.block_cells.len(), domain.blocks().len());
-            assert!(grid.nx * grid.ny > 1, "degenerate grid for {}", domain.name());
+            assert!(
+                grid.nx * grid.ny > 1,
+                "degenerate grid for {}",
+                domain.name()
+            );
         }
         let _ = DomainKind::Core;
+    }
+
+    #[test]
+    fn cached_matrices_do_not_leak_state_between_calls() {
+        // The scratch matrix is patched per gating configuration; solving
+        // A, then B, then A again must reproduce the first A result
+        // exactly, and match a freshly built model.
+        let (chip, model) = setup();
+        let powers = uniform_powers(&chip, 1.5);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let mut half = all_on.clone();
+        for &v in chip.domains()[0].vrs().iter().skip(3) {
+            half.set(v, false).unwrap();
+        }
+        let first = model.ir_drop(&all_on, &powers).unwrap();
+        let _ = model.ir_drop(&half, &powers).unwrap();
+        let again = model.ir_drop(&all_on, &powers).unwrap();
+        assert_eq!(first, again);
+        let fresh = PdnModel::new(&chip, PdnConfig::default());
+        let reference = fresh.ir_drop(&all_on, &powers).unwrap();
+        assert_eq!(first, reference);
+    }
+
+    #[test]
+    fn vr_entries_point_at_diagonal_slots() {
+        let (_, model) = setup();
+        for grid in &model.grids {
+            for (&(vid_a, cell), &(vid_b, k)) in grid.vr_cells.iter().zip(&grid.vr_entries) {
+                assert_eq!(vid_a, vid_b);
+                assert_eq!(grid.base.entry_index(cell, cell), Some(k));
+            }
+        }
     }
 
     #[test]

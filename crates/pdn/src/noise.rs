@@ -149,11 +149,7 @@ impl NoiseAnalyzer {
                     mean_current,
                     n_active,
                     n_total: domain.vr_count(),
-                    distance_factor: model.active_distance_factor(
-                        d,
-                        gating,
-                        inputs.block_powers,
-                    ),
+                    distance_factor: model.active_distance_factor(d, gating, inputs.block_powers),
                     response_time: self.response_time,
                     frequency: self.frequency,
                 };
@@ -264,10 +260,7 @@ mod tests {
     #[test]
     fn domains_over_threshold_detection() {
         let report = NoiseReport::from_fractions(vec![0.05, 0.12, 0.09, 0.15]);
-        assert_eq!(
-            report.domains_over(0.10),
-            vec![DomainId(1), DomainId(3)]
-        );
+        assert_eq!(report.domains_over(0.10), vec![DomainId(1), DomainId(3)]);
         assert!((report.max_percent() - 15.0).abs() < 1e-12);
         assert_eq!(report.fractions().len(), 4);
     }

@@ -95,10 +95,7 @@ pub fn optimize_placement(
                 (0.0, -step_mm),
             ];
             for (dx, dy) in candidates {
-                let target = Point::new(
-                    home.x + Meters::from_mm(dx),
-                    home.y + Meters::from_mm(dy),
-                );
+                let target = Point::new(home.x + Meters::from_mm(dx), home.y + Meters::from_mm(dy));
                 if chip.move_vr(id, target).is_err() {
                     continue; // Outside the die.
                 }
@@ -164,10 +161,8 @@ pub fn shift_towards_memory(chip: &mut Floorplan, shift_mm: f64) -> Result<usize
         if memory_rects.is_empty() {
             continue;
         }
-        let cx = memory_rects.iter().map(|p| p.x.get()).sum::<f64>()
-            / memory_rects.len() as f64;
-        let cy = memory_rects.iter().map(|p| p.y.get()).sum::<f64>()
-            / memory_rects.len() as f64;
+        let cx = memory_rects.iter().map(|p| p.x.get()).sum::<f64>() / memory_rects.len() as f64;
+        let cy = memory_rects.iter().map(|p| p.y.get()).sum::<f64>() / memory_rects.len() as f64;
         for &vr in domain.vrs() {
             let site = chip.vr_site(vr);
             if site.neighborhood() == VrNeighborhood::Memory {

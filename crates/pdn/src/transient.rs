@@ -143,8 +143,7 @@ pub fn cycles_over(
 
 /// The impulse-response kernel for the given configuration.
 pub fn impulse_kernel(config: &PdnConfig, params: &TransientParams) -> Vec<f64> {
-    let response_cycles =
-        (params.response_time.get() * params.frequency.get()).max(1.0);
+    let response_cycles = (params.response_time.get() * params.frequency.get()).max(1.0);
     // A regulator that reacts within the first droop (≈ a quarter of the
     // ring period) partially suppresses even the initial undershoot; a
     // slow loop only helps the tail. This is the (modest) LDO-vs-FIVR
@@ -190,7 +189,9 @@ mod tests {
 
     /// A window with one large current step in the middle.
     fn step_window(len: usize, at: usize, height: f64) -> Vec<f64> {
-        (0..len).map(|i| if i < at { 1.0 } else { 1.0 + height }).collect()
+        (0..len)
+            .map(|i| if i < at { 1.0 } else { 1.0 + height })
+            .collect()
     }
 
     #[test]
@@ -204,18 +205,10 @@ mod tests {
     #[test]
     fn bigger_steps_make_more_noise() {
         let cfg = PdnConfig::default();
-        let small = peak_transient_fraction(
-            &cfg,
-            &params(9, 15.0),
-            &step_window(2000, 1500, 0.1),
-            1000,
-        );
-        let large = peak_transient_fraction(
-            &cfg,
-            &params(9, 15.0),
-            &step_window(2000, 1500, 0.4),
-            1000,
-        );
+        let small =
+            peak_transient_fraction(&cfg, &params(9, 15.0), &step_window(2000, 1500, 0.1), 1000);
+        let large =
+            peak_transient_fraction(&cfg, &params(9, 15.0), &step_window(2000, 1500, 0.4), 1000);
         assert!(large > 3.0 * small, "large {large} small {small}");
     }
 
@@ -237,7 +230,10 @@ mod tests {
         let fivr = peak_transient_fraction(&cfg, &params(9, 15.0), &w, 1000);
         let ldo = peak_transient_fraction(&cfg, &params(9, 0.8), &w, 1000);
         assert!(ldo < fivr, "ldo {ldo} fivr {fivr}");
-        assert!(ldo > 0.3 * fivr, "effect should be modest, got {ldo} vs {fivr}");
+        assert!(
+            ldo > 0.3 * fivr,
+            "effect should be modest, got {ldo} vs {fivr}"
+        );
     }
 
     #[test]
@@ -270,12 +266,8 @@ mod tests {
         // ring has decayed by cycle 1000, so the peak is near zero.
         let early = step_window(2000, 200, 0.4);
         let f = peak_transient_fraction(&cfg, &params(9, 15.0), &early, 1000);
-        let direct = peak_transient_fraction(
-            &cfg,
-            &params(9, 15.0),
-            &step_window(2000, 1500, 0.4),
-            1000,
-        );
+        let direct =
+            peak_transient_fraction(&cfg, &params(9, 15.0), &step_window(2000, 1500, 0.4), 1000);
         assert!(f < 0.05 * direct, "early {f} direct {direct}");
     }
 

@@ -110,9 +110,6 @@ mod tests {
     #[test]
     fn errors_compare_equal() {
         assert_eq!(Error::EmptyDomain, Error::EmptyDomain);
-        assert_ne!(
-            Error::EmptyDomain,
-            Error::SingularMatrix { index: 0 },
-        );
+        assert_ne!(Error::EmptyDomain, Error::SingularMatrix { index: 0 },);
     }
 }

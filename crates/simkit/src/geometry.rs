@@ -18,7 +18,6 @@ use crate::units::Meters;
 /// assert!((a.distance(b).as_mm() - 5.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Meters,
@@ -71,7 +70,6 @@ impl Point {
 /// assert!(r.contains(simkit::Point::from_mm(5.0, 2.5)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// Lower-left corner.
     pub origin: Point,
@@ -141,10 +139,12 @@ impl Rect {
 
     /// Area of overlap with another rectangle, in square meters.
     pub fn intersection_area(&self, other: &Rect) -> f64 {
-        let x_overlap =
-            (self.right().get().min(other.right().get()) - self.origin.x.get().max(other.origin.x.get())).max(0.0);
-        let y_overlap =
-            (self.top().get().min(other.top().get()) - self.origin.y.get().max(other.origin.y.get())).max(0.0);
+        let x_overlap = (self.right().get().min(other.right().get())
+            - self.origin.x.get().max(other.origin.x.get()))
+        .max(0.0);
+        let y_overlap = (self.top().get().min(other.top().get())
+            - self.origin.y.get().max(other.origin.y.get()))
+        .max(0.0);
         x_overlap * y_overlap
     }
 

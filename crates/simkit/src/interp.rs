@@ -22,7 +22,6 @@ use crate::error::{Error, Result};
 /// # Ok::<(), simkit::Error>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PiecewiseLinear {
     points: Vec<(f64, f64)>,
 }
@@ -107,12 +106,7 @@ impl PiecewiseLinear {
         if sx <= 0.0 || !sx.is_finite() || !sy.is_finite() {
             return Err(Error::invalid_argument("invalid scale factors"));
         }
-        PiecewiseLinear::new(
-            self.points
-                .iter()
-                .map(|&(x, y)| (x * sx, y * sy))
-                .collect(),
-        )
+        PiecewiseLinear::new(self.points.iter().map(|&(x, y)| (x * sx, y * sy)).collect())
     }
 }
 
@@ -169,7 +163,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_unsorted() {
-        assert_eq!(PiecewiseLinear::new(vec![]).unwrap_err(), Error::EmptyDomain);
+        assert_eq!(
+            PiecewiseLinear::new(vec![]).unwrap_err(),
+            Error::EmptyDomain
+        );
         assert!(PiecewiseLinear::new(vec![(1.0, 0.0), (1.0, 1.0)]).is_err());
         assert!(PiecewiseLinear::new(vec![(2.0, 0.0), (1.0, 1.0)]).is_err());
     }

@@ -16,6 +16,8 @@
 //!   network and the power-delivery-network models require;
 //! * [`interp`] — piecewise-linear interpolation used for regulator
 //!   efficiency curves;
+//! * [`perf`] — wall-clock timers and per-phase accumulators so the
+//!   engine can attribute its runtime to solver phases;
 //! * [`stats`] — summary statistics, the coefficient of determination
 //!   (R²) used to calibrate ThermoGater's ΔT = θ·ΔP predictor, and the
 //!   weighted moving average the practical policies use to forecast power;
@@ -45,6 +47,7 @@ pub mod error;
 pub mod geometry;
 pub mod interp;
 pub mod linalg;
+pub mod perf;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -9,6 +9,14 @@
 //! * [`CsrMatrix::solve_gauss_seidel`] — Gauss–Seidel sweeps with optional
 //!   successive over-relaxation, for backward-Euler transient steps where
 //!   an excellent initial guess (the previous step) is available.
+//!
+//! Both solvers have workspace-based variants for hot loops that must not
+//! allocate: [`CsrMatrix::solve_cg_with`] takes a [`CgWorkspace`] and a
+//! pre-built [`JacobiPreconditioner`], and
+//! [`CsrMatrix::solve_gauss_seidel_colored`] takes a [`GsWorkspace`]
+//! holding a multicolor (red-black on grid stencils) row ordering plus the
+//! cached inverse diagonal. Build the workspaces once per matrix, then
+//! solve thousands of times with zero heap traffic.
 
 use crate::error::{Error, Result};
 
@@ -100,26 +108,29 @@ impl TripletBuilder {
 
     /// Assembles the CSR matrix.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
         row_ptr.push(0);
         let mut current_row = 0;
+        // After sorting, duplicates are adjacent: an entry merges into its
+        // predecessor exactly when both share the same (row, col). Tracking
+        // that coordinate directly is the whole invariant — no need to
+        // reverse-engineer it from row_ptr/col_idx state.
+        let mut last_coord = None;
         for (r, c, v) in self.entries {
+            if last_coord == Some((r, c)) {
+                *values.last_mut().expect("duplicate follows an entry") += v;
+                continue;
+            }
             while current_row < r {
                 row_ptr.push(col_idx.len());
                 current_row += 1;
             }
-            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
-                if row_ptr.len() - 1 == r && last_c == c && row_ptr[r] < col_idx.len() {
-                    *last_v += v;
-                    continue;
-                }
-            }
             col_idx.push(c);
             values.push(v);
+            last_coord = Some((r, c));
         }
         while current_row < self.rows {
             row_ptr.push(col_idx.len());
@@ -234,9 +245,8 @@ impl CsrMatrix {
 
     /// Iterates every stored `(row, column, value)` entry.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.rows).flat_map(move |row| {
-            self.row_entries(row).map(move |(col, val)| (row, col, val))
-        })
+        (0..self.rows)
+            .flat_map(move |row| self.row_entries(row).map(move |(col, val)| (row, col, val)))
     }
 
     /// Extracts the diagonal.
@@ -244,6 +254,31 @@ impl CsrMatrix {
         (0..self.rows.min(self.cols))
             .map(|i| self.get(i, i))
             .collect()
+    }
+
+    /// The stored values, in row-major CSR order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (the sparsity pattern is fixed).
+    ///
+    /// Callers that cache an assembled matrix and patch a few entries per
+    /// solve (e.g. the PDN's per-configuration regulator conductances) use
+    /// this together with [`CsrMatrix::entry_index`] to avoid re-assembly.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Index into [`CsrMatrix::values`] of the stored entry at
+    /// `(row, col)`, or `None` when the pattern has no such entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    pub fn entry_index(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        (self.row_ptr[row]..self.row_ptr[row + 1]).find(|&k| self.col_idx[k] == col)
     }
 
     /// Solves `A·x = b` by preconditioned conjugate gradient. `A` must be
@@ -271,48 +306,75 @@ impl CsrMatrix {
                 actual: b.len(),
             });
         }
-        let diag = self.diagonal();
-        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
-            return Err(Error::SingularMatrix { index: i });
-        }
-        let n = self.rows;
+        let pre = JacobiPreconditioner::new(self)?;
+        let mut ws = CgWorkspace::new();
         let mut x = match x0 {
-            Some(seed) if seed.len() == n => seed.to_vec(),
-            _ => vec![0.0; n],
+            Some(seed) if seed.len() == self.rows => seed.to_vec(),
+            _ => vec![0.0; self.rows],
         };
-        let mut r = vec![0.0; n];
-        self.mul_vec_into(&x, &mut r);
+        self.solve_cg_with(b, &mut x, &pre, &mut ws, tolerance, max_iter)?;
+        Ok(x)
+    }
+
+    /// Allocation-free preconditioned conjugate gradient: `x` carries the
+    /// initial guess in and the solution out, the preconditioner is built
+    /// once per matrix, and all scratch vectors live in `ws` (grown on
+    /// first use, reused afterwards). Returns the iteration count.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] — `b`, `x`, or the preconditioner
+    ///   does not match `rows`;
+    /// * [`Error::NonConverged`] — tolerance not met in `max_iter`.
+    pub fn solve_cg_with(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        pre: &JacobiPreconditioner,
+        ws: &mut CgWorkspace,
+        tolerance: f64,
+        max_iter: usize,
+    ) -> Result<usize> {
+        let n = self.rows;
+        for len in [b.len(), x.len(), pre.len()] {
+            if len != n {
+                return Err(Error::DimensionMismatch {
+                    expected: n,
+                    actual: len,
+                });
+            }
+        }
+        ws.ensure(n);
+        let CgWorkspace { r, z, p, ap } = ws;
+        self.mul_vec_into(x, r);
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
         let b_norm = vec_ops::norm(b).max(f64::MIN_POSITIVE);
-        if vec_ops::norm(&r) / b_norm <= tolerance {
-            return Ok(x);
+        if vec_ops::norm(r) / b_norm <= tolerance {
+            return Ok(0);
         }
-        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
-        let mut p = z.clone();
-        let mut rz = vec_ops::dot(&r, &z);
-        let mut ap = vec![0.0; n];
+        pre.apply_into(r, z);
+        p.copy_from_slice(z);
+        let mut rz = vec_ops::dot(r, z);
         for iteration in 0..max_iter {
-            self.mul_vec_into(&p, &mut ap);
-            let denom = vec_ops::dot(&p, &ap);
+            self.mul_vec_into(p, ap);
+            let denom = vec_ops::dot(p, ap);
             if denom.abs() < f64::MIN_POSITIVE {
                 return Err(Error::NonConverged {
                     iterations: iteration,
-                    residual: vec_ops::norm(&r) / b_norm,
+                    residual: vec_ops::norm(r) / b_norm,
                 });
             }
             let alpha = rz / denom;
-            vec_ops::axpy(alpha, &p, &mut x);
-            vec_ops::axpy(-alpha, &ap, &mut r);
-            let rel = vec_ops::norm(&r) / b_norm;
+            vec_ops::axpy(alpha, p, x);
+            vec_ops::axpy(-alpha, ap, r);
+            let rel = vec_ops::norm(r) / b_norm;
             if rel <= tolerance {
-                return Ok(x);
+                return Ok(iteration + 1);
             }
-            for i in 0..n {
-                z[i] = r[i] / diag[i];
-            }
-            let rz_new = vec_ops::dot(&r, &z);
+            pre.apply_into(r, z);
+            let rz_new = vec_ops::dot(r, z);
             let beta = rz_new / rz;
             rz = rz_new;
             for i in 0..n {
@@ -321,7 +383,7 @@ impl CsrMatrix {
         }
         Err(Error::NonConverged {
             iterations: max_iter,
-            residual: vec_ops::norm(&r) / b_norm,
+            residual: vec_ops::norm(r) / b_norm,
         })
     }
 
@@ -385,6 +447,264 @@ impl CsrMatrix {
             iterations: max_sweeps,
             residual: f64::NAN,
         })
+    }
+
+    /// Gauss–Seidel sweeps in multicolor (red-black on grid stencils)
+    /// order, using the row ordering and cached inverse diagonal in `ws`.
+    ///
+    /// Same contract as [`CsrMatrix::solve_gauss_seidel`], with two
+    /// differences that matter in hot loops: the diagonal is not searched
+    /// for (or divided by) per row per sweep, and rows of equal color have
+    /// no data dependence, so the sweep order is cache-friendly and
+    /// deterministic regardless of how the matrix was assembled. Converges
+    /// to the same fixed point as the natural ordering; the iterates along
+    /// the way differ, so compare solutions, not sweep counts.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] — vector or workspace length differs
+    ///   from `rows`;
+    /// * [`Error::NonConverged`] — update norm still above `tolerance`
+    ///   after `max_sweeps`.
+    pub fn solve_gauss_seidel_colored(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        ws: &GsWorkspace,
+        omega: f64,
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> Result<usize> {
+        for len in [b.len(), x.len(), ws.len()] {
+            if len != self.rows {
+                return Err(Error::DimensionMismatch {
+                    expected: self.rows,
+                    actual: len,
+                });
+            }
+        }
+        for sweep in 0..max_sweeps {
+            let mut max_update = 0.0f64;
+            for &row in &ws.order {
+                // Accumulate the full row product, then cancel the
+                // diagonal term instead of branching on `col == row`.
+                let mut sigma = 0.0;
+                for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                    sigma += self.values[k] * x[self.col_idx[k]];
+                }
+                sigma -= ws.diag[row] * x[row];
+                let gs = (b[row] - sigma) * ws.inv_diag[row];
+                let new = (1.0 - omega) * x[row] + omega * gs;
+                max_update = max_update.max((new - x[row]).abs());
+                x[row] = new;
+            }
+            if max_update <= tolerance {
+                return Ok(sweep + 1);
+            }
+        }
+        Err(Error::NonConverged {
+            iterations: max_sweeps,
+            residual: f64::NAN,
+        })
+    }
+}
+
+/// Inverse diagonal of a matrix, computed once and applied per CG
+/// iteration — the Jacobi preconditioner `M⁻¹ = diag(A)⁻¹`.
+///
+/// `Default` gives an empty (zero-dimensional) preconditioner, useful as
+/// a scratch slot that is [`update`](JacobiPreconditioner::update)d before
+/// each solve when the matrix values change between calls.
+#[derive(Debug, Clone, Default)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from the matrix diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] on a zero diagonal entry.
+    pub fn new(matrix: &CsrMatrix) -> Result<Self> {
+        let mut pre = JacobiPreconditioner::default();
+        pre.update(matrix)?;
+        Ok(pre)
+    }
+
+    /// Recomputes the inverse diagonal from `matrix`, reusing the buffer
+    /// (no allocation once sized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] on a zero diagonal entry.
+    pub fn update(&mut self, matrix: &CsrMatrix) -> Result<()> {
+        let n = matrix.rows().min(matrix.cols());
+        self.inv_diag.resize(n, 0.0);
+        for i in 0..n {
+            let d = matrix.get(i, i);
+            if d == 0.0 {
+                return Err(Error::SingularMatrix { index: i });
+            }
+            self.inv_diag[i] = 1.0 / d;
+        }
+        Ok(())
+    }
+
+    /// Dimension the preconditioner was built for.
+    pub fn len(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    /// Whether the preconditioner is empty (zero-dimensional).
+    pub fn is_empty(&self) -> bool {
+        self.inv_diag.is_empty()
+    }
+
+    /// `z ← M⁻¹·r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when lengths differ.
+    pub fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        debug_assert_eq!(z.len(), self.inv_diag.len());
+        for i in 0..self.inv_diag.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Reusable scratch vectors for [`CsrMatrix::solve_cg_with`]. Grown on
+/// first use and never shrunk, so a workspace threaded through a solve
+/// loop allocates only once.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; buffers are sized on first solve.
+    pub fn new() -> Self {
+        CgWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `n`-row systems.
+    pub fn with_size(n: usize) -> Self {
+        let mut ws = CgWorkspace::default();
+        ws.ensure(n);
+        ws
+    }
+
+    fn ensure(&mut self, n: usize) {
+        for buf in [&mut self.r, &mut self.z, &mut self.p, &mut self.ap] {
+            buf.resize(n, 0.0);
+        }
+    }
+
+    /// Smallest capacity across the scratch buffers — stable across
+    /// repeated same-size solves, which is how tests pin down the
+    /// zero-allocation property.
+    pub fn min_capacity(&self) -> usize {
+        self.r
+            .capacity()
+            .min(self.z.capacity())
+            .min(self.p.capacity())
+            .min(self.ap.capacity())
+    }
+}
+
+/// Precomputed row ordering and diagonal data for
+/// [`CsrMatrix::solve_gauss_seidel_colored`]: a greedy multicoloring of
+/// the matrix graph (two colors — red-black — on grid stencils, one more
+/// for dense coupling rows like a heat-sink node) plus the diagonal and
+/// its inverse. Build once per matrix, reuse for every solve.
+#[derive(Debug, Clone)]
+pub struct GsWorkspace {
+    order: Vec<usize>,
+    color_ptr: Vec<usize>,
+    diag: Vec<f64>,
+    inv_diag: Vec<f64>,
+}
+
+impl GsWorkspace {
+    /// Colors the matrix graph and caches the diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] on a zero diagonal entry.
+    pub fn new(matrix: &CsrMatrix) -> Result<Self> {
+        let n = matrix.rows();
+        let diag = matrix.diagonal();
+        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+            return Err(Error::SingularMatrix { index: i });
+        }
+        // Greedy sequential coloring: each row takes the smallest color
+        // not used by an already-colored neighbor. Grid stencils come out
+        // checkerboard (2 colors); irregular rows add at most a few more.
+        let mut color = vec![usize::MAX; n];
+        let mut n_colors = 0;
+        let mut used = Vec::new();
+        for row in 0..n {
+            used.clear();
+            used.resize(n_colors, false);
+            for (col, _) in matrix.row_entries(row) {
+                if col != row && color[col] != usize::MAX {
+                    used[color[col]] = true;
+                }
+            }
+            let c = used.iter().position(|&u| !u).unwrap_or(n_colors);
+            if c == n_colors {
+                n_colors += 1;
+            }
+            color[row] = c;
+        }
+        let mut color_ptr = vec![0usize; n_colors + 1];
+        for &c in &color {
+            color_ptr[c + 1] += 1;
+        }
+        for c in 0..n_colors {
+            color_ptr[c + 1] += color_ptr[c];
+        }
+        let mut cursor = color_ptr.clone();
+        let mut order = vec![0usize; n];
+        for (row, &c) in color.iter().enumerate() {
+            order[cursor[c]] = row;
+            cursor[c] += 1;
+        }
+        Ok(GsWorkspace {
+            order,
+            color_ptr,
+            diag: diag.clone(),
+            inv_diag: diag.into_iter().map(|d| 1.0 / d).collect(),
+        })
+    }
+
+    /// Dimension the workspace was built for.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the workspace is empty (zero-dimensional).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of colors in the ordering (2 for pure grid stencils).
+    pub fn color_count(&self) -> usize {
+        self.color_ptr.len() - 1
+    }
+
+    /// Rows of one color — mutually independent under Gauss–Seidel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `color >= color_count()`.
+    pub fn color_rows(&self, color: usize) -> &[usize] {
+        &self.order[self.color_ptr[color]..self.color_ptr[color + 1]]
     }
 }
 
@@ -561,5 +881,211 @@ mod tests {
         let m = b.build();
         let y = m.mul_vec(&[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    /// Property test for the satellite audit of `TripletBuilder::build`:
+    /// random matrices with many duplicate coordinates (including runs
+    /// that straddle row boundaries) must match a dense reference that
+    /// accumulates the same triplets.
+    #[test]
+    fn triplet_assembly_matches_dense_reference() {
+        let mut rng = crate::DeterministicRng::new(0xB001);
+        for case in 0..64 {
+            let rows = 1 + rng.uniform_usize(8);
+            let cols = 1 + rng.uniform_usize(8);
+            let n_triplets = rng.uniform_usize(40);
+            let mut dense = vec![vec![0.0f64; cols]; rows];
+            let mut b = TripletBuilder::new(rows, cols);
+            for _ in 0..n_triplets {
+                let r = rng.uniform_usize(rows);
+                let c = rng.uniform_usize(cols);
+                let v = rng.uniform_range(-2.0, 2.0);
+                // Half the time, add the same coordinate again to force
+                // duplicate accumulation.
+                let repeats = 1 + rng.uniform_usize(3);
+                for _ in 0..repeats {
+                    dense[r][c] += v;
+                    b.add(r, c, v);
+                }
+            }
+            let m = b.build();
+            for (r, dense_row) in dense.iter().enumerate() {
+                for (c, &want) in dense_row.iter().enumerate() {
+                    let got = m.get(r, c);
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "case {case}: ({r},{c}) got {got}, want {want}"
+                    );
+                }
+            }
+            // No duplicate coordinates may survive assembly.
+            for r in 0..rows {
+                let cols_of_row: Vec<usize> = m.row_entries(r).map(|(c, _)| c).collect();
+                let mut sorted = cols_of_row.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(
+                    sorted.len(),
+                    cols_of_row.len(),
+                    "case {case}: row {r} has dups"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_at_row_boundaries_do_not_merge_across_rows() {
+        // Same column, adjacent rows, added back-to-back: the old code's
+        // `row_ptr[r] < col_idx.len()` guard existed exactly for this.
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(0, 2, 1.0);
+        b.add(1, 2, 10.0);
+        b.add(1, 2, 10.0);
+        b.add(2, 2, 100.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(1, 2), 20.0);
+        assert_eq!(m.get(2, 2), 100.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn entry_index_round_trips_with_values_mut() {
+        let mut m = tridiag(4);
+        let k = m.entry_index(2, 1).unwrap();
+        assert_eq!(m.values()[k], -1.0);
+        m.values_mut()[k] = -3.0;
+        assert_eq!(m.get(2, 1), -3.0);
+        assert_eq!(m.entry_index(0, 3), None);
+    }
+
+    #[test]
+    fn workspace_cg_matches_allocating_cg() {
+        let n = 50;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        let baseline = m.solve_cg(&b, None, 1e-13, 1000).unwrap();
+        let pre = JacobiPreconditioner::new(&m).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; n];
+        let iters = m
+            .solve_cg_with(&b, &mut x, &pre, &mut ws, 1e-13, 1000)
+            .unwrap();
+        assert!(iters > 0);
+        assert!(vec_ops::max_abs_diff(&x, &baseline) < 1e-12);
+    }
+
+    #[test]
+    fn workspace_cg_capacity_is_stable_across_solves() {
+        let n = 60;
+        let m = tridiag(n);
+        let b = vec![1.0; n];
+        let pre = JacobiPreconditioner::new(&m).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; n];
+        m.solve_cg_with(&b, &mut x, &pre, &mut ws, 1e-12, 1000)
+            .unwrap();
+        let cap = ws.min_capacity();
+        assert!(cap >= n);
+        for _ in 0..10 {
+            x.iter_mut().for_each(|v| *v = 0.0);
+            m.solve_cg_with(&b, &mut x, &pre, &mut ws, 1e-12, 1000)
+                .unwrap();
+            assert_eq!(ws.min_capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn colored_gs_matches_plain_gs() {
+        let n = 40;
+        let m = tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let b = m.mul_vec(&x_true).unwrap();
+        let mut x_plain = vec![0.0; n];
+        m.solve_gauss_seidel(&b, &mut x_plain, 1.0, 1e-14, 100_000)
+            .unwrap();
+        let ws = GsWorkspace::new(&m).unwrap();
+        let mut x_colored = vec![0.0; n];
+        let sweeps = m
+            .solve_gauss_seidel_colored(&b, &mut x_colored, &ws, 1.0, 1e-14, 100_000)
+            .unwrap();
+        assert!(sweeps > 0);
+        assert!(vec_ops::max_abs_diff(&x_colored, &x_plain) < 1e-12);
+        assert!(vec_ops::max_abs_diff(&x_colored, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn coloring_is_a_proper_coloring() {
+        // A 2-D 5-point Laplacian plus one "sink" row coupled to every
+        // node — the same shape as the thermal conductance matrix.
+        let (nx, ny) = (6, 5);
+        let n = nx * ny + 1;
+        let sink = nx * ny;
+        let mut b = TripletBuilder::new(n, n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let at = j * nx + i;
+                b.add(at, at, 4.5);
+                let mut couple = |other: usize| {
+                    b.add(at, other, -1.0);
+                };
+                if i > 0 {
+                    couple(at - 1);
+                }
+                if i + 1 < nx {
+                    couple(at + 1);
+                }
+                if j > 0 {
+                    couple(at - nx);
+                }
+                if j + 1 < ny {
+                    couple(at + nx);
+                }
+                b.add(at, sink, -0.1);
+                b.add(sink, at, -0.1);
+            }
+        }
+        b.add(sink, sink, 0.1 * (nx * ny) as f64 + 1.0);
+        let m = b.build();
+        let ws = GsWorkspace::new(&m).unwrap();
+        // Grid part is red-black; the dense sink row forces a third color.
+        assert_eq!(ws.color_count(), 3);
+        assert_eq!(ws.len(), n);
+        // Proper coloring: no two coupled rows share a color.
+        for color in 0..ws.color_count() {
+            let rows = ws.color_rows(color);
+            for &row in rows {
+                for (col, _) in m.row_entries(row) {
+                    if col != row {
+                        assert!(
+                            !rows.contains(&col),
+                            "rows {row} and {col} are coupled but share color {color}"
+                        );
+                    }
+                }
+            }
+        }
+        // The ordering is a permutation of 0..n.
+        let mut seen = vec![false; n];
+        for c in 0..ws.color_count() {
+            for &row in ws.color_rows(c) {
+                assert!(!seen[row]);
+                seen[row] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gs_workspace_rejects_zero_diagonal() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(1, 0, 1.0);
+        let m = b.build();
+        assert!(matches!(
+            GsWorkspace::new(&m),
+            Err(Error::SingularMatrix { index: 1 })
+        ));
     }
 }

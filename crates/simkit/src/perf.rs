@@ -1,0 +1,199 @@
+//! Lightweight wall-clock instrumentation for the simulation hot paths.
+//!
+//! The engine attributes its runtime to a small set of named phases
+//! (trace synthesis, predictor calibration, transient stepping, PDN noise
+//! analysis, …) so that optimisation work is measurable in-repo instead
+//! of guessed at. A [`Timer`] measures one span; a [`PhaseTimes`]
+//! accumulates spans per phase and renders a report table.
+//!
+//! The accumulator keys phases by `&'static str` and stores them in
+//! insertion order in a small vector — no hashing, no allocation per
+//! sample, deterministic rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::perf::{PhaseTimes, Timer};
+//!
+//! let mut phases = PhaseTimes::new();
+//! let t = Timer::start();
+//! let _work: f64 = (0..100).map(|i| i as f64).sum();
+//! phases.add("warmup", t.elapsed_seconds());
+//! phases.add("warmup", 0.5);
+//! assert_eq!(phases.samples("warmup"), 2);
+//! assert!(phases.total_seconds() >= 0.5);
+//! ```
+
+use std::time::Instant;
+
+/// A started wall-clock timer; read it with
+/// [`elapsed_seconds`](Timer::elapsed_seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    started: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Timer::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Per-phase accumulated wall-clock time.
+///
+/// Phases appear in the report in the order they were first recorded.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimes {
+    phases: Vec<(&'static str, f64, u64)>,
+}
+
+impl PhaseTimes {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        PhaseTimes::default()
+    }
+
+    /// Adds `seconds` to `phase`, creating the phase on first use.
+    pub fn add(&mut self, phase: &'static str, seconds: f64) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _, _)| *name == phase) {
+            entry.1 += seconds;
+            entry.2 += 1;
+        } else {
+            self.phases.push((phase, seconds, 1));
+        }
+    }
+
+    /// Merges another accumulator into this one (summing shared phases).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for &(name, seconds, samples) in &other.phases {
+            if let Some(entry) = self.phases.iter_mut().find(|(n, _, _)| *n == name) {
+                entry.1 += seconds;
+                entry.2 += samples;
+            } else {
+                self.phases.push((name, seconds, samples));
+            }
+        }
+    }
+
+    /// Accumulated seconds for one phase (0.0 when never recorded).
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(name, _, _)| *name == phase)
+            .map_or(0.0, |&(_, s, _)| s)
+    }
+
+    /// Number of recorded spans for one phase.
+    pub fn samples(&self, phase: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|(name, _, _)| *name == phase)
+            .map_or(0, |&(_, _, n)| n)
+    }
+
+    /// Sum over all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|&(_, s, _)| s).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Iterates `(phase, seconds, samples)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64, u64)> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Renders a fixed-width report table, one line per phase plus a
+    /// total, e.g. for `experiments::report` or debug logging.
+    pub fn render(&self) -> String {
+        let total = self.total_seconds().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>9} {:>6}\n",
+            "phase", "seconds", "samples", "share"
+        ));
+        for (name, seconds, samples) in self.iter() {
+            out.push_str(&format!(
+                "{:<12} {:>10.4} {:>9} {:>5.1}%\n",
+                name,
+                seconds,
+                samples,
+                100.0 * seconds / total
+            ));
+        }
+        out.push_str(&format!("{:<12} {:>10.4}\n", "total", self.total_seconds()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_nonnegative_time() {
+        let t = Timer::start();
+        assert!(t.elapsed_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn phases_accumulate_in_insertion_order() {
+        let mut p = PhaseTimes::new();
+        p.add("transient", 1.0);
+        p.add("noise", 0.25);
+        p.add("transient", 0.5);
+        let order: Vec<&str> = p.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(order, ["transient", "noise"]);
+        assert!((p.seconds("transient") - 1.5).abs() < 1e-12);
+        assert_eq!(p.samples("transient"), 2);
+        assert_eq!(p.samples("noise"), 1);
+        assert!((p.total_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(p.seconds("absent"), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_shared_phases_and_appends_new() {
+        let mut a = PhaseTimes::new();
+        a.add("steady", 2.0);
+        let mut b = PhaseTimes::new();
+        b.add("steady", 1.0);
+        b.add("policy", 0.1);
+        a.merge(&b);
+        assert!((a.seconds("steady") - 3.0).abs() < 1e-12);
+        assert_eq!(a.samples("steady"), 2);
+        assert!((a.seconds("policy") - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_every_phase_and_total() {
+        let mut p = PhaseTimes::new();
+        p.add("transient", 0.5);
+        p.add("noise", 0.5);
+        let table = p.render();
+        assert!(table.contains("transient"));
+        assert!(table.contains("noise"));
+        assert!(table.contains("total"));
+        assert!(table.contains("50.0%"));
+    }
+
+    #[test]
+    fn empty_accumulator_renders_header_and_total() {
+        let p = PhaseTimes::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total_seconds(), 0.0);
+        let table = p.render();
+        assert!(table.contains("phase"));
+        assert!(table.contains("total"));
+    }
+}

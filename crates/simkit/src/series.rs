@@ -24,7 +24,6 @@ use crate::units::Seconds;
 /// assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSeries {
     dt: Seconds,
     values: Vec<f64>,
@@ -107,16 +106,18 @@ impl TimeSeries {
 
     /// Maximum sample, `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |m: f64| m.max(v)))
-        })
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 
     /// Minimum sample, `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |m: f64| m.min(v)))
-        })
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.min(v))))
     }
 
     /// Arithmetic mean, `None` when empty.
@@ -218,7 +219,6 @@ impl Extend<f64> for TimeSeries {
 /// assert_eq!(m.column_sum(1), 7.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceMatrix {
     dt: Seconds,
     channels: Vec<Vec<f64>>,

@@ -203,12 +203,7 @@ impl BlockThermalModel {
     ///
     /// * [`Error::DimensionMismatch`] on wrong vector lengths;
     /// * solver failures are propagated.
-    pub fn step(
-        &self,
-        node_temps: &mut [f64],
-        block_powers: &[Watts],
-        dt: Seconds,
-    ) -> Result<()> {
+    pub fn step(&self, node_temps: &mut [f64], block_powers: &[Watts], dt: Seconds) -> Result<()> {
         if node_temps.len() != self.n_nodes {
             return Err(Error::DimensionMismatch {
                 expected: self.n_nodes,
@@ -274,8 +269,7 @@ fn shared_boundary_m(a: &Block, b: &Block) -> f64 {
     let x_touch = (ra.right().get() - rb.origin.x.get()).abs() < EPS
         || (rb.right().get() - ra.origin.x.get()).abs() < EPS;
     if x_touch {
-        let overlap = ra.top().get().min(rb.top().get())
-            - ra.origin.y.get().max(rb.origin.y.get());
+        let overlap = ra.top().get().min(rb.top().get()) - ra.origin.y.get().max(rb.origin.y.get());
         if overlap > EPS {
             return overlap;
         }
@@ -284,8 +278,8 @@ fn shared_boundary_m(a: &Block, b: &Block) -> f64 {
     let y_touch = (ra.top().get() - rb.origin.y.get()).abs() < EPS
         || (rb.top().get() - ra.origin.y.get()).abs() < EPS;
     if y_touch {
-        let overlap = ra.right().get().min(rb.right().get())
-            - ra.origin.x.get().max(rb.origin.x.get());
+        let overlap =
+            ra.right().get().min(rb.right().get()) - ra.origin.x.get().max(rb.origin.x.get());
         if overlap > EPS {
             return overlap;
         }
@@ -319,9 +313,21 @@ mod tests {
     #[test]
     fn adjacency_detection_on_reference_chip() {
         let chip = power8_like();
-        let exu = chip.blocks().iter().find(|b| b.name() == "core0.EXU").unwrap();
-        let isu = chip.blocks().iter().find(|b| b.name() == "core0.ISU").unwrap();
-        let far = chip.blocks().iter().find(|b| b.name() == "core3.EXU").unwrap();
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.EXU")
+            .unwrap();
+        let isu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.ISU")
+            .unwrap();
+        let far = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core3.EXU")
+            .unwrap();
         assert!(shared_boundary_m(exu, isu) > 0.0);
         assert_eq!(shared_boundary_m(exu, far), 0.0);
     }
@@ -330,7 +336,11 @@ mod tests {
     fn hotspot_forms_under_concentrated_power() {
         let (chip, model) = model();
         let mut powers = vec![Watts::new(0.5); chip.blocks().len()];
-        let exu = chip.blocks().iter().find(|b| b.name() == "core0.EXU").unwrap();
+        let exu = chip
+            .blocks()
+            .iter()
+            .find(|b| b.name() == "core0.EXU")
+            .unwrap();
         powers[exu.id().0] = Watts::new(15.0);
         let temps = model.steady_state(&powers).unwrap();
         let hottest = temps
@@ -391,16 +401,17 @@ mod tests {
         let steady = model.steady_state(&powers).unwrap();
         let mut nodes = model.ambient_nodes();
         for _ in 0..80 {
-            model
-                .step(&mut nodes, &powers, Seconds::new(2.0))
-                .unwrap();
+            model.step(&mut nodes, &powers, Seconds::new(2.0)).unwrap();
         }
         let max_now = nodes[..model.block_count()]
             .iter()
             .copied()
             .fold(f64::MIN, f64::max);
         let max_steady = steady.iter().map(|t| t.get()).fold(f64::MIN, f64::max);
-        assert!((max_now - max_steady).abs() < 0.5, "{max_now} vs {max_steady}");
+        assert!(
+            (max_now - max_steady).abs() < 0.5,
+            "{max_now} vs {max_steady}"
+        );
     }
 
     #[test]

@@ -130,7 +130,8 @@ mod tests {
         let chip = power8_like();
         let model = ThermalModel::new(&chip, ThermalConfig::coarse());
         let mut map = PowerMap::new(&model);
-        map.add_vr(chip.vr_sites()[5].id(), Watts::new(0.3)).unwrap();
+        map.add_vr(chip.vr_sites()[5].id(), Watts::new(0.3))
+            .unwrap();
         let nonzero = map.values().iter().filter(|&&v| v > 0.0).count();
         assert_eq!(nonzero, 1);
         assert!((map.total().get() - 0.3).abs() < 1e-12);
@@ -141,7 +142,9 @@ mod tests {
         let chip = power8_like();
         let model = ThermalModel::new(&chip, ThermalConfig::coarse());
         let mut map = PowerMap::new(&model);
-        assert!(map.add_block(chip.blocks()[0].id(), Watts::new(-1.0)).is_err());
+        assert!(map
+            .add_block(chip.blocks()[0].id(), Watts::new(-1.0))
+            .is_err());
         assert!(map
             .add_vr(chip.vr_sites()[0].id(), Watts::new(f64::NAN))
             .is_err());
@@ -152,7 +155,8 @@ mod tests {
         let chip = power8_like();
         let model = ThermalModel::new(&chip, ThermalConfig::coarse());
         let mut map = PowerMap::new(&model);
-        map.add_block(chip.blocks()[0].id(), Watts::new(4.0)).unwrap();
+        map.add_block(chip.blocks()[0].id(), Watts::new(4.0))
+            .unwrap();
         map.clear();
         assert_eq!(map.total(), Watts::ZERO);
     }

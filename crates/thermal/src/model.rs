@@ -4,7 +4,7 @@ use crate::config::ThermalConfig;
 use crate::map::PowerMap;
 use crate::state::ThermalState;
 use floorplan::{BlockId, Floorplan, VrId};
-use simkit::linalg::{CsrMatrix, TripletBuilder};
+use simkit::linalg::{CgWorkspace, CsrMatrix, GsWorkspace, JacobiPreconditioner, TripletBuilder};
 use simkit::units::{Celsius, Seconds};
 use simkit::{Error, Result};
 
@@ -22,6 +22,9 @@ pub struct ThermalModel {
     /// Cell footprint area, m².
     cell_area: f64,
     conductance: CsrMatrix,
+    /// Jacobi preconditioner of `conductance`, built once at assembly and
+    /// shared by every steady-state solve.
+    conductance_pre: JacobiPreconditioner,
     capacitance: Vec<f64>,
     g_convection: f64,
     /// Per block: `(silicon cell, fraction of block area)` covering it.
@@ -94,6 +97,8 @@ impl ThermalModel {
         // Convection to ambient: diagonal-only (ambient enters the rhs).
         g.add(sink, sink, g_convection);
         let conductance = g.build();
+        let conductance_pre = JacobiPreconditioner::new(&conductance)
+            .expect("grid conductance matrix has a full diagonal");
 
         // --- Capacitances --------------------------------------------------
         let c_si = p.c_silicon * cell_area * p.t_silicon;
@@ -114,10 +119,10 @@ impl ThermalModel {
                 // Only scan the tile range the block can touch.
                 let x0 = ((rect.origin.x.get() - die.origin.x.get()) / cell_w).floor() as usize;
                 let y0 = ((rect.origin.y.get() - die.origin.y.get()) / cell_h).floor() as usize;
-                let x1 = (((rect.right().get() - die.origin.x.get()) / cell_w).ceil() as usize)
-                    .min(nx);
-                let y1 = (((rect.top().get() - die.origin.y.get()) / cell_h).ceil() as usize)
-                    .min(ny);
+                let x1 =
+                    (((rect.right().get() - die.origin.x.get()) / cell_w).ceil() as usize).min(nx);
+                let y1 =
+                    (((rect.top().get() - die.origin.y.get()) / cell_h).ceil() as usize).min(ny);
                 for j in y0..y1 {
                     for i in x0..x1 {
                         let idx = j * nx + i;
@@ -150,6 +155,7 @@ impl ThermalModel {
             n_nodes,
             cell_area,
             conductance,
+            conductance_pre,
             capacitance,
             g_convection,
             block_cells,
@@ -225,10 +231,17 @@ impl ThermalModel {
         ThermalState::uniform(self, self.ambient())
     }
 
-    fn rhs(&self, power: &PowerMap) -> Vec<f64> {
-        let mut b = power.values().to_vec();
+    /// Writes the steady/transient right-hand side into `b` without
+    /// allocating: injected power per node, plus the convection path to
+    /// ambient on the sink node.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `b` has the wrong length.
+    fn rhs_into(&self, power: &PowerMap, b: &mut [f64]) {
+        debug_assert_eq!(b.len(), self.n_nodes);
+        b.copy_from_slice(power.values());
         b[self.n_nodes - 1] += self.g_convection * self.ambient().get();
-        b
     }
 
     /// Steady-state temperatures under a fixed power map.
@@ -238,10 +251,42 @@ impl ThermalModel {
     /// Propagates solver failures ([`Error::NonConverged`]) — which do not
     /// occur for physical (non-negative, finite) power maps.
     pub fn steady_state(&self, power: &PowerMap) -> Result<ThermalState> {
-        let b = self.rhs(power);
-        let x0 = vec![self.ambient().get(); self.n_nodes];
-        let temps = self.conductance.solve_cg(&b, Some(&x0), 1e-10, 20_000)?;
-        Ok(ThermalState::from_raw(self, temps))
+        let mut state = self.ambient_state();
+        let mut scratch = SteadyScratch::default();
+        self.steady_state_with_scratch(power, &mut state, &mut scratch)?;
+        Ok(state)
+    }
+
+    /// Steady-state solve writing into an existing state, warm-started
+    /// from that state's current temperatures, with every scratch buffer
+    /// caller-supplied — the allocation-free path for repeated solves
+    /// (leakage feedback, per-decision oracle previews).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`Error::NonConverged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `state` was built for another model.
+    pub fn steady_state_with_scratch(
+        &self,
+        power: &PowerMap,
+        state: &mut ThermalState,
+        scratch: &mut SteadyScratch,
+    ) -> Result<()> {
+        debug_assert_eq!(state.raw().len(), self.n_nodes);
+        scratch.rhs.resize(self.n_nodes, 0.0);
+        self.rhs_into(power, &mut scratch.rhs);
+        self.conductance.solve_cg_with(
+            &scratch.rhs,
+            state.raw_mut(),
+            &self.conductance_pre,
+            &mut scratch.cg,
+            1e-10,
+            20_000,
+        )?;
+        Ok(())
     }
 
     /// Iterates steady-state solves against a temperature-dependent power
@@ -266,11 +311,16 @@ impl ThermalModel {
         F: FnMut(&ThermalState) -> Result<PowerMap<'s>>,
     {
         let mut state = self.ambient_state();
+        let mut next = self.ambient_state();
+        let mut scratch = SteadyScratch::default();
         for iteration in 1..=max_iter {
             let power = power_of(&state)?;
-            let next = self.steady_state(&power)?;
+            // Warm-start the solve from the previous iterate: the scratch
+            // buffers and both states are reused across the loop.
+            next.raw_mut().copy_from_slice(state.raw());
+            self.steady_state_with_scratch(&power, &mut next, &mut scratch)?;
             let delta = state.max_abs_difference(&next);
-            state = next;
+            std::mem::swap(&mut state, &mut next);
             if delta < tol_c {
                 return Ok((state, iteration));
             }
@@ -294,11 +344,36 @@ impl ThermalModel {
             b.add(row, row, self.capacitance[row] / dt.get());
         }
         let a = add_matrices(&self.conductance, b.build());
+        let gs = GsWorkspace::new(&a).expect("backward-Euler system has a full diagonal");
         TransientStepper {
             model: self,
             dt,
             system: a,
+            gs,
+            rhs: vec![0.0; self.n_nodes],
         }
+    }
+}
+
+/// Reusable scratch buffers for repeated steady-state solves:
+/// the right-hand side plus the CG workspace. Default-constructed empty;
+/// sized on first use and stable afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SteadyScratch {
+    rhs: Vec<f64>,
+    cg: CgWorkspace,
+}
+
+impl SteadyScratch {
+    /// An empty scratch; buffers grow on first solve.
+    pub fn new() -> Self {
+        SteadyScratch::default()
+    }
+
+    /// Smallest capacity across the scratch buffers (allocation-stability
+    /// probe for tests).
+    pub fn min_capacity(&self) -> usize {
+        self.rhs.capacity().min(self.cg.min_capacity())
     }
 }
 
@@ -314,11 +389,18 @@ fn add_matrices(a: &CsrMatrix, b: CsrMatrix) -> CsrMatrix {
 
 /// A prepared backward-Euler integrator bound to one [`ThermalModel`] and
 /// a fixed step size.
+///
+/// The system matrix `G + C/Δt`, its multicolor Gauss–Seidel ordering,
+/// and the right-hand-side buffer are all built once here, so
+/// [`TransientStepper::step`] performs no heap allocation — the inner
+/// loop of every simulation run.
 #[derive(Debug, Clone)]
 pub struct TransientStepper<'m> {
     model: &'m ThermalModel,
     dt: Seconds,
     system: CsrMatrix,
+    gs: GsWorkspace,
+    rhs: Vec<f64>,
 }
 
 impl TransientStepper<'_> {
@@ -329,21 +411,39 @@ impl TransientStepper<'_> {
 
     /// Advances `state` by one step under the given power map.
     ///
+    /// Solves in place: the state's own buffer is the warm start and the
+    /// solution, and the right-hand side lives in the stepper.
+    ///
     /// # Errors
     ///
     /// Propagates solver failures; physical inputs converge.
-    pub fn step(&self, state: &mut ThermalState, power: &PowerMap) -> Result<()> {
+    pub fn step(&mut self, state: &mut ThermalState, power: &PowerMap) -> Result<()> {
         let n = self.model.n_nodes;
-        let mut b = self.model.rhs(power);
+        self.model.rhs_into(power, &mut self.rhs);
         let temps = state.raw();
-        for i in 0..n {
-            b[i] += self.model.capacitance[i] / self.dt.get() * temps[i];
+        let inv_dt = 1.0 / self.dt.get();
+        for ((r, &c), &t) in self.rhs[..n]
+            .iter_mut()
+            .zip(&self.model.capacitance)
+            .zip(temps)
+        {
+            *r += c * inv_dt * t;
         }
-        let mut x = temps.to_vec();
-        self.system
-            .solve_gauss_seidel(&b, &mut x, 1.1, 1e-7, 2_000)?;
-        state.set_raw(x);
+        self.system.solve_gauss_seidel_colored(
+            &self.rhs,
+            state.raw_mut(),
+            &self.gs,
+            1.1,
+            1e-7,
+            2_000,
+        )?;
         Ok(())
+    }
+
+    /// Capacity of the right-hand-side scratch buffer (allocation-
+    /// stability probe for tests).
+    pub fn rhs_capacity(&self) -> usize {
+        self.rhs.capacity()
     }
 }
 
@@ -424,7 +524,7 @@ mod tests {
         // The sink's RC time constant is ~17 s; backward Euler is
         // unconditionally stable, so march 120 simulated seconds in 2 s
         // steps to let the whole stack settle.
-        let stepper = model.stepper(Seconds::new(2.0));
+        let mut stepper = model.stepper(Seconds::new(2.0));
         let mut state = model.ambient_state();
         for _ in 0..60 {
             stepper.step(&mut state, &power).unwrap();
@@ -443,7 +543,7 @@ mod tests {
             .find(|b| b.name() == "core0.EXU")
             .unwrap();
         power.add_block(exu.id(), Watts::new(10.0)).unwrap();
-        let stepper = model.stepper(Seconds::from_micros(100.0));
+        let mut stepper = model.stepper(Seconds::from_micros(100.0));
         let mut state = model.ambient_state();
         stepper.step(&mut state, &power).unwrap();
         let after_one = state.block_temperature(&model, exu.id());
@@ -490,7 +590,11 @@ mod tests {
     fn block_coverage_fractions_sum_to_one() {
         let (chip, model) = setup();
         for block in chip.blocks() {
-            let sum: f64 = model.block_coverage(block.id()).iter().map(|&(_, f)| f).sum();
+            let sum: f64 = model
+                .block_coverage(block.id())
+                .iter()
+                .map(|&(_, f)| f)
+                .sum();
             assert!((sum - 1.0).abs() < 1e-9, "block {}", block.name());
         }
     }
@@ -501,5 +605,70 @@ mod tests {
         assert_eq!(model.grid_size(), (32, 32));
         assert_eq!(model.cell_count(), 1024);
         assert_eq!(model.node_count(), 2049);
+    }
+
+    #[test]
+    fn stepper_scratch_is_allocation_stable() {
+        // The transient inner loop must not grow (or re-create) any
+        // buffer after the first step: the rhs scratch capacity and the
+        // state's own buffer address stay fixed across hundreds of steps.
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(1.5)).unwrap();
+        }
+        let mut stepper = model.stepper(Seconds::from_micros(20.0));
+        let mut state = model.ambient_state();
+        stepper.step(&mut state, &power).unwrap();
+        let rhs_cap = stepper.rhs_capacity();
+        let state_ptr = state.raw().as_ptr();
+        for _ in 0..200 {
+            stepper.step(&mut state, &power).unwrap();
+        }
+        assert_eq!(stepper.rhs_capacity(), rhs_cap);
+        assert_eq!(state.raw().as_ptr(), state_ptr);
+    }
+
+    #[test]
+    fn steady_scratch_is_allocation_stable() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(2.0)).unwrap();
+        }
+        let mut state = model.ambient_state();
+        let mut scratch = SteadyScratch::new();
+        model
+            .steady_state_with_scratch(&power, &mut state, &mut scratch)
+            .unwrap();
+        let cap = scratch.min_capacity();
+        assert!(cap >= model.node_count());
+        for _ in 0..5 {
+            model
+                .steady_state_with_scratch(&power, &mut state, &mut scratch)
+                .unwrap();
+            assert_eq!(scratch.min_capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn warm_started_steady_solve_matches_cold_solve() {
+        let (chip, model) = setup();
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(1.0)).unwrap();
+        }
+        let cold = model.steady_state(&power).unwrap();
+        // Warm start from a very different state (a previous hot solve).
+        let mut hot_power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            hot_power.add_block(block.id(), Watts::new(4.0)).unwrap();
+        }
+        let mut state = model.steady_state(&hot_power).unwrap();
+        let mut scratch = SteadyScratch::new();
+        model
+            .steady_state_with_scratch(&power, &mut state, &mut scratch)
+            .unwrap();
+        assert!(cold.max_abs_difference(&state) < 1e-5);
     }
 }

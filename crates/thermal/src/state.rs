@@ -29,24 +29,14 @@ impl ThermalState {
         }
     }
 
-    pub(crate) fn from_raw(model: &ThermalModel, temps: Vec<f64>) -> Self {
-        debug_assert_eq!(temps.len(), model.node_count());
-        let (nx, ny) = model.grid_size();
-        ThermalState {
-            temps,
-            nx,
-            ny,
-            ambient: model.ambient(),
-        }
-    }
-
     pub(crate) fn raw(&self) -> &[f64] {
         &self.temps
     }
 
-    pub(crate) fn set_raw(&mut self, temps: Vec<f64>) {
-        debug_assert_eq!(temps.len(), self.temps.len());
-        self.temps = temps;
+    /// In-place access for solvers that update the state without
+    /// reallocating (the zero-allocation transient step path).
+    pub(crate) fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.temps
     }
 
     /// Ambient temperature of the generating model's package.
@@ -143,7 +133,10 @@ impl ThermalState {
     /// The silicon heat map as `ny` rows of `nx` temperatures (°C),
     /// bottom row first — ready for rendering Fig. 12-style frames.
     pub fn heatmap(&self) -> Vec<Vec<f64>> {
-        self.silicon().chunks(self.nx).map(<[f64]>::to_vec).collect()
+        self.silicon()
+            .chunks(self.nx)
+            .map(<[f64]>::to_vec)
+            .collect()
     }
 
     /// Grid dimensions `(nx, ny)` of the heat map.
@@ -189,7 +182,8 @@ mod tests {
     fn gradient_reflects_hotspot() {
         let (chip, model) = setup();
         let mut pm = PowerMap::new(&model);
-        pm.add_block(chip.blocks()[0].id(), Watts::new(15.0)).unwrap();
+        pm.add_block(chip.blocks()[0].id(), Watts::new(15.0))
+            .unwrap();
         let state = model.steady_state(&pm).unwrap();
         assert!(state.gradient() > 1.0);
         assert!(state.max_silicon() > state.mean_silicon());
@@ -239,7 +233,8 @@ mod tests {
         let (chip, model) = setup();
         let a = model.ambient_state();
         let mut pm = PowerMap::new(&model);
-        pm.add_block(chip.blocks()[0].id(), Watts::new(5.0)).unwrap();
+        pm.add_block(chip.blocks()[0].id(), Watts::new(5.0))
+            .unwrap();
         let b = model.steady_state(&pm).unwrap();
         assert!(a.max_abs_difference(&b) > 0.1);
         assert_eq!(a.max_abs_difference(&a), 0.0);

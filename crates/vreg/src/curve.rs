@@ -62,7 +62,10 @@ impl EfficiencyCurve {
     ///   current breakpoints are not strictly increasing;
     /// * [`Error::EmptyDomain`] when no points are given.
     pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self> {
-        if points.iter().any(|&(_, eta)| !(0.0..=1.0).contains(&eta) || eta == 0.0) {
+        if points
+            .iter()
+            .any(|&(_, eta)| !(0.0..=1.0).contains(&eta) || eta == 0.0)
+        {
             return Err(Error::invalid_argument("η must lie in (0, 1]"));
         }
         let eta = PiecewiseLinear::new(points)?;

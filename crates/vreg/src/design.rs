@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn ldo_responds_faster_than_fivr() {
         assert!(
-            RegulatorDesign::power8_ldo().response_time()
-                < RegulatorDesign::fivr().response_time()
+            RegulatorDesign::power8_ldo().response_time() < RegulatorDesign::fivr().response_time()
         );
     }
 

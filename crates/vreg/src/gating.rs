@@ -68,10 +68,9 @@ impl GatingState {
     /// Returns [`Error::InvalidArgument`] when `id` is out of range.
     pub fn set(&mut self, id: VrId, on: bool) -> Result<()> {
         let len = self.on.len();
-        let slot = self
-            .on
-            .get_mut(id.0)
-            .ok_or_else(|| Error::invalid_argument(format!("{id} outside gating state of {len}")))?;
+        let slot = self.on.get_mut(id.0).ok_or_else(|| {
+            Error::invalid_argument(format!("{id} outside gating state of {len}"))
+        })?;
         *slot = on;
         Ok(())
     }

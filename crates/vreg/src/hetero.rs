@@ -162,12 +162,7 @@ impl HeterogeneousBank {
     /// # Errors
     ///
     /// Returns [`Error::InvalidArgument`] when `active` is invalid.
-    pub fn member_losses(
-        &self,
-        demand: Amps,
-        active: &[usize],
-        vdd: Volts,
-    ) -> Result<Vec<Watts>> {
+    pub fn member_losses(&self, demand: Amps, active: &[usize], vdd: Volts) -> Result<Vec<Watts>> {
         let shares = self.share_currents(demand, active)?;
         Ok(shares
             .iter()
@@ -224,10 +219,10 @@ mod tests {
 
     fn mixed_bank() -> HeterogeneousBank {
         HeterogeneousBank::new(vec![
-            RegulatorDesign::fivr(),   // 1.5 A
-            RegulatorDesign::fivr(),   // 1.5 A
-            trimmer(),                 // 0.5 A
-            trimmer(),                 // 0.5 A
+            RegulatorDesign::fivr(), // 1.5 A
+            RegulatorDesign::fivr(), // 1.5 A
+            trimmer(),               // 0.5 A
+            trimmer(),               // 0.5 A
         ])
     }
 

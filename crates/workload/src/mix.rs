@@ -48,11 +48,7 @@ impl WorkloadMix {
 
     /// Cores alternate between two benchmarks (`a` on even cores).
     pub fn alternating(a: Benchmark, b: Benchmark, cores: usize) -> Self {
-        WorkloadMix::new(
-            (0..cores)
-                .map(|i| if i % 2 == 0 { a } else { b })
-                .collect(),
-        )
+        WorkloadMix::new((0..cores).map(|i| if i % 2 == 0 { a } else { b }).collect())
     }
 
     /// Number of cores covered.
@@ -201,7 +197,10 @@ mod tests {
     fn display_labels() {
         let mix = WorkloadMix::new(vec![Benchmark::Fft, Benchmark::Raytrace]);
         assert_eq!(mix.to_string(), "mix(fft+rayt)");
-        assert_eq!(WorkloadSpec::Single(Benchmark::Cholesky).to_string(), "chol");
+        assert_eq!(
+            WorkloadSpec::Single(Benchmark::Cholesky).to_string(),
+            "chol"
+        );
     }
 
     #[test]

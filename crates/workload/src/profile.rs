@@ -264,7 +264,10 @@ mod tests {
         for b in Benchmark::ALL {
             let p = BenchmarkProfile::of(b);
             assert!((0.0..=1.0).contains(&p.mean_util), "{b}");
-            assert!(p.phase_depth >= 0.0 && p.mean_util + p.phase_depth <= 1.05, "{b}");
+            assert!(
+                p.phase_depth >= 0.0 && p.mean_util + p.phase_depth <= 1.05,
+                "{b}"
+            );
             assert!(p.phase_period_us > 0.0, "{b}");
             assert!((0.0..1.0).contains(&p.noise_ar), "{b}");
             assert!((0.0..=1.0).contains(&p.memory_intensity), "{b}");

@@ -141,8 +141,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_shape_and_values() {
         let chip = power8_like();
-        let original = TraceGenerator::new(&chip)
-            .generate(Benchmark::Volrend, Seconds::from_micros(200.0));
+        let original =
+            TraceGenerator::new(&chip).generate(Benchmark::Volrend, Seconds::from_micros(200.0));
         let mut buffer = Vec::new();
         write_csv(&original, &mut buffer).unwrap();
         let restored = read_csv(buffer.as_slice(), Benchmark::Volrend).unwrap();

@@ -182,10 +182,10 @@ impl<'a> TraceGenerator<'a> {
             .collect();
         // Uncore shares one slower AR(1) wander, parameterised by the
         // average noise character of the mix.
-        let uncore_ar = core_profiles.iter().map(|p| p.noise_ar).sum::<f64>()
-            / core_profiles.len() as f64;
-        let uncore_sigma = core_profiles.iter().map(|p| p.noise_sigma).sum::<f64>()
-            / core_profiles.len() as f64;
+        let uncore_ar =
+            core_profiles.iter().map(|p| p.noise_ar).sum::<f64>() / core_profiles.len() as f64;
+        let uncore_sigma =
+            core_profiles.iter().map(|p| p.noise_sigma).sum::<f64>() / core_profiles.len() as f64;
         let mut uncore_noise = 0.0f64;
         let mut uncore_rng = rng.fork(0xDEAD);
 
@@ -208,8 +208,7 @@ impl<'a> TraceGenerator<'a> {
                 / core_state.len() as f64;
             // Uncore wander.
             uncore_noise = uncore_ar * uncore_noise
-                + uncore_sigma * 0.5 * (1.0 - uncore_ar * uncore_ar).sqrt()
-                    * uncore_rng.normal();
+                + uncore_sigma * 0.5 * (1.0 - uncore_ar * uncore_ar).sqrt() * uncore_rng.normal();
 
             for (block_idx, block) in self.chip.blocks().iter().enumerate() {
                 let jitter = 0.02 * block_rng[block_idx].normal();
@@ -301,8 +300,7 @@ struct CoreState {
 impl CoreState {
     fn new(rng: &mut DeterministicRng, profile: &BenchmarkProfile, index: usize) -> Self {
         let mut core_rng = rng.fork(0x636F_7265 ^ index as u64);
-        let imbalance =
-            1.0 + profile.thread_imbalance * (2.0 * core_rng.uniform_f64() - 1.0);
+        let imbalance = 1.0 + profile.thread_imbalance * (2.0 * core_rng.uniform_f64() - 1.0);
         // Barrier-synchronised codes keep every thread on (nearly) the
         // same phase; task-parallel ones drift apart.
         let phase_offset = (1.0 - profile.phase_sync) * core_rng.uniform_f64();
@@ -318,9 +316,9 @@ impl CoreState {
 
     fn step(&mut self, profile: &BenchmarkProfile, t_us: f64, dt_us: f64) {
         // Plateau-shaped program phases: tanh-squashed sinusoid.
-        let raw = (2.0 * std::f64::consts::PI
-            * (t_us / profile.phase_period_us + self.phase_offset))
-            .sin();
+        let raw =
+            (2.0 * std::f64::consts::PI * (t_us / profile.phase_period_us + self.phase_offset))
+                .sin();
         let phase = (3.0 * raw).tanh() / 3.0f64.tanh();
         // AR(1) noise with stationary variance `noise_sigma²`.
         self.noise = profile.noise_ar * self.noise
@@ -341,11 +339,9 @@ impl CoreState {
         } else {
             0.0
         };
-        self.util = (profile.mean_util * self.imbalance
-            + profile.phase_depth * phase
-            + self.noise
-            + burst)
-            .clamp(0.02, 1.0);
+        self.util =
+            (profile.mean_util * self.imbalance + profile.phase_depth * phase + self.noise + burst)
+                .clamp(0.02, 1.0);
     }
 }
 

@@ -65,7 +65,12 @@ fn main() -> Result<(), simkit::Error> {
     }
 
     let l3 = b.add_domain("l3", DomainKind::L3Bank);
-    b.add_block(l3, "l3.bank", UnitKind::L3Cache, Rect::from_mm(0.0, 0.0, 12.0, 3.0))?;
+    b.add_block(
+        l3,
+        "l3.bank",
+        UnitKind::L3Cache,
+        Rect::from_mm(0.0, 0.0, 12.0, 3.0),
+    )?;
     for g in 0..4 {
         b.add_vr(l3, Point::from_mm(1.5 + 3.0 * g as f64, 1.5), 0.04)?;
     }

@@ -45,10 +45,12 @@ fn main() -> Result<(), simkit::Error> {
     // Shade ramp over the heat map captured at the instant of T_max.
     const RAMP: &[u8] = b" .:-=+*#%@";
     let map = result.heatmap_at_tmax();
-    let (lo, hi) = map.iter().flatten().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), &v| (lo.min(v), hi.max(v)),
-    );
+    let (lo, hi) = map
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     for row in map.iter().rev() {
         let line: String = row
             .iter()

@@ -23,12 +23,8 @@ fn tiny_config() -> EngineConfig {
 fn multiprogram_run_lands_between_its_components() {
     let chip = power8_like();
     let engine = SimulationEngine::new(&chip, tiny_config());
-    let heavy = engine
-        .run(Benchmark::Cholesky, PolicyKind::OracT)
-        .unwrap();
-    let light = engine
-        .run(Benchmark::Raytrace, PolicyKind::OracT)
-        .unwrap();
+    let heavy = engine.run(Benchmark::Cholesky, PolicyKind::OracT).unwrap();
+    let light = engine.run(Benchmark::Raytrace, PolicyKind::OracT).unwrap();
     let mix: WorkloadSpec =
         WorkloadMix::alternating(Benchmark::Cholesky, Benchmark::Raytrace, 8).into();
     let mixed = engine.run_spec(&mix, PolicyKind::OracT).unwrap();

@@ -1,91 +1,119 @@
 //! Property-based tests on cross-crate invariants.
+//!
+//! Each test draws a few dozen random cases from [`DeterministicRng`]
+//! (fixed seeds, so failures reproduce bit-for-bit offline) and checks an
+//! invariant over all of them — the same methodology as a proptest suite,
+//! without the external dependency.
 
 use floorplan::reference::power8_like;
-use proptest::prelude::*;
 use simkit::units::{Amps, Watts};
-use simkit::PiecewiseLinear;
+use simkit::{DeterministicRng, PiecewiseLinear};
 use thermal::{PowerMap, ThermalConfig, ThermalModel};
 use thermogater::{select_gating, PolicyInputs, PolicyKind};
 use vreg::{loss, GatingState, RegulatorBank, RegulatorDesign};
 
-proptest! {
-    /// `required_active` is the minimal count that keeps every active
-    /// regulator at or below its peak current.
-    #[test]
-    fn required_active_is_minimal_and_sufficient(demand in 0.0f64..20.0) {
-        let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+fn vec_in(rng: &mut DeterministicRng, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform_range(lo, hi)).collect()
+}
+
+/// `required_active` is the minimal count that keeps every active
+/// regulator at or below its peak current.
+#[test]
+fn required_active_is_minimal_and_sufficient() {
+    let mut rng = DeterministicRng::new(0xA001);
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    let peak = bank.design().peak_current().get();
+    for _ in 0..64 {
+        let demand = rng.uniform_range(0.0, 20.0);
         let n = bank.required_active(Amps::new(demand));
-        prop_assert!((1..=9).contains(&n));
-        let peak = bank.design().peak_current().get();
+        assert!((1..=9).contains(&n));
         if demand > 0.0 && n < 9 {
             // Sufficient: the chosen count carries ≤ peak per regulator.
-            prop_assert!(demand / n as f64 <= peak + 1e-12);
+            assert!(demand / n as f64 <= peak + 1e-12);
         }
         if n > 1 {
             // Minimal: one fewer would overload someone.
-            prop_assert!(demand / (n as f64 - 1.0) > peak - 1e-12);
+            assert!(demand / (n as f64 - 1.0) > peak - 1e-12);
         }
     }
+}
 
-    /// Conversion loss is non-negative and strictly decreasing in η.
-    #[test]
-    fn conversion_loss_monotone_in_eta(
-        pout in 0.0f64..200.0,
-        eta_lo in 0.05f64..0.90,
-        delta in 0.001f64..0.09,
-    ) {
-        let eta_hi = (eta_lo + delta).min(1.0);
+/// Conversion loss is non-negative and strictly decreasing in η.
+#[test]
+fn conversion_loss_monotone_in_eta() {
+    let mut rng = DeterministicRng::new(0xA002);
+    for _ in 0..64 {
+        let pout = rng.uniform_range(0.0, 200.0);
+        let eta_lo = rng.uniform_range(0.05, 0.90);
+        let eta_hi = (eta_lo + rng.uniform_range(0.001, 0.09)).min(1.0);
         let lossy = loss::conversion_loss(Watts::new(pout), eta_lo);
         let clean = loss::conversion_loss(Watts::new(pout), eta_hi);
-        prop_assert!(lossy.get() >= 0.0);
-        prop_assert!(clean.get() >= 0.0);
+        assert!(lossy.get() >= 0.0);
+        assert!(clean.get() >= 0.0);
         if pout > 0.0 {
-            prop_assert!(lossy.get() > clean.get());
+            assert!(lossy.get() > clean.get());
         }
     }
+}
 
-    /// Bank efficiency under even sharing never exceeds the design peak.
-    #[test]
-    fn bank_efficiency_bounded_by_peak(demand in 0.0f64..25.0, n_on in 1usize..=9) {
-        let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+/// Bank efficiency under even sharing never exceeds the design peak.
+#[test]
+fn bank_efficiency_bounded_by_peak() {
+    let mut rng = DeterministicRng::new(0xA003);
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    for _ in 0..64 {
+        let demand = rng.uniform_range(0.0, 25.0);
+        let n_on = 1 + rng.uniform_usize(9);
         let eta = bank.efficiency(Amps::new(demand), n_on).unwrap();
-        prop_assert!(eta > 0.0);
-        prop_assert!(eta <= bank.design().peak_efficiency() + 1e-12);
+        assert!(eta > 0.0);
+        assert!(eta <= bank.design().peak_efficiency() + 1e-12);
     }
+}
 
-    /// Piecewise-linear evaluation never escapes the convex hull of the
-    /// breakpoint ordinates.
-    #[test]
-    fn interpolation_stays_in_hull(
-        xs in proptest::collection::vec(0.0f64..100.0, 2..8),
-        ys in proptest::collection::vec(-5.0f64..5.0, 8),
-        probe in -50.0f64..150.0,
-    ) {
-        let mut xs = xs;
+/// Piecewise-linear evaluation never escapes the convex hull of the
+/// breakpoint ordinates.
+#[test]
+fn interpolation_stays_in_hull() {
+    let mut rng = DeterministicRng::new(0xA004);
+    for _ in 0..64 {
+        let n = 2 + rng.uniform_usize(6);
+        let mut xs = vec_in(&mut rng, 0.0, 100.0, n);
+        let ys = vec_in(&mut rng, -5.0, 5.0, n);
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-        prop_assume!(xs.len() >= 2);
+        if xs.len() < 2 {
+            continue;
+        }
+        let probe = rng.uniform_range(-50.0, 150.0);
         let points: Vec<(f64, f64)> = xs.iter().zip(&ys).map(|(&x, &y)| (x, y)).collect();
         let f = PiecewiseLinear::new(points.clone()).unwrap();
         let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let v = f.eval(probe);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
     }
+}
 
-    /// Gating selection activates exactly the required count per domain
-    /// (absent emergencies), whatever the ranking inputs look like.
-    #[test]
-    fn selection_activates_exactly_n_on(
-        seed_temps in proptest::collection::vec(20.0f64..120.0, 96),
-        n_on_core in 1usize..=9,
-        n_on_l3 in 1usize..=3,
-    ) {
-        let chip = power8_like();
+/// Gating selection activates exactly the required count per domain
+/// (absent emergencies), whatever the ranking inputs look like.
+#[test]
+fn selection_activates_exactly_n_on() {
+    let mut rng = DeterministicRng::new(0xA005);
+    let chip = power8_like();
+    for _ in 0..24 {
+        let seed_temps = vec_in(&mut rng, 20.0, 120.0, 96);
+        let n_on_core = 1 + rng.uniform_usize(9);
+        let n_on_l3 = 1 + rng.uniform_usize(3);
         let n_on: Vec<usize> = chip
             .domains()
             .iter()
-            .map(|d| if d.vr_count() == 9 { n_on_core } else { n_on_l3 })
+            .map(|d| {
+                if d.vr_count() == 9 {
+                    n_on_core
+                } else {
+                    n_on_l3
+                }
+            })
             .collect();
         let noise = vec![0.0; 96];
         let emergency = vec![false; chip.domains().len()];
@@ -99,70 +127,70 @@ proptest! {
         for kind in [PolicyKind::Naive, PolicyKind::OracT, PolicyKind::PracVT] {
             let state = select_gating(kind, &inputs).unwrap();
             for domain in chip.domains() {
-                prop_assert_eq!(
+                assert_eq!(
                     state.active_among(domain.vrs()),
                     n_on[domain.id().0].min(domain.vr_count())
                 );
             }
         }
     }
+}
 
-    /// Power maps conserve energy: total equals the sum of injections.
-    #[test]
-    fn power_map_conserves_energy(
-        block_powers in proptest::collection::vec(0.0f64..10.0, 52),
-    ) {
-        let chip = power8_like();
-        let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+/// Power maps conserve energy: total equals the sum of injections.
+#[test]
+fn power_map_conserves_energy() {
+    let mut rng = DeterministicRng::new(0xA006);
+    let chip = power8_like();
+    let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+    for _ in 0..16 {
+        let block_powers = vec_in(&mut rng, 0.0, 10.0, 52);
         let mut pm = PowerMap::new(&model);
         let mut expected = 0.0;
         for (block, &p) in chip.blocks().iter().zip(&block_powers) {
             pm.add_block(block.id(), Watts::new(p)).unwrap();
             expected += p;
         }
-        prop_assert!((pm.total().get() - expected).abs() < 1e-9);
+        assert!((pm.total().get() - expected).abs() < 1e-9);
     }
+}
 
-    /// Gating diff is an involution-ish: applying the reported toggles to
-    /// the old state reproduces the new state.
-    #[test]
-    fn gating_diff_reconstructs_state(
-        bits_a in proptest::collection::vec(any::<bool>(), 96),
-        bits_b in proptest::collection::vec(any::<bool>(), 96),
-    ) {
+/// Gating diff is an involution-ish: applying the reported toggles to
+/// the old state reproduces the new state.
+#[test]
+fn gating_diff_reconstructs_state() {
+    let mut rng = DeterministicRng::new(0xA007);
+    for _ in 0..32 {
         let mut a = GatingState::all_off(96);
         let mut b = GatingState::all_off(96);
-        for (i, (&x, &y)) in bits_a.iter().zip(&bits_b).enumerate() {
-            a.set(floorplan::VrId(i), x).unwrap();
-            b.set(floorplan::VrId(i), y).unwrap();
+        for i in 0..96 {
+            a.set(floorplan::VrId(i), rng.bernoulli(0.5)).unwrap();
+            b.set(floorplan::VrId(i), rng.bernoulli(0.5)).unwrap();
         }
         let changes = b.diff(&a).unwrap();
         let mut rebuilt = a.clone();
         for (id, on) in changes {
             rebuilt.set(id, on).unwrap();
         }
-        prop_assert_eq!(rebuilt, b);
+        assert_eq!(rebuilt, b);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The PDN is a linear resistive network. Its per-domain *maximum*
-    /// drop is therefore homogeneous (scaling the loads scales the drop)
-    /// and subadditive (the max of a sum cannot exceed the sum of
-    /// maxima — superposition holds per cell, and max is subadditive).
-    #[test]
-    fn pdn_ir_drop_is_linear_in_the_loads(
-        pa in proptest::collection::vec(0.0f64..4.0, 52),
-        pb in proptest::collection::vec(0.0f64..4.0, 52),
-        scale in 0.25f64..4.0,
-    ) {
-        use pdn::{PdnConfig, PdnModel};
-        let chip = power8_like();
-        let model = PdnModel::new(&chip, PdnConfig::reference());
-        let gating = GatingState::all_on(chip.vr_sites().len());
-        let to_watts = |v: &[f64]| v.iter().map(|&p| Watts::new(p)).collect::<Vec<_>>();
+/// The PDN is a linear resistive network. Its per-domain *maximum* drop
+/// is therefore homogeneous (scaling the loads scales the drop) and
+/// subadditive (the max of a sum cannot exceed the sum of maxima —
+/// superposition holds per cell, and max is subadditive).
+#[test]
+fn pdn_ir_drop_is_linear_in_the_loads() {
+    use pdn::{PdnConfig, PdnModel};
+    let mut rng = DeterministicRng::new(0xA008);
+    let chip = power8_like();
+    let model = PdnModel::new(&chip, PdnConfig::reference());
+    let gating = GatingState::all_on(chip.vr_sites().len());
+    let to_watts = |v: &[f64]| v.iter().map(|&p| Watts::new(p)).collect::<Vec<_>>();
+    for _ in 0..6 {
+        let pa = vec_in(&mut rng, 0.0, 4.0, 52);
+        let pb = vec_in(&mut rng, 0.0, 4.0, 52);
+        let scale = rng.uniform_range(0.25, 4.0);
         let scaled: Vec<f64> = pa.iter().map(|&p| p * scale).collect();
         let sum: Vec<f64> = pa.iter().zip(&pb).map(|(a, b)| a + b).collect();
         let ra = model.ir_drop(&gating, &to_watts(&pa)).unwrap();
@@ -174,32 +202,43 @@ proptest! {
             // Homogeneity: the worst cell stays the worst cell.
             let lhs = rscaled.domain_volts(id);
             let rhs = ra.domain_volts(id) * scale;
-            prop_assert!(
+            assert!(
                 (lhs - rhs).abs() < 1e-6 * scale.max(1.0),
                 "homogeneity, domain {d}: {lhs} vs {rhs}"
             );
             // Subadditivity of the max.
-            prop_assert!(
-                rsum.domain_volts(id)
-                    <= ra.domain_volts(id) + rb.domain_volts(id) + 1e-9,
+            assert!(
+                rsum.domain_volts(id) <= ra.domain_volts(id) + rb.domain_volts(id) + 1e-9,
                 "subadditivity, domain {d}"
             );
         }
     }
+}
 
-    /// Steady-state temperature responds monotonically to power: more
-    /// heat in one block never cools the chip's hottest point.
-    #[test]
-    fn steady_state_monotone_in_power(p1 in 1.0f64..10.0, extra in 0.5f64..10.0) {
-        let chip = power8_like();
-        let model = ThermalModel::new(&chip, ThermalConfig { nx: 16, ny: 16, ..ThermalConfig::coarse() });
-        let block = chip.blocks()[0].id();
+/// Steady-state temperature responds monotonically to power: more heat
+/// in one block never cools the chip's hottest point.
+#[test]
+fn steady_state_monotone_in_power() {
+    let mut rng = DeterministicRng::new(0xA009);
+    let chip = power8_like();
+    let model = ThermalModel::new(
+        &chip,
+        ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::coarse()
+        },
+    );
+    let block = chip.blocks()[0].id();
+    for _ in 0..4 {
+        let p1 = rng.uniform_range(1.0, 10.0);
+        let extra = rng.uniform_range(0.5, 10.0);
         let mut low = PowerMap::new(&model);
         low.add_block(block, Watts::new(p1)).unwrap();
         let mut high = PowerMap::new(&model);
         high.add_block(block, Watts::new(p1 + extra)).unwrap();
         let t_low = model.steady_state(&low).unwrap().max_silicon();
         let t_high = model.steady_state(&high).unwrap().max_silicon();
-        prop_assert!(t_high > t_low);
+        assert!(t_high > t_low);
     }
 }

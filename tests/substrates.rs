@@ -62,7 +62,10 @@ fn workload_power_thermal_pipeline_is_stable() {
             let mut pm = PowerMap::new(&thermal);
             for block in chip.blocks() {
                 let t = state.block_temperature(&thermal, block.id());
-                pm.add_block(block.id(), power.block_power(block.id(), mean_acts[block.id().0], t))?;
+                pm.add_block(
+                    block.id(),
+                    power.block_power(block.id(), mean_acts[block.id().0], t),
+                )?;
             }
             Ok(pm)
         })
@@ -71,11 +74,18 @@ fn workload_power_thermal_pipeline_is_stable() {
     let t = state.max_silicon().get();
     assert!(t > 50.0 && t < 100.0, "steady T_max {t}");
     // Logic regions run hotter than the L3 region.
-    let exu = chip.blocks().iter().find(|b| b.name() == "core0.EXU").unwrap();
-    let l3 = chip.blocks().iter().find(|b| b.name() == "l3bank0.L3").unwrap();
+    let exu = chip
+        .blocks()
+        .iter()
+        .find(|b| b.name() == "core0.EXU")
+        .unwrap();
+    let l3 = chip
+        .blocks()
+        .iter()
+        .find(|b| b.name() == "l3bank0.L3")
+        .unwrap();
     assert!(
-        state.block_temperature(&thermal, exu.id())
-            > state.block_temperature(&thermal, l3.id())
+        state.block_temperature(&thermal, exu.id()) > state.block_temperature(&thermal, l3.id())
     );
 }
 
@@ -134,10 +144,8 @@ fn trace_statistics_separate_the_suite() {
         let t = gen.generate(b, simkit::units::Seconds::from_millis(1.0));
         t.activity().total().mean().unwrap() / chip.blocks().len() as f64
     };
-    let mut utils: Vec<(Benchmark, f64)> = Benchmark::ALL
-        .iter()
-        .map(|&b| (b, mean_util(b)))
-        .collect();
+    let mut utils: Vec<(Benchmark, f64)> =
+        Benchmark::ALL.iter().map(|&b| (b, mean_util(b))).collect();
     utils.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let (lightest, lo) = utils[0];
     let (heaviest, hi) = utils[utils.len() - 1];

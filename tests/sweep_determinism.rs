@@ -1,0 +1,104 @@
+//! The parallel sweep executor must be invisible in the results: the
+//! records and the per-cell CSV cache files produced with N worker
+//! threads are byte-identical to a single-threaded run.
+
+use experiments::context::ExpOptions;
+use experiments::sweep::{cache_dir, grid, policy_tag};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+use thermogater::PolicyKind;
+use workload::Benchmark;
+
+fn read_cells(dir: &Path, cells: &[(Benchmark, PolicyKind)]) -> BTreeMap<String, Vec<u8>> {
+    cells
+        .iter()
+        .map(|&(b, p)| {
+            let name = format!("{}-{}.csv", b.label(), policy_tag(p));
+            let bytes = fs::read(dir.join(&name)).expect("cache file written for every cell");
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn wipe_cells(dir: &Path, cells: &[(Benchmark, PolicyKind)]) {
+    for &(b, p) in cells {
+        let _ = fs::remove_file(dir.join(format!("{}-{}.csv", b.label(), policy_tag(p))));
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    let benchmarks = [Benchmark::Fft, Benchmark::Volrend];
+    let policies = [PolicyKind::AllOn, PolicyKind::Naive];
+    let cells: Vec<(Benchmark, PolicyKind)> = benchmarks
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
+        .collect();
+    let serial_opts = ExpOptions::tiny().with_threads(1);
+    let parallel_opts = ExpOptions::tiny().with_threads(4);
+    let dir = cache_dir(&serial_opts);
+    assert_eq!(
+        dir,
+        cache_dir(&parallel_opts),
+        "thread count must not move the cache"
+    );
+
+    wipe_cells(&dir, &cells);
+    let serial = grid(&serial_opts, &benchmarks, &policies);
+    let serial_files = read_cells(&dir, &cells);
+    assert_eq!(serial.len(), cells.len());
+
+    wipe_cells(&dir, &cells);
+    let parallel = grid(&parallel_opts, &benchmarks, &policies);
+    let parallel_files = read_cells(&dir, &cells);
+
+    assert_eq!(serial, parallel, "records differ between 1 and 4 threads");
+    assert_eq!(
+        serial_files, parallel_files,
+        "cache CSV bytes differ between 1 and 4 threads"
+    );
+
+    // A warm re-run (any thread count) reads the cache and agrees too.
+    let cached = grid(&parallel_opts, &benchmarks, &policies);
+    assert_eq!(serial, cached);
+    wipe_cells(&dir, &cells);
+}
+
+/// Wall-clock speedup needs real cores; CI containers may expose only
+/// one, so this runs on demand (`cargo test -- --ignored`) and skips
+/// itself on narrow machines. See BENCH.md for recorded numbers.
+#[test]
+#[ignore = "timing-sensitive; requires a multicore machine"]
+fn parallel_sweep_speeds_up_on_multicore() {
+    let width = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if width < 4 {
+        eprintln!("skipping speedup check: only {width} hardware threads");
+        return;
+    }
+    let benchmarks = [Benchmark::Raytrace, Benchmark::Barnes];
+    let policies = [PolicyKind::AllOn, PolicyKind::Naive];
+    let cells: Vec<(Benchmark, PolicyKind)> = benchmarks
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
+        .collect();
+    let dir = cache_dir(&ExpOptions::tiny());
+
+    wipe_cells(&dir, &cells);
+    let t = std::time::Instant::now();
+    let serial = grid(&ExpOptions::tiny().with_threads(1), &benchmarks, &policies);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    wipe_cells(&dir, &cells);
+    let t = std::time::Instant::now();
+    let parallel = grid(&ExpOptions::tiny().with_threads(4), &benchmarks, &policies);
+    let parallel_secs = t.elapsed().as_secs_f64();
+    wipe_cells(&dir, &cells);
+
+    assert_eq!(serial, parallel);
+    let speedup = serial_secs / parallel_secs;
+    assert!(
+        speedup >= 2.0,
+        "4-thread sweep only {speedup:.2}x faster ({serial_secs:.2}s vs {parallel_secs:.2}s)"
+    );
+}

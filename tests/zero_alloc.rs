@@ -1,0 +1,82 @@
+//! Proves the transient thermal solve performs zero heap allocation per
+//! step: a counting global allocator wraps the system allocator and the
+//! test asserts the per-thread allocation count does not move across
+//! warmed-up `TransientStepper::step` calls.
+
+use floorplan::reference::power8_like;
+use simkit::units::{Seconds, Watts};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use thermal::{PowerMap, ThermalConfig, ThermalModel};
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// System allocator with a per-thread allocation counter. Per-thread
+/// counting keeps the test-harness threads (and any other test in this
+/// binary) from polluting the measurement.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// `try_with` guards against TLS teardown re-entering the allocator.
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> usize {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn transient_step_performs_no_heap_allocation() {
+    let chip = power8_like();
+    let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+    let mut power = PowerMap::new(&model);
+    let per_block = Watts::new(100.0 / chip.blocks().len() as f64);
+    for block in chip.blocks() {
+        power.add_block(block.id(), per_block).unwrap();
+    }
+    let mut state = model.steady_state(&power).unwrap();
+    let mut stepper = model.stepper(Seconds::from_micros(20.0));
+
+    // Warm up: first steps may grow solver scratch to capacity.
+    for _ in 0..5 {
+        stepper.step(&mut state, &power).unwrap();
+    }
+
+    let before = thread_allocs();
+    for _ in 0..100 {
+        stepper.step(&mut state, &power).unwrap();
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "transient stepping allocated {} times over 100 steps",
+        after - before
+    );
+}
