@@ -18,4 +18,15 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== telemetry smoke: traced run + machine-readable validation =="
+TELEMETRY_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_DIR"' EXIT
+cargo run --release -q -p experiments --bin simulate -- \
+    --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
+    --quiet --telemetry="$TELEMETRY_DIR"
+test -s "$TELEMETRY_DIR/trace.jsonl"
+test -s "$TELEMETRY_DIR/manifest.json"
+cargo run --release -q -p experiments --bin telemetry_check -- "$TELEMETRY_DIR" \
+    --require span_start,span_end,counter,gauge,histogram,gating,emergency,solve,progress
+
 echo "CI OK"

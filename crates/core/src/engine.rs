@@ -38,11 +38,12 @@ use pdn::{
     EmergencyDetector, EmergencyPredictor, NoiseAnalyzer, PdnConfig, PdnModel, WindowInputs,
 };
 use power::{PowerModel, TechnologyParams};
-use simkit::perf::{PhaseTimes, Timer};
+use simkit::perf::{PhaseTimes, SolverProfile, Timer};
 use simkit::series::{TimeSeries, TraceMatrix};
+use simkit::telemetry::{EventKind, Telemetry};
 use simkit::units::{Seconds, Watts};
 use simkit::{DeterministicRng, Result};
-use thermal::{PowerMap, ThermalConfig, ThermalModel, ThermalState};
+use thermal::{FeedbackStats, PowerMap, ThermalConfig, ThermalModel, ThermalState};
 use vreg::{GatingState, RegulatorBank, RegulatorDesign};
 use workload::microtrace::{generate_window, WARMUP_CYCLES, WINDOW_CYCLES};
 use workload::{ActivityTrace, Benchmark, TraceGenerator, WorkloadSpec};
@@ -135,6 +136,7 @@ pub struct SimulationEngine<'c> {
     pdn: PdnModel,
     banks: Vec<RegulatorBank>,
     analyzer: NoiseAnalyzer,
+    telemetry: Telemetry,
     steps_per_decision: usize,
     n_decisions: usize,
 }
@@ -146,6 +148,7 @@ struct StepView<'a> {
     block_powers: &'a [Watts],
     vr_losses: &'a [f64],
     gating: &'a GatingState,
+    solve: simkit::linalg::SolveStats,
 }
 
 impl<'c> SimulationEngine<'c> {
@@ -188,9 +191,28 @@ impl<'c> SimulationEngine<'c> {
             pdn,
             banks,
             analyzer,
+            telemetry: Telemetry::disabled(),
             steps_per_decision: spd,
             n_decisions,
         }
+    }
+
+    /// Installs a telemetry handle for this engine and cascades it into
+    /// the thermal model and noise analyzer, so one sink receives the
+    /// whole stack's events (engine spans/decisions, thermal solves and
+    /// hotspot gauges, PDN IR solves and noise gauges). Must be called
+    /// before [`SimulationEngine::run`]; runs started earlier keep the
+    /// previous handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.thermal.set_telemetry(telemetry.clone());
+        self.analyzer.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle events are emitted through (disabled by
+    /// default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The chip this engine simulates.
@@ -221,6 +243,7 @@ impl<'c> SimulationEngine<'c> {
     fn step_activities(&self, spec: &WorkloadSpec, n_decisions: usize) -> Vec<Vec<f64>> {
         let duration = self.config.decision_interval * n_decisions as f64;
         let trace = TraceGenerator::new(self.chip).generate_spec(spec, duration);
+        trace.emit_telemetry(&self.telemetry);
         self.steps_from_trace(&trace, n_decisions)
     }
 
@@ -306,11 +329,16 @@ impl<'c> SimulationEngine<'c> {
 
     /// Initial thermal state: leakage-feedback steady state at the first
     /// interval's mean activity, regulators `all-on` (the pre-ROI
-    /// condition).
-    fn initial_state(&self, acts: &[Vec<f64>], with_vr_loss: bool) -> Result<ThermalState> {
+    /// condition). Also returns the feedback loop's convergence
+    /// statistics for the run's solver profile.
+    fn initial_state(
+        &self,
+        acts: &[Vec<f64>],
+        with_vr_loss: bool,
+    ) -> Result<(ThermalState, FeedbackStats)> {
         let mean_acts = Self::mean_activities(acts, 0, self.steps_per_decision.min(acts.len()));
         let vdd = self.config.tech.vdd;
-        let (state, _iters) = self.thermal.steady_state_with_feedback(60, 0.05, |state| {
+        let (state, feedback) = self.thermal.steady_state_with_feedback(60, 0.05, |state| {
             let block_powers = self.block_powers(&mean_acts, state);
             let mut pm = PowerMap::new(&self.thermal);
             for b in self.chip.blocks() {
@@ -329,7 +357,7 @@ impl<'c> SimulationEngine<'c> {
             }
             Ok(pm)
         })?;
-        Ok(state)
+        Ok((state, feedback))
     }
 
     /// Simulates one decision interval under a fixed gating state (the
@@ -386,13 +414,14 @@ impl<'c> SimulationEngine<'c> {
                     pm.add_vr(site.id(), Watts::new(l))?;
                 }
             }
-            stepper.step(state, &pm)?;
+            let solve = stepper.step(state, &pm)?;
             observe(StepView {
                 step: s,
                 state,
                 block_powers: &block_powers,
                 vr_losses,
                 gating,
+                solve,
             })?;
         }
         Ok(())
@@ -433,7 +462,7 @@ impl<'c> SimulationEngine<'c> {
         acts: &[Vec<f64>],
         n_dec: usize,
     ) -> Result<(ThermalPredictor, f64)> {
-        let mut state = self.initial_state(acts, true)?;
+        let (mut state, _feedback) = self.initial_state(acts, true)?;
         let mut stepper = self.thermal.stepper(self.config.thermal_step);
         let n_vrs = self.chip.vr_sites().len();
         let mut vr_losses = vec![0.0f64; n_vrs];
@@ -520,7 +549,9 @@ impl<'c> SimulationEngine<'c> {
     pub fn run_spec(&self, spec: &WorkloadSpec, policy: PolicyKind) -> Result<SimulationResult> {
         let mut perf = PhaseTimes::new();
         let t = Timer::start();
+        let span = self.telemetry.span("engine.trace");
         let acts = self.step_activities(spec, self.n_decisions);
+        span.finish();
         perf.add("trace", t.elapsed_seconds());
         self.run_inner(spec, &acts, None, policy, perf)
     }
@@ -545,14 +576,19 @@ impl<'c> SimulationEngine<'c> {
         }
         let mut perf = PhaseTimes::new();
         let t = Timer::start();
+        let span = self.telemetry.span("engine.trace");
+        trace.emit_telemetry(&self.telemetry);
         let acts = self.steps_from_trace(trace, self.n_decisions);
         // Profile θ on the leading decisions of the same trace.
         let n_dec = self.config.profiling_decisions.max(3).min(self.n_decisions);
         let profiling_acts = self.steps_from_trace(trace, n_dec);
+        span.finish();
         perf.add("trace", t.elapsed_seconds());
         let calibration = if policy.uses_thermal_ranking() && policy != PolicyKind::Naive {
             let t = Timer::start();
+            let span = self.telemetry.span("engine.calibrate");
             let cal = self.calibrate_predictor_inner(&profiling_acts, n_dec)?;
+            span.finish();
             perf.add("calibrate", t.elapsed_seconds());
             Some(cal)
         } else {
@@ -613,15 +649,22 @@ impl<'c> SimulationEngine<'c> {
             Some(None) => (None, None),
             None if needs_predictor => {
                 let t = Timer::start();
+                let span = self.telemetry.span("engine.calibrate");
                 let (p, r2) = self.calibrate_predictor_spec(spec)?;
+                span.finish();
                 perf.add("calibrate", t.elapsed_seconds());
                 (Some(p), Some(r2))
             }
             None => (None, None),
         };
 
+        let run_span = self.telemetry.span("engine.run");
+        let mut solver_profile = SolverProfile::new();
         let t_steady = Timer::start();
-        let mut state = self.initial_state(acts, policy != PolicyKind::OffChip)?;
+        let steady_span = self.telemetry.span("engine.steady");
+        let (mut state, steady_fb) = self.initial_state(acts, policy != PolicyKind::OffChip)?;
+        steady_span.finish();
+        solver_profile.merge_agg("steady", &steady_fb.cg);
         perf.add("steady", t_steady.elapsed_seconds());
         let mut stepper = self.thermal.stepper(cfg.thermal_step);
 
@@ -777,21 +820,32 @@ impl<'c> SimulationEngine<'c> {
                             warmup: WARMUP_CYCLES,
                         },
                     )?;
+                    solver_profile.merge_agg("noise", &report.ir_solve_stats());
                     for (d, flag) in truth.iter_mut().enumerate() {
                         *flag |=
                             report.domain_fraction(DomainId(d)) > detector.threshold_fraction();
                     }
                 }
                 noise_secs += t_truth.elapsed_seconds();
-                let emergency_flags: Vec<bool> = if policy.is_oracular() {
-                    truth
+                let truth_count = truth.iter().filter(|&&t| t).count();
+                let (emergency_flags, mispredicted) = if policy.is_oracular() {
+                    (truth, 0usize)
                 } else {
-                    truth
+                    let mut wrong = 0usize;
+                    let flags: Vec<bool> = truth
                         .iter()
-                        .map(|&t| emergency_predictor.predict(t))
-                        .collect()
+                        .map(|&t| {
+                            let p = emergency_predictor.predict(t);
+                            if p != t {
+                                wrong += 1;
+                            }
+                            p
+                        })
+                        .collect();
+                    (flags, wrong)
                 };
-                if emergency_flags.iter().any(|&e| e) {
+                let flagged = emergency_flags.iter().filter(|&&e| e).count();
+                if flagged > 0 {
                     gating = gating_from_rankings(
                         policy,
                         self.chip,
@@ -800,7 +854,44 @@ impl<'c> SimulationEngine<'c> {
                         &emergency_flags,
                     )?;
                 }
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .event(EventKind::Emergency, "engine.emergency_check")
+                        .field_u64("decision", k as u64)
+                        .field_u64("windows", interval_windows.len() as u64)
+                        .field_u64("true_domains", truth_count as u64)
+                        .field_u64("flagged_domains", flagged as u64)
+                        .field_u64("mispredicted", mispredicted as u64)
+                        .field_bool("predicted", !policy.is_oracular())
+                        .emit();
+                    if mispredicted > 0 {
+                        self.telemetry
+                            .counter("engine.emergency_mispredict", mispredicted as u64);
+                    }
+                }
                 applied_emergency = emergency_flags;
+            }
+            if self.telemetry.is_enabled() {
+                // Active-VR set change versus the previous decision (the
+                // pre-ROI baseline for the first one: all-on, or all-off
+                // under the off-chip policy).
+                let (turned_on, turned_off) = match decisions.last() {
+                    Some(prev) => gating.diff_counts(&prev.gating)?,
+                    None if policy == PolicyKind::OffChip => {
+                        gating.diff_counts(&GatingState::all_off(n_vrs))?
+                    }
+                    None => gating.diff_counts(&GatingState::all_on(n_vrs))?,
+                };
+                self.telemetry
+                    .event(EventKind::Gating, "engine.gating")
+                    .field_u64("decision", k as u64)
+                    .field_u64("active", gating.active_count() as u64)
+                    .field_u64("turned_on", turned_on as u64)
+                    .field_u64("turned_off", turned_off as u64)
+                    .emit();
+                self.telemetry.counter("engine.decisions", 1);
+                self.telemetry
+                    .counter("engine.steps", self.steps_per_decision as u64);
             }
             decisions.push(DecisionRecord {
                 time_s: k as f64 * cfg.decision_interval.get(),
@@ -824,6 +915,7 @@ impl<'c> SimulationEngine<'c> {
                 &mut stepper,
                 &mut vr_losses,
                 |view| {
+                    solver_profile.record("transient", view.solve);
                     // Power + efficiency accounting.
                     let chip_power: f64 = view.block_powers.iter().map(|p| p.get()).sum();
                     total_power.push(chip_power);
@@ -897,6 +989,7 @@ impl<'c> SimulationEngine<'c> {
                                 warmup: WARMUP_CYCLES,
                             },
                         )?;
+                        solver_profile.merge_agg("noise", &report.ir_solve_stats());
                         // Per-domain fractions, with the VT policies'
                         // detector backstop: a droop the predictor missed
                         // is still caught by the on-line detector within
@@ -916,6 +1009,7 @@ impl<'c> SimulationEngine<'c> {
                             .collect();
                         let pct = fractions.iter().copied().fold(0.0f64, f64::max) * 100.0;
                         window_noise.push(pct);
+                        self.telemetry.histogram("engine.window_noise_pct", pct);
 
                         // Emergency residency (Table 2) + worst trace
                         // (Fig. 14). The analyzer's report carries the
@@ -978,6 +1072,17 @@ impl<'c> SimulationEngine<'c> {
                 "transient",
                 t_step.elapsed_seconds() - (noise_secs - noise_at_step),
             );
+            if self.telemetry.is_enabled() && policy.is_practical() {
+                // Demand-forecast error: what the policy believed each
+                // domain would draw versus what the interval delivered.
+                for (d, &p) in interval_domain_power.iter().enumerate() {
+                    let actual = p / self.steps_per_decision as f64;
+                    let fallback = Watts::new(currents_now[d] * vdd.get());
+                    let forecast = forecaster.forecast(d, fallback).get();
+                    self.telemetry
+                        .histogram("engine.forecast_error_w", (forecast - actual).abs());
+                }
+            }
             forecaster.observe(
                 &interval_domain_power
                     .iter()
@@ -989,6 +1094,7 @@ impl<'c> SimulationEngine<'c> {
         if noise_secs > 0.0 {
             perf.add("noise", noise_secs);
         }
+        run_span.finish();
 
         let steps_f = total_steps as f64;
         Ok(SimulationResult {
@@ -1017,6 +1123,7 @@ impl<'c> SimulationEngine<'c> {
             worst_window_trace: worst_window.map(|(_, trace)| trace),
             predictor_r_squared: r_squared,
             perf,
+            solver_profile,
         })
     }
 
@@ -1250,6 +1357,72 @@ mod tests {
         assert_eq!(perf.samples("transient"), 3);
         assert!(perf.total_seconds() > 0.0);
         assert!(perf.render().contains("transient"));
+    }
+
+    #[test]
+    fn run_emits_telemetry_and_solver_profile() {
+        let chip = power8_like();
+        let mut engine = SimulationEngine::new(&chip, tiny_config());
+        let (tel, sink) = Telemetry::recorder();
+        engine.set_telemetry(tel);
+        let r = engine.run(Benchmark::Fft, PolicyKind::OracVT).unwrap();
+
+        // Every phase that issues solves is in the profile, with real
+        // (finite) residuals.
+        for phase in ["steady", "transient", "noise"] {
+            let agg = r
+                .solver_profile()
+                .get(phase)
+                .unwrap_or_else(|| panic!("phase {phase} missing from solver profile"));
+            assert!(agg.solves > 0, "phase {phase} recorded no solves");
+            assert!(
+                agg.max_residual.is_finite(),
+                "phase {phase} residual {}",
+                agg.max_residual
+            );
+        }
+        // Transient Gauss-Seidel runs once per thermal step.
+        assert_eq!(
+            r.solver_profile().get("transient").unwrap().solves as usize,
+            r.total_power().len()
+        );
+
+        // The whole stack reported through one sink.
+        for kind in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Histogram,
+            EventKind::Gating,
+            EventKind::Emergency,
+            EventKind::Solve,
+            EventKind::Progress,
+        ] {
+            assert!(sink.count_kind(kind) > 0, "no {kind:?} events in the trace");
+        }
+        // One gating event per decision; spans for every phase.
+        assert_eq!(sink.count_kind(EventKind::Gating), r.decisions().len());
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
+        for span in ["engine.trace", "engine.steady", "engine.run"] {
+            assert!(names.iter().any(|n| n == span), "missing span {span}");
+        }
+        assert!(names.iter().any(|n| n == "thermal.gs"));
+        assert!(names.iter().any(|n| n == "pdn.ir_cg"));
+    }
+
+    #[test]
+    fn disabled_telemetry_runs_match_enabled_runs() {
+        let chip = power8_like();
+        let quiet = SimulationEngine::new(&chip, tiny_config());
+        let mut loud = SimulationEngine::new(&chip, tiny_config());
+        let (tel, _sink) = Telemetry::recorder();
+        loud.set_telemetry(tel);
+        let a = quiet.run(Benchmark::Fft, PolicyKind::PracVT).unwrap();
+        let b = loud.run(Benchmark::Fft, PolicyKind::PracVT).unwrap();
+        assert_eq!(a.max_temperature(), b.max_temperature());
+        assert_eq!(a.max_noise_percent(), b.max_noise_percent());
+        assert_eq!(a.emergency_cycle_fraction(), b.emergency_cycle_fraction());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::policy::PolicyKind;
 use floorplan::VrId;
-use simkit::perf::PhaseTimes;
+use simkit::perf::{PhaseTimes, SolverProfile};
 use simkit::series::{TimeSeries, TraceMatrix};
 use simkit::units::{Celsius, Watts};
 use vreg::GatingState;
@@ -66,6 +66,8 @@ pub struct SimulationResult {
     pub(crate) predictor_r_squared: Option<f64>,
     /// Wall-clock seconds per simulation phase.
     pub(crate) perf: PhaseTimes,
+    /// Aggregated linear-solver convergence statistics per phase.
+    pub(crate) solver_profile: SolverProfile,
 }
 
 impl SimulationResult {
@@ -213,6 +215,14 @@ impl SimulationResult {
     pub fn phase_times(&self) -> &PhaseTimes {
         &self.perf
     }
+
+    /// Aggregated linear-solver convergence statistics, keyed by the
+    /// phase that issued the solves: `steady` (the leakage-feedback CG
+    /// init), `transient` (per-step Gauss-Seidel), and `noise` (the IR
+    /// CG solves behind every analyzed window).
+    pub fn solver_profile(&self) -> &SolverProfile {
+        &self.solver_profile
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +263,7 @@ mod tests {
             worst_window_trace: Some(vec![1.0, 2.0]),
             predictor_r_squared: None,
             perf: PhaseTimes::new(),
+            solver_profile: SolverProfile::new(),
         }
     }
 

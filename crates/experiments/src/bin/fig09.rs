@@ -2,7 +2,7 @@
 //! per benchmark.
 
 use experiments::context::ExpOptions;
-use experiments::report::{banner, TextTable};
+use experiments::report::{banner, is_quiet, TextTable};
 use experiments::sweep;
 use thermogater::PolicyKind;
 use workload::Benchmark;
@@ -34,6 +34,9 @@ fn main() {
     table.add_row(avg_row);
     table.print();
 
+    if is_quiet() {
+        return;
+    }
     let avg = |p: PolicyKind| {
         Benchmark::ALL
             .iter()

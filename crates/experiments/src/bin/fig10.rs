@@ -2,7 +2,7 @@
 //! benchmark.
 
 use experiments::context::ExpOptions;
-use experiments::report::{banner, TextTable};
+use experiments::report::{banner, is_quiet, TextTable};
 use experiments::sweep;
 use thermogater::PolicyKind;
 use workload::Benchmark;
@@ -29,6 +29,9 @@ fn main() {
     }
     table.print();
 
+    if is_quiet() {
+        return;
+    }
     let avg = |p: PolicyKind| {
         Benchmark::ALL
             .iter()

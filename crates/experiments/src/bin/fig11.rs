@@ -3,7 +3,7 @@
 //! figure's horizontal line).
 
 use experiments::context::ExpOptions;
-use experiments::report::{banner, TextTable};
+use experiments::report::{banner, is_quiet, TextTable};
 use experiments::sweep;
 use thermogater::PolicyKind;
 use workload::Benchmark;
@@ -48,6 +48,9 @@ fn main() {
     table.add_row(max_row);
     table.print();
 
+    if is_quiet() {
+        return;
+    }
     let avg = |p: PolicyKind| {
         Benchmark::ALL
             .iter()

@@ -1,9 +1,26 @@
+//! Diagnostic probe: runs `lu_ncb × oract` at two decision intervals and
+//! prints the hottest VR site and heat-map peak for each, as a quick
+//! spatial sanity check of the thermal/gating coupling.
+//!
+//! Accepts the shared experiment flags: `--quiet`/`-q` and
+//! `--telemetry=<dir>` (one manifest cell per probed interval).
+
+use experiments::context::ExpOptions;
+use experiments::telemetry::TelemetryCtx;
 use floorplan::reference::power8_like;
+use simkit::telemetry::manifest::RunManifest;
 use simkit::units::Seconds;
+use std::time::Instant;
 use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
 use workload::Benchmark;
+
 fn main() {
+    let opts = ExpOptions::from_args();
+    let ctx = TelemetryCtx::from_options(&opts);
     let chip = power8_like();
+    let mut manifest = RunManifest::new("probe");
+    manifest.push_config("benchmark", Benchmark::LuNcb.label());
+    manifest.push_config("policy", "oract");
     for us in [1000.0, 100.0] {
         let cfg = EngineConfig {
             decision_interval: Seconds::from_micros(us),
@@ -12,8 +29,27 @@ fn main() {
             duration: Seconds::from_millis(8.0),
             ..EngineConfig::standard()
         };
-        let engine = SimulationEngine::new(&chip, cfg);
+        let mut engine = SimulationEngine::new(&chip, cfg);
+        let cell_counter = ctx.as_ref().map(|ctx| {
+            let (telemetry, counter) = ctx.cell_handle();
+            engine.set_telemetry(telemetry);
+            counter
+        });
+        let started = Instant::now();
         let r = engine.run(Benchmark::LuNcb, PolicyKind::OracT).unwrap();
+        if ctx.is_some() {
+            manifest
+                .cells
+                .push(simkit::telemetry::manifest::CellManifest {
+                    label: format!("lu_ncb-oract-{us:.0}us"),
+                    seconds: started.elapsed().as_secs_f64(),
+                    events: cell_counter.map_or(0, |c| c.count()),
+                    cached: false,
+                });
+        }
+        if opts.quiet {
+            continue;
+        }
         // hottest VR and its peak temp
         let mut best = (0usize, f64::MIN);
         for v in 0..96 {
@@ -50,5 +86,19 @@ fn main() {
             hot.0 as f64 * 0.328 + 0.16,
             hot.1 as f64 * 0.328 + 0.16
         );
+    }
+    if let Some(ctx) = &ctx {
+        match ctx.finish(&mut manifest) {
+            Ok(path) => {
+                if !opts.quiet {
+                    println!(
+                        "telemetry: {} events → {}",
+                        manifest.total_events(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot write telemetry manifest: {e}"),
+        }
     }
 }

@@ -16,11 +16,15 @@
 //!     --bench lu_ncb --export-trace lu_ncb.csv
 //! ```
 
-use experiments::report::{banner, render_heatmap};
+use experiments::report::{self, banner, metrics_report, render_heatmap, solver_report};
+use experiments::telemetry::TelemetryCtx;
 use floorplan::reference::power8_like;
+use simkit::telemetry::manifest::{CellManifest, RunManifest};
 use simkit::units::Seconds;
 use std::fs::File;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 use thermal::ThermalConfig;
 use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
 use vreg::RegulatorDesign;
@@ -36,16 +40,20 @@ struct Args {
     trace_path: Option<String>,
     export_path: Option<String>,
     heatmap: bool,
+    quiet: bool,
+    telemetry: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: simulate [--bench <label> | --mix <a,b,..>] [--policy <tag>]\n\
      \u{20}       [--duration-ms <f64>] [--windows <n>] [--grid <n>]\n\
      \u{20}       [--design fivr|ldo] [--trace <csv>] [--export-trace <csv>]\n\
-     \u{20}       [--heatmap]\n\
+     \u{20}       [--heatmap] [--quiet|-q] [--telemetry=<dir>]\n\
      benchmarks: barnes chol fft fmm lu_cb lu_ncb oc_cp oc_ncp radio\n\
      \u{20}           radix rayt volr water_n water_s\n\
-     policies:   allon offchip naive oract oracv oracvt pract pracvt"
+     policies:   allon offchip naive oract oracv oracvt pract pracvt\n\
+     telemetry:  --telemetry=<dir> (or SIMKIT_TELEMETRY=<dir>) writes a\n\
+     \u{20}           structured trace.jsonl + manifest.json into <dir>"
 }
 
 fn parse_benchmark(label: &str) -> Result<Benchmark, String> {
@@ -80,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
         trace_path: None,
         export_path: None,
         heatmap: false,
+        quiet: false,
+        telemetry: std::env::var("SIMKIT_TELEMETRY").ok().map(PathBuf::from),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,8 +124,13 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace_path = Some(value()?),
             "--export-trace" => args.export_path = Some(value()?),
             "--heatmap" => args.heatmap = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value()?)),
             "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown flag {other:?}")),
+            other => match other.strip_prefix("--telemetry=") {
+                Some(dir) => args.telemetry = Some(PathBuf::from(dir)),
+                None => return Err(format!("unknown flag {other:?}")),
+            },
         }
     }
     Ok(args)
@@ -133,6 +148,7 @@ fn main() -> ExitCode {
         }
     };
 
+    report::set_quiet(args.quiet);
     let chip = power8_like();
     let mut config = EngineConfig::standard();
     if let Some(ms) = args.duration_ms {
@@ -152,7 +168,27 @@ fn main() -> ExitCode {
         config.design = design;
     }
     let duration = config.duration;
-    let engine = SimulationEngine::new(&chip, config);
+    let noise_windows = config.noise_window_count;
+    let grid_n = config.thermal.nx;
+    let mut engine = SimulationEngine::new(&chip, config);
+
+    // Telemetry: the engine runs with a per-cell counted handle so the
+    // manifest's single cell carries an exact event count.
+    let telemetry_ctx = args
+        .telemetry
+        .as_ref()
+        .and_then(|dir| match TelemetryCtx::create(dir) {
+            Ok(ctx) => Some(ctx),
+            Err(e) => {
+                eprintln!("warning: cannot open telemetry dir {}: {e}", dir.display());
+                None
+            }
+        });
+    let cell_counter = telemetry_ctx.as_ref().map(|ctx| {
+        let (telemetry, counter) = ctx.cell_handle();
+        engine.set_telemetry(telemetry);
+        counter
+    });
 
     // Export-only path.
     if let Some(path) = &args.export_path {
@@ -177,6 +213,7 @@ fn main() -> ExitCode {
     }
 
     banner("simulate", &format!("{} under {}", args.spec, args.policy));
+    let run_started = Instant::now();
     let result = if let Some(path) = &args.trace_path {
         let file = match File::open(path) {
             Ok(f) => f,
@@ -204,6 +241,43 @@ fn main() -> ExitCode {
         }
     };
 
+    if let (Some(ctx), Some(counter)) = (&telemetry_ctx, &cell_counter) {
+        let mut manifest = RunManifest::new("simulate");
+        manifest.push_config("workload", args.spec.to_string());
+        manifest.push_config("policy", experiments::sweep::policy_tag(args.policy));
+        manifest.push_config("duration_ms", format!("{}", duration.get() * 1e3));
+        manifest.push_config("windows", noise_windows);
+        manifest.push_config("grid", grid_n);
+        if let Some(path) = &args.trace_path {
+            manifest.push_config("trace", path);
+        }
+        manifest.cells.push(CellManifest {
+            label: format!(
+                "{}-{}",
+                args.spec,
+                experiments::sweep::policy_tag(args.policy)
+            ),
+            seconds: run_started.elapsed().as_secs_f64(),
+            events: counter.count(),
+            cached: false,
+        });
+        match ctx.finish(&mut manifest) {
+            Ok(path) => {
+                if !args.quiet {
+                    println!(
+                        "telemetry:            {} events → {}",
+                        manifest.total_events(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot write telemetry manifest: {e}"),
+        }
+    }
+
+    if args.quiet {
+        return ExitCode::SUCCESS;
+    }
     println!("T_max:                {:.2}", result.max_temperature());
     println!("thermal gradient:     {:.2} °C", result.max_gradient());
     println!(
@@ -230,6 +304,18 @@ fn main() -> ExitCode {
     );
     if let Some(r2) = result.predictor_r_squared() {
         println!("predictor R²:         {r2:.4}");
+    }
+    if !result.solver_profile().is_empty() {
+        print!(
+            "\nsolver profile:\n{}",
+            solver_report(result.solver_profile())
+        );
+    }
+    if let Some(ctx) = &telemetry_ctx {
+        let metrics = metrics_report(ctx.registry());
+        if !metrics.is_empty() {
+            print!("\ntelemetry metrics:\n{metrics}");
+        }
     }
     if args.heatmap {
         println!("\nheat map at T_max:");

@@ -2,7 +2,7 @@
 
 use experiments::context::ExpOptions;
 use experiments::figures::noise_figs::{table2, PAPER_AVERAGE_EMERGENCY_PCT};
-use experiments::report::{banner, fmt_opt, TextTable};
+use experiments::report::{banner, fmt_opt, is_quiet, TextTable};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -26,6 +26,9 @@ fn main() {
         format!("{PAPER_AVERAGE_EMERGENCY_PCT:.3}"),
     ]);
     table.print();
+    if is_quiet() {
+        return;
+    }
     println!(
         "\nShape check: every application stays well under 1 % of cycles \
          in emergency, and temperature time constants dwarf emergency \

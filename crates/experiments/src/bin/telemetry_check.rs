@@ -1,0 +1,157 @@
+//! Validates a telemetry output directory written by `--telemetry=<dir>`.
+//!
+//! Checks that `manifest.json` parses (schema, hash, and event totals
+//! are self-validated by the loader), that every `trace.jsonl` line is
+//! well-formed JSON with a known `kind`, a numeric `t`, and a string
+//! `name`, and that the trace's line count equals the manifest's
+//! `events_total`. With `--require a,b,..` the listed event kinds must
+//! each appear at least once.
+//!
+//! ```text
+//! cargo run -p experiments --bin telemetry_check -- <dir> [--require gating,emergency]
+//! ```
+//!
+//! Exits non-zero (with a diagnostic on stderr) on any violation, so
+//! `ci.sh` can use it as a machine-readable smoke test without `jq`.
+
+use simkit::telemetry::json::{parse, JsonValue};
+use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
+use simkit::telemetry::EventKind;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: telemetry_check <dir> [--require kind1,kind2,..]\n\
+     kinds: span_start span_end counter gauge histogram gating\n\
+     \u{20}      emergency solve progress"
+}
+
+struct Args {
+    dir: PathBuf,
+    require: Vec<EventKind>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dir = None;
+    let mut require = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--require" => {
+                let list = it.next().ok_or("--require expects a value")?;
+                for tag in list.split(',').filter(|t| !t.is_empty()) {
+                    require.push(
+                        EventKind::parse(tag).ok_or_else(|| format!("unknown kind {tag:?}"))?,
+                    );
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => match other.strip_prefix("--require=") {
+                Some(list) => {
+                    for tag in list.split(',').filter(|t| !t.is_empty()) {
+                        require.push(
+                            EventKind::parse(tag).ok_or_else(|| format!("unknown kind {tag:?}"))?,
+                        );
+                    }
+                }
+                None if dir.is_none() => dir = Some(PathBuf::from(other)),
+                None => return Err(format!("unexpected argument {other:?}")),
+            },
+        }
+    }
+    Ok(Args {
+        dir: dir.ok_or("missing <dir>")?,
+        require,
+    })
+}
+
+/// Validates one trace line; returns its event kind.
+fn check_line(line: &str) -> Result<EventKind, String> {
+    let value = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = match &value {
+        JsonValue::Obj(_) => &value,
+        _ => return Err("event is not a JSON object".into()),
+    };
+    let kind_str = obj
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"kind\"")?;
+    let kind = EventKind::parse(kind_str).ok_or_else(|| format!("unknown kind {kind_str:?}"))?;
+    obj.get("t")
+        .and_then(JsonValue::as_f64)
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or("missing finite numeric field \"t\"")?;
+    let name = obj
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"name\"")?;
+    if name.is_empty() {
+        return Err("empty \"name\"".into());
+    }
+    Ok(kind)
+}
+
+fn run(args: &Args) -> Result<(u64, usize), String> {
+    let manifest_path = args.dir.join(MANIFEST_FILE);
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    // `from_json` re-checks the schema tag, config hash, and event total.
+    let manifest = RunManifest::from_json(manifest_text.trim())
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+
+    let trace_path = args.dir.join(TRACE_FILE);
+    let trace = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+    let mut seen = BTreeSet::new();
+    let mut lines = 0u64;
+    for (i, line) in trace.lines().enumerate() {
+        let kind = check_line(line).map_err(|e| format!("{}:{}: {e}", TRACE_FILE, i + 1))?;
+        seen.insert(kind.as_str());
+        lines += 1;
+    }
+    if lines != manifest.total_events() {
+        return Err(format!(
+            "event count mismatch: {} trace lines vs events_total {}",
+            lines,
+            manifest.total_events()
+        ));
+    }
+    for kind in &args.require {
+        if !seen.contains(kind.as_str()) {
+            return Err(format!(
+                "required event kind {:?} never appears",
+                kind.as_str()
+            ));
+        }
+    }
+    Ok((lines, seen.len()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok((lines, kinds)) => {
+            println!(
+                "ok: {} valid events across {} kinds in {}",
+                lines,
+                kinds,
+                args.dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("telemetry_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,11 +1,12 @@
 //! Experiment options and engine configurations.
 
 use simkit::units::Seconds;
+use std::path::PathBuf;
 use thermal::ThermalConfig;
 use thermogater::EngineConfig;
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExpOptions {
     /// Run a reduced configuration (shorter ROI, coarser grid, fewer
     /// noise windows) for fast iteration.
@@ -16,22 +17,38 @@ pub struct ExpOptions {
     /// Sweep worker-thread count. `None` defers to the `SIMKIT_THREADS`
     /// environment variable, then to the machine's available parallelism.
     pub threads: Option<usize>,
+    /// Suppress human-readable tables and banners; telemetry files are
+    /// still written.
+    pub quiet: bool,
+    /// Directory to write structured telemetry into (`trace.jsonl` +
+    /// `manifest.json`). `None` disables telemetry.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl ExpOptions {
-    /// Parses the process arguments (`--quick`, `--tiny`,
-    /// `--threads=N`). `THERMOGATER_QUICK` in the environment also
-    /// selects the quick configuration.
+    /// Parses the process arguments (`--quick`, `--tiny`, `--threads=N`,
+    /// `--quiet`/`-q`, `--telemetry=<dir>`). `THERMOGATER_QUICK` in the
+    /// environment also selects the quick configuration, and
+    /// `SIMKIT_TELEMETRY=<dir>` enables telemetry when the flag is
+    /// absent. Also installs the quiet preference into
+    /// [`crate::report`], so tables printed through it honour `--quiet`.
     pub fn from_args() -> Self {
         let quick =
             std::env::args().any(|a| a == "--quick") || std::env::var("THERMOGATER_QUICK").is_ok();
         let tiny = std::env::args().any(|a| a == "--tiny");
         let threads = std::env::args()
             .find_map(|a| a.strip_prefix("--threads=").and_then(|n| n.parse().ok()));
+        let quiet = std::env::args().any(|a| a == "--quiet" || a == "-q");
+        let telemetry = std::env::args()
+            .find_map(|a| a.strip_prefix("--telemetry=").map(PathBuf::from))
+            .or_else(|| std::env::var("SIMKIT_TELEMETRY").ok().map(PathBuf::from));
+        crate::report::set_quiet(quiet);
         ExpOptions {
             quick,
             tiny,
             threads,
+            quiet,
+            telemetry,
         }
     }
 
@@ -56,6 +73,22 @@ impl ExpOptions {
     pub fn with_threads(self, threads: usize) -> Self {
         ExpOptions {
             threads: Some(threads),
+            ..self
+        }
+    }
+
+    /// This configuration with telemetry written into `dir`.
+    pub fn with_telemetry(self, dir: impl Into<PathBuf>) -> Self {
+        ExpOptions {
+            telemetry: Some(dir.into()),
+            ..self
+        }
+    }
+
+    /// This configuration with human-readable output suppressed.
+    pub fn with_quiet(self) -> Self {
+        ExpOptions {
+            quiet: true,
             ..self
         }
     }
@@ -141,5 +174,17 @@ mod tests {
         assert_eq!(ExpOptions::tiny().with_threads(0).resolved_threads(), 1);
         // Without an explicit count the resolution is still nonzero.
         assert!(ExpOptions::tiny().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn telemetry_and_quiet_builders() {
+        let opts = ExpOptions::tiny().with_telemetry("/tmp/tg").with_quiet();
+        assert!(opts.quiet);
+        assert_eq!(
+            opts.telemetry.as_deref(),
+            Some(std::path::Path::new("/tmp/tg"))
+        );
+        assert!(ExpOptions::tiny().telemetry.is_none());
+        assert!(!ExpOptions::tiny().quiet);
     }
 }

@@ -10,6 +10,8 @@
 //! * [`report`] — plain-text tables, series and heat-map rendering;
 //! * [`sweep`] — cached benchmark × policy sweeps (the 14 × 8 grid that
 //!   Figs. 9/10/11 and Table 2 share);
+//! * [`telemetry`] — per-run JSONL traces, metrics registries, and
+//!   `manifest.json` writing (`--telemetry=<dir>`);
 //! * [`figures`] — the per-artefact data builders.
 //!
 //! Run an experiment with e.g.
@@ -26,3 +28,4 @@ pub mod context;
 pub mod figures;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;

@@ -1,5 +1,25 @@
 //! Plain-text rendering of tables, series, and heat maps.
 
+use simkit::perf::SolverProfile;
+use simkit::telemetry::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide quiet preference (`--quiet`/`-q`): when set,
+/// [`banner`] and [`TextTable::print`] become no-ops while renderers
+/// keep working, so telemetry files and machine-readable output are
+/// unaffected.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide quiet preference.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether human-readable output is suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
 /// A column-aligned text table.
 ///
 /// # Examples
@@ -83,9 +103,11 @@ impl TextTable {
         out
     }
 
-    /// Prints the rendered table to stdout.
+    /// Prints the rendered table to stdout (a no-op under `--quiet`).
     pub fn print(&self) {
-        print!("{}", self.render());
+        if !is_quiet() {
+            print!("{}", self.render());
+        }
     }
 }
 
@@ -125,11 +147,66 @@ pub fn fmt_opt(value: Option<f64>, precision: usize) -> String {
     }
 }
 
-/// Prints an experiment banner with the artefact id and a description.
+/// Prints an experiment banner with the artefact id and a description
+/// (a no-op under `--quiet`).
 pub fn banner(artefact: &str, description: &str) {
+    if is_quiet() {
+        return;
+    }
     println!("================================================================");
     println!("{artefact} — {description}");
     println!("================================================================");
+}
+
+/// Renders a per-phase solver-convergence table (from
+/// [`SimulationResult::solver_profile`](thermogater::SimulationResult::solver_profile)):
+/// solve counts, mean iterations per solve, and mean/max relative
+/// residuals — the companion of [`phase_report`] for numerical health.
+pub fn solver_report(profile: &SolverProfile) -> String {
+    let mut t = TextTable::new(&["phase", "solves", "iters/solve", "mean resid", "max resid"]);
+    for (phase, agg) in profile.iter() {
+        t.add_row(vec![
+            phase.to_string(),
+            agg.solves.to_string(),
+            format!("{:.1}", agg.mean_iterations()),
+            format!("{:.2e}", agg.mean_residual()),
+            format!("{:.2e}", agg.max_residual),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the counters and histogram summaries a telemetry-enabled run
+/// accumulated, as two column-aligned tables (counters first). Empty
+/// sections are omitted; an empty registry renders to an empty string.
+pub fn metrics_report(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let counters = registry.counters();
+    if !counters.is_empty() {
+        let mut t = TextTable::new(&["counter", "total"]);
+        for (name, total) in counters {
+            t.add_row(vec![name, total.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    let histograms = registry.histograms();
+    if !histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut t = TextTable::new(&["histogram", "samples", "min", "mean", "max"]);
+        for (name, h) in histograms {
+            t.add_row(vec![
+                name,
+                h.count.to_string(),
+                format!("{:.4}", h.min),
+                format!("{:.4}", h.mean()),
+                format!("{:.4}", h.max),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
 }
 
 /// Downsamples a series to at most `points` bucket means (for compact
@@ -205,9 +282,55 @@ mod tests {
     }
 
     #[test]
+    fn solver_report_lists_phases() {
+        use simkit::linalg::SolveStats;
+        let mut profile = SolverProfile::new();
+        profile.record(
+            "transient",
+            SolveStats {
+                iterations: 12,
+                residual: 1e-7,
+            },
+        );
+        profile.record(
+            "noise",
+            SolveStats {
+                iterations: 40,
+                residual: 1e-10,
+            },
+        );
+        let s = solver_report(&profile);
+        assert!(s.contains("transient"));
+        assert!(s.contains("noise"));
+        assert!(s.contains("12.0"));
+    }
+
+    #[test]
+    fn metrics_report_renders_counters_and_histograms() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(metrics_report(&registry), "");
+        registry.add_counter("engine.decisions", 20);
+        registry.observe("engine.window_noise_pct", 8.5);
+        registry.observe("engine.window_noise_pct", 11.5);
+        let s = metrics_report(&registry);
+        assert!(s.contains("engine.decisions"));
+        assert!(s.contains("20"));
+        assert!(s.contains("engine.window_noise_pct"));
+        assert!(s.contains("10.0000"), "mean missing from:\n{s}");
+    }
+
+    #[test]
     fn fmt_opt_renders_dash_for_none() {
         assert_eq!(fmt_opt(None, 2), "-");
         assert_eq!(fmt_opt(Some(1.234), 2), "1.23");
+    }
+
+    #[test]
+    fn quiet_flag_roundtrips() {
+        set_quiet(true);
+        assert!(is_quiet());
+        set_quiet(false);
+        assert!(!is_quiet());
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! serial run regardless of thread count.
 
 use crate::context::ExpOptions;
+use crate::telemetry::TelemetryCtx;
 use floorplan::reference::power8_like;
+use simkit::telemetry::manifest::{CellManifest, RunManifest};
+use simkit::telemetry::EventKind;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 use thermogater::{PolicyKind, SimulationEngine, SimulationResult};
 use workload::Benchmark;
 
@@ -161,32 +165,78 @@ fn cache_path(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> Pa
 /// Panics when the simulation itself fails (physical configurations do
 /// not) or the cache directory cannot be created.
 pub fn record_for(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> SweepRecord {
+    record_for_cell(opts, benchmark, policy, None).0
+}
+
+/// [`record_for`] plus the cell's manifest entry when a telemetry
+/// context is active: the simulation runs with a per-cell counted
+/// telemetry handle, and a `sweep.cell` progress event marks its
+/// completion (cache hits report zero cell events).
+fn record_for_cell(
+    opts: &ExpOptions,
+    benchmark: Benchmark,
+    policy: PolicyKind,
+    ctx: Option<&TelemetryCtx>,
+) -> (SweepRecord, Option<CellManifest>) {
+    let label = format!("{}-{}", benchmark.label(), policy_tag(policy));
+    let started = Instant::now();
+    let progress = |cached: bool, events: u64| {
+        if let Some(ctx) = ctx {
+            let seconds = started.elapsed().as_secs_f64();
+            ctx.telemetry()
+                .event(EventKind::Progress, "sweep.cell")
+                .field_str("cell", label.clone())
+                .field_bool("cached", cached)
+                .field_f64("seconds", seconds)
+                .emit();
+            Some(CellManifest {
+                label: label.clone(),
+                seconds,
+                events,
+                cached,
+            })
+        } else {
+            None
+        }
+    };
+
     let path = cache_path(opts, benchmark, policy);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Some(record) = SweepRecord::from_csv(&text) {
-            return record;
+            let cell = progress(true, 0);
+            return (record, cell);
         }
     }
-    eprintln!(
-        "[sweep] running {} × {} …",
-        benchmark.label(),
-        policy.label()
-    );
+    if !opts.quiet {
+        eprintln!(
+            "[sweep] running {} × {} …",
+            benchmark.label(),
+            policy.label()
+        );
+    }
     let chip = power8_like();
-    let engine = SimulationEngine::new(&chip, opts.engine_config());
+    let mut engine = SimulationEngine::new(&chip, opts.engine_config());
+    let cell_counter = ctx.map(|ctx| {
+        let (telemetry, counter) = ctx.cell_handle();
+        engine.set_telemetry(telemetry);
+        counter
+    });
     let result = engine
         .run(benchmark, policy)
         .expect("simulation of a physical configuration succeeds");
-    eprintln!(
-        "[sweep] {} × {} phase times:\n{}",
-        benchmark.label(),
-        policy.label(),
-        crate::report::phase_report(result.phase_times()),
-    );
+    if !opts.quiet {
+        eprintln!(
+            "[sweep] {} × {} phase times:\n{}",
+            benchmark.label(),
+            policy.label(),
+            crate::report::phase_report(result.phase_times()),
+        );
+    }
     let record = SweepRecord::from_result(&result);
     fs::create_dir_all(cache_dir(opts)).expect("create cache directory");
     fs::write(&path, record.to_csv()).expect("write cache entry");
-    record
+    let cell = progress(false, cell_counter.map_or(0, |c| c.count()));
+    (record, cell)
 }
 
 /// All records of a benchmark × policy grid (cached per cell), in
@@ -205,47 +255,80 @@ pub fn grid(
     benchmarks: &[Benchmark],
     policies: &[PolicyKind],
 ) -> Vec<SweepRecord> {
+    let ctx = TelemetryCtx::from_options(opts);
     let cells: Vec<(Benchmark, PolicyKind)> = benchmarks
         .iter()
         .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
         .collect();
     let threads = opts.resolved_threads().min(cells.len().max(1));
-    if threads <= 1 || cells.len() <= 1 {
-        return cells.iter().map(|&(b, p)| record_for(opts, b, p)).collect();
-    }
+    let mut cell_manifests: Vec<Option<CellManifest>> = vec![None; cells.len()];
+    let records: Vec<SweepRecord> = if threads <= 1 || cells.len() <= 1 {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, p))| {
+                let (record, cell) = record_for_cell(opts, b, p, ctx.as_ref());
+                cell_manifests[i] = cell;
+                record
+            })
+            .collect()
+    } else {
+        // Work stealing over an atomic claim counter: cells vary widely
+        // in cost (policy and cache state), so static partitioning would
+        // leave workers idle behind the slowest stripe.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, SweepRecord, Option<CellManifest>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let cells = &cells;
+                let ctx = ctx.as_ref();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (benchmark, policy) = cells[i];
+                    let (record, cell) = record_for_cell(opts, benchmark, policy, ctx);
+                    if tx.send((i, record, cell)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
 
-    // Work stealing over an atomic claim counter: cells vary widely in
-    // cost (policy and cache state), so static partitioning would leave
-    // workers idle behind the slowest stripe.
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SweepRecord)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let cells = &cells;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (benchmark, policy) = cells[i];
-                let record = record_for(opts, benchmark, policy);
-                if tx.send((i, record)).is_err() {
-                    break;
-                }
-            });
+        let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
+        for (i, record, cell) in rx {
+            out[i] = Some(record);
+            cell_manifests[i] = cell;
         }
-        drop(tx);
-    });
+        out.into_iter()
+            .map(|r| r.expect("every claimed cell sends exactly one record"))
+            .collect()
+    };
 
-    let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
-    for (i, record) in rx {
-        out[i] = Some(record);
+    if let Some(ctx) = &ctx {
+        let mut manifest = RunManifest::new("sweep");
+        manifest.push_config("tag", opts.tag());
+        let bench_list: Vec<&str> = benchmarks.iter().map(|b| b.label()).collect();
+        let policy_list: Vec<&str> = policies.iter().copied().map(policy_tag).collect();
+        manifest.push_config("benchmarks", bench_list.join(","));
+        manifest.push_config("policies", policy_list.join(","));
+        manifest.threads = threads;
+        manifest.cells = cell_manifests
+            .into_iter()
+            .map(|c| c.expect("telemetry-enabled cells report a manifest entry"))
+            .collect();
+        if let Err(e) = ctx.finish(&mut manifest) {
+            eprintln!(
+                "warning: cannot write sweep manifest into {}: {e}",
+                ctx.dir().display()
+            );
+        }
     }
-    out.into_iter()
-        .map(|r| r.expect("every claimed cell sends exactly one record"))
-        .collect()
+    records
 }
 
 /// Looks up one cell in a grid produced by [`grid`].

@@ -1,0 +1,189 @@
+//! Wiring between experiment binaries and `simkit::telemetry`.
+//!
+//! A [`TelemetryCtx`] owns one telemetry output directory for a run:
+//! every event goes to a `trace.jsonl` JSONL writer and, in parallel,
+//! into an in-process [`MetricsRegistry`] so binaries can print a
+//! counter/histogram summary table next to their phase tables. Event
+//! counts are tracked at two levels — per run and per sweep cell — so
+//! [`TelemetryCtx::finish`] can write a `manifest.json` whose
+//! `events_total` provably matches the number of trace lines.
+//!
+//! ```text
+//! Telemetry handle ──► CountingSink (run or cell) ──► Fanout
+//!                                                       ├─► JsonlSink   (trace.jsonl)
+//!                                                       └─► MetricsSink (registry)
+//! ```
+
+use crate::context::ExpOptions;
+use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
+use simkit::telemetry::{
+    CountingSink, FanoutSink, JsonlSink, MetricsRegistry, MetricsSink, Telemetry, TelemetrySink,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One run's telemetry outputs: a JSONL trace, an aggregated metrics
+/// registry, and the bookkeeping needed to write a consistent manifest.
+#[derive(Debug)]
+pub struct TelemetryCtx {
+    dir: PathBuf,
+    /// JSONL + metrics fanout every event ends up in.
+    shared: Arc<FanoutSink>,
+    /// Counts run-level events (everything not attributed to a cell).
+    run_counter: Arc<CountingSink>,
+    registry: Arc<MetricsRegistry>,
+    telemetry: Telemetry,
+}
+
+impl TelemetryCtx {
+    /// Creates the output directory (and parents) and opens
+    /// `trace.jsonl` inside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-open failures.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let jsonl = Arc::new(JsonlSink::create(&dir.join(TRACE_FILE))?);
+        let registry = Arc::new(MetricsRegistry::new());
+        let shared = Arc::new(FanoutSink::new(vec![
+            jsonl as Arc<dyn TelemetrySink>,
+            Arc::new(MetricsSink::new(Arc::clone(&registry))),
+        ]));
+        let run_counter = Arc::new(CountingSink::new(
+            Arc::clone(&shared) as Arc<dyn TelemetrySink>
+        ));
+        let telemetry = Telemetry::with_sink(Arc::clone(&run_counter) as Arc<dyn TelemetrySink>);
+        Ok(TelemetryCtx {
+            dir,
+            shared,
+            run_counter,
+            registry,
+            telemetry,
+        })
+    }
+
+    /// Builds a context from `--telemetry=<dir>` / `SIMKIT_TELEMETRY`.
+    /// Returns `None` when telemetry is not requested; a requested
+    /// directory that cannot be created is reported on stderr and also
+    /// yields `None` (the simulation still runs, untraced).
+    pub fn from_options(opts: &ExpOptions) -> Option<Self> {
+        let dir = opts.telemetry.as_ref()?;
+        match TelemetryCtx::create(dir) {
+            Ok(ctx) => Some(ctx),
+            Err(e) => {
+                eprintln!("warning: cannot open telemetry dir {}: {e}", dir.display());
+                None
+            }
+        }
+    }
+
+    /// The output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run-level telemetry handle (events count toward
+    /// `run_events` in the manifest).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// A fresh handle for one sweep cell, with its own event counter
+    /// (events count toward that cell's manifest entry, not
+    /// `run_events`). Sinks are shared, so the cell's events land in
+    /// the same trace and registry.
+    pub fn cell_handle(&self) -> (Telemetry, Arc<CountingSink>) {
+        let counter = Arc::new(CountingSink::new(
+            Arc::clone(&self.shared) as Arc<dyn TelemetrySink>
+        ));
+        let telemetry = Telemetry::with_sink(Arc::clone(&counter) as Arc<dyn TelemetrySink>);
+        (telemetry, counter)
+    }
+
+    /// The aggregated counters/histograms of everything emitted so far
+    /// (render with [`crate::report::metrics_report`]).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Events emitted through the run-level handle so far.
+    pub fn run_events(&self) -> u64 {
+        self.run_counter.count()
+    }
+
+    /// Stamps `manifest.run_events`, flushes the trace, and writes
+    /// `manifest.json` into the directory. Cell entries must already be
+    /// in `manifest.cells`; run-level events are counted here so the
+    /// manifest's `events_total` equals the trace's line count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush and write failures.
+    pub fn finish(&self, manifest: &mut RunManifest) -> io::Result<PathBuf> {
+        manifest.run_events = self.run_events();
+        self.telemetry.flush()?;
+        let path = self.dir.join(MANIFEST_FILE);
+        manifest.write(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::telemetry::EventKind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tg-telemetry-ctx-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn run_and_cell_events_are_counted_separately() {
+        let dir = temp_dir("counts");
+        let ctx = TelemetryCtx::create(&dir).unwrap();
+        ctx.telemetry().counter("run.level", 1);
+        let (cell_tel, cell_counter) = ctx.cell_handle();
+        cell_tel.gauge("cell.level", 1.0);
+        cell_tel.gauge("cell.level", 2.0);
+        assert_eq!(ctx.run_events(), 1);
+        assert_eq!(cell_counter.count(), 2);
+
+        let mut manifest = RunManifest::new("test");
+        manifest
+            .cells
+            .push(simkit::telemetry::manifest::CellManifest {
+                label: "cell".into(),
+                seconds: 0.0,
+                events: cell_counter.count(),
+                cached: false,
+            });
+        let path = ctx.finish(&mut manifest).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = RunManifest::from_json(text.trim()).unwrap();
+        assert_eq!(back.total_events(), 3);
+
+        // Trace line count matches the manifest total.
+        let trace = std::fs::read_to_string(dir.join(TRACE_FILE)).unwrap();
+        assert_eq!(trace.lines().count() as u64, back.total_events());
+        // Both handles fed the one registry.
+        assert_eq!(ctx.registry().counter("run.level"), 1);
+        assert_eq!(ctx.registry().histogram("cell.level").unwrap().count, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_options_respects_absence() {
+        assert!(TelemetryCtx::from_options(&ExpOptions::tiny()).is_none());
+        let dir = temp_dir("opts");
+        let opts = ExpOptions::tiny().with_telemetry(&dir);
+        let ctx = TelemetryCtx::from_options(&opts).expect("telemetry dir creatable");
+        ctx.telemetry()
+            .event(EventKind::Progress, "run.start")
+            .emit();
+        assert_eq!(ctx.run_events(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::config::PdnConfig;
 use floorplan::{DomainId, Floorplan, VrId};
 use simkit::linalg::{CgWorkspace, CsrMatrix, JacobiPreconditioner, TripletBuilder};
+use simkit::perf::SolverAgg;
 use simkit::units::Watts;
 use simkit::{Error, Result};
 use std::sync::Mutex;
@@ -16,6 +17,8 @@ pub struct IrReport {
     /// Chip-wide global-grid drop, volts.
     global_volts: f64,
     vdd: f64,
+    /// Aggregate over the per-domain CG solves that produced the report.
+    solve: SolverAgg,
 }
 
 impl IrReport {
@@ -51,6 +54,12 @@ impl IrReport {
     /// Number of domains in the report.
     pub fn domain_count(&self) -> usize {
         self.per_domain_volts.len()
+    }
+
+    /// Aggregated convergence statistics of the per-domain CG solves
+    /// behind this report (one solve per domain).
+    pub fn solve_stats(&self) -> SolverAgg {
+        self.solve
     }
 }
 
@@ -308,6 +317,7 @@ impl PdnModel {
             .expect("pdn scratch lock is never poisoned");
         let mut per_domain = Vec::with_capacity(self.grids.len());
         let mut total_current = 0.0;
+        let mut solve = SolverAgg::default();
         for (d, (grid, scratch)) in self.grids.iter().zip(scratches.iter_mut()).enumerate() {
             let n = grid.nx * grid.ny;
             let DomainScratch {
@@ -344,13 +354,14 @@ impl PdnModel {
             }
             pre.update(matrix)?;
             volts.iter_mut().for_each(|v| *v = 0.0);
-            matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+            solve.record(matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?);
             per_domain.push(volts.iter().copied().fold(0.0f64, f64::max));
         }
         Ok(IrReport {
             per_domain_volts: per_domain,
             global_volts: total_current * self.config.r_global_ohm,
             vdd,
+            solve,
         })
     }
 

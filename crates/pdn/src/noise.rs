@@ -4,6 +4,8 @@ use crate::config::PdnConfig;
 use crate::grid::PdnModel;
 use crate::transient::{peak_transient_fraction, TransientParams};
 use floorplan::{DomainId, Floorplan};
+use simkit::perf::SolverAgg;
+use simkit::telemetry::Telemetry;
 use simkit::units::{Hertz, Seconds, Watts};
 use simkit::Result;
 use vreg::GatingState;
@@ -13,6 +15,7 @@ use vreg::GatingState;
 pub struct NoiseReport {
     per_domain: Vec<f64>,
     per_domain_ir: Vec<f64>,
+    ir_solve: SolverAgg,
 }
 
 impl NoiseReport {
@@ -25,7 +28,14 @@ impl NoiseReport {
         NoiseReport {
             per_domain,
             per_domain_ir,
+            ir_solve: SolverAgg::default(),
         }
+    }
+
+    /// Aggregated CG convergence statistics of the IR solves behind this
+    /// report (zero solves for [`NoiseReport::from_fractions`] reports).
+    pub fn ir_solve_stats(&self) -> SolverAgg {
+        self.ir_solve
     }
 
     /// The static IR-drop component of one domain's noise, as a fraction
@@ -92,6 +102,7 @@ pub struct WindowInputs<'a> {
 pub struct NoiseAnalyzer {
     frequency: Hertz,
     response_time: Seconds,
+    telemetry: Telemetry,
 }
 
 impl NoiseAnalyzer {
@@ -101,7 +112,15 @@ impl NoiseAnalyzer {
         NoiseAnalyzer {
             frequency,
             response_time,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; each analysis then emits a
+    /// `pdn.ir_cg` solve event (aggregated over the per-domain solves)
+    /// and a `pdn.noise_max_pct` gauge.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Clock frequency used to convert response times to cycles.
@@ -162,10 +181,19 @@ impl NoiseAnalyzer {
                 ir.domain_fraction(d) + transient
             })
             .collect();
-        Ok(NoiseReport {
+        let report = NoiseReport {
             per_domain,
             per_domain_ir,
-        })
+            ir_solve: ir.solve_stats(),
+        };
+        if self.telemetry.is_enabled() {
+            let solve = report.ir_solve;
+            self.telemetry
+                .solve("pdn.ir_cg", solve.iterations as usize, solve.max_residual);
+            self.telemetry
+                .gauge("pdn.noise_max_pct", report.max_percent());
+        }
+        Ok(report)
     }
 }
 
@@ -263,6 +291,39 @@ mod tests {
         assert_eq!(report.domains_over(0.10), vec![DomainId(1), DomainId(3)]);
         assert!((report.max_percent() - 15.0).abs() < 1e-12);
         assert_eq!(report.fractions().len(), 4);
+    }
+
+    #[test]
+    fn analysis_reports_ir_solve_stats_and_emits_telemetry() {
+        use simkit::telemetry::{EventKind, Telemetry};
+
+        let (chip, model, mut analyzer) = setup();
+        let (tel, sink) = Telemetry::recorder();
+        analyzer.set_telemetry(tel);
+        let powers = vec![Watts::new(1.0); chip.blocks().len()];
+        let windows: Vec<Vec<f64>> = (0..chip.domains().len())
+            .map(|_| step_window(2000, 1500, 0.2))
+            .collect();
+        let gating = GatingState::all_on(chip.vr_sites().len());
+        let report = analyzer
+            .analyze(
+                &chip,
+                &model,
+                &gating,
+                &WindowInputs {
+                    block_powers: &powers,
+                    domain_multipliers: &windows,
+                    warmup: 1000,
+                },
+            )
+            .unwrap();
+        let solve = report.ir_solve_stats();
+        assert_eq!(solve.solves as usize, chip.domains().len());
+        assert!(solve.iterations > 0, "IR solve iterations were dropped");
+        assert!(solve.max_residual.is_finite() && solve.max_residual <= 1e-9);
+        assert_eq!(sink.count_kind(EventKind::Solve), 1);
+        assert_eq!(sink.count_kind(EventKind::Gauge), 1);
+        assert!(sink.events().iter().any(|e| e.name == "pdn.noise_max_pct"));
     }
 
     #[test]

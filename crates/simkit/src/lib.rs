@@ -21,6 +21,9 @@
 //! * [`stats`] — summary statistics, the coefficient of determination
 //!   (R²) used to calibrate ThermoGater's ΔT = θ·ΔP predictor, and the
 //!   weighted moving average the practical policies use to forecast power;
+//! * [`telemetry`] — structured event tracing (spans, counters,
+//!   histograms, gauges) with pluggable sinks, a thread-safe metrics
+//!   registry, and machine-readable run manifests;
 //! * [`error`] — the shared error type.
 //!
 //! # Examples
@@ -51,6 +54,7 @@ pub mod perf;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod units;
 
 pub use error::{Error, Result};

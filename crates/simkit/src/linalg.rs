@@ -20,6 +20,21 @@
 
 use crate::error::{Error, Result};
 
+/// Convergence statistics of one iterative solve.
+///
+/// Every solver in this module returns one of these on success, and the
+/// failure paths embed the same numbers in [`Error::NonConverged`] — no
+/// more `NaN` placeholders. `residual` is the **relative** residual
+/// `‖b − A·x‖₂ / ‖b‖₂` at exit, so values are comparable across solves
+/// of different scales.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Iterations (CG) or sweeps (Gauss–Seidel) performed.
+    pub iterations: usize,
+    /// Relative residual `‖b − A·x‖₂ / ‖b‖₂` at exit.
+    pub residual: f64,
+}
+
 /// Dense vector helpers used by the solvers.
 pub mod vec_ops {
     /// Dot product.
@@ -319,7 +334,8 @@ impl CsrMatrix {
     /// Allocation-free preconditioned conjugate gradient: `x` carries the
     /// initial guess in and the solution out, the preconditioner is built
     /// once per matrix, and all scratch vectors live in `ws` (grown on
-    /// first use, reused afterwards). Returns the iteration count.
+    /// first use, reused afterwards). Returns the iteration count and
+    /// final relative residual as [`SolveStats`].
     ///
     /// # Errors
     ///
@@ -334,7 +350,7 @@ impl CsrMatrix {
         ws: &mut CgWorkspace,
         tolerance: f64,
         max_iter: usize,
-    ) -> Result<usize> {
+    ) -> Result<SolveStats> {
         let n = self.rows;
         for len in [b.len(), x.len(), pre.len()] {
             if len != n {
@@ -351,8 +367,12 @@ impl CsrMatrix {
             r[i] = b[i] - r[i];
         }
         let b_norm = vec_ops::norm(b).max(f64::MIN_POSITIVE);
-        if vec_ops::norm(r) / b_norm <= tolerance {
-            return Ok(0);
+        let initial_rel = vec_ops::norm(r) / b_norm;
+        if initial_rel <= tolerance {
+            return Ok(SolveStats {
+                iterations: 0,
+                residual: initial_rel,
+            });
         }
         pre.apply_into(r, z);
         p.copy_from_slice(z);
@@ -371,7 +391,10 @@ impl CsrMatrix {
             vec_ops::axpy(-alpha, ap, r);
             let rel = vec_ops::norm(r) / b_norm;
             if rel <= tolerance {
-                return Ok(iteration + 1);
+                return Ok(SolveStats {
+                    iterations: iteration + 1,
+                    residual: rel,
+                });
             }
             pre.apply_into(r, z);
             let rz_new = vec_ops::dot(r, z);
@@ -387,10 +410,33 @@ impl CsrMatrix {
         })
     }
 
+    /// Relative residual `‖b − A·x‖₂ / ‖b‖₂` of a candidate solution,
+    /// computed in one pass over the matrix with no allocation (scalar
+    /// accumulators only) — cheap enough for the transient hot loop,
+    /// where it costs about one extra Gauss–Seidel sweep.
+    pub fn relative_residual(&self, b: &[f64], x: &[f64]) -> f64 {
+        debug_assert_eq!(b.len(), self.rows);
+        debug_assert_eq!(x.len(), self.rows);
+        let mut num_sq = 0.0;
+        let mut den_sq = 0.0;
+        for (row, &b_row) in b.iter().enumerate().take(self.rows) {
+            let mut ax = 0.0;
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                ax += self.values[k] * x[self.col_idx[k]];
+            }
+            let r = b_row - ax;
+            num_sq += r * r;
+            den_sq += b_row * b_row;
+        }
+        num_sq.sqrt() / den_sq.sqrt().max(f64::MIN_POSITIVE)
+    }
+
     /// Solves `A·x = b` in place by Gauss–Seidel sweeps with relaxation
     /// factor `omega` (1.0 = plain Gauss–Seidel; 1 < ω < 2 = SOR).
     /// Converges for the diagonally dominant matrices our grids produce and
-    /// is very fast when `x` starts near the solution.
+    /// is very fast when `x` starts near the solution. The returned
+    /// [`SolveStats`] carry the true final relative residual (one extra
+    /// matrix pass), not the update norm the sweep loop tests against.
     ///
     /// # Errors
     ///
@@ -405,7 +451,7 @@ impl CsrMatrix {
         omega: f64,
         tolerance: f64,
         max_sweeps: usize,
-    ) -> Result<usize> {
+    ) -> Result<SolveStats> {
         if b.len() != self.rows {
             return Err(Error::DimensionMismatch {
                 expected: self.rows,
@@ -440,12 +486,15 @@ impl CsrMatrix {
                 x[row] = new;
             }
             if max_update <= tolerance {
-                return Ok(sweep + 1);
+                return Ok(SolveStats {
+                    iterations: sweep + 1,
+                    residual: self.relative_residual(b, x),
+                });
             }
         }
         Err(Error::NonConverged {
             iterations: max_sweeps,
-            residual: f64::NAN,
+            residual: self.relative_residual(b, x),
         })
     }
 
@@ -474,7 +523,7 @@ impl CsrMatrix {
         omega: f64,
         tolerance: f64,
         max_sweeps: usize,
-    ) -> Result<usize> {
+    ) -> Result<SolveStats> {
         for len in [b.len(), x.len(), ws.len()] {
             if len != self.rows {
                 return Err(Error::DimensionMismatch {
@@ -499,12 +548,15 @@ impl CsrMatrix {
                 x[row] = new;
             }
             if max_update <= tolerance {
-                return Ok(sweep + 1);
+                return Ok(SolveStats {
+                    iterations: sweep + 1,
+                    residual: self.relative_residual(b, x),
+                });
             }
         }
         Err(Error::NonConverged {
             iterations: max_sweeps,
-            residual: f64::NAN,
+            residual: self.relative_residual(b, x),
         })
     }
 }
@@ -809,16 +861,71 @@ mod tests {
     }
 
     #[test]
+    fn gs_non_convergence_reports_real_residual() {
+        // Starved of sweeps, both GS variants must still report the true
+        // relative residual of the iterate they stopped at — not NaN.
+        let n = 60;
+        let m = tridiag(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let err = m.solve_gauss_seidel(&b, &mut x, 1.0, 1e-15, 1).unwrap_err();
+        let expected = m.relative_residual(&b, &x);
+        match err {
+            Error::NonConverged {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 1);
+                assert!(residual.is_finite(), "plain GS residual is NaN");
+                assert!((residual - expected).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let ws = GsWorkspace::new(&m).unwrap();
+        let mut x = vec![0.0; n];
+        let err = m
+            .solve_gauss_seidel_colored(&b, &mut x, &ws, 1.0, 1e-15, 1)
+            .unwrap_err();
+        match err {
+            Error::NonConverged { residual, .. } => {
+                assert!(residual.is_finite(), "colored GS residual is NaN");
+                assert!(residual > 0.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relative_residual_matches_definition() {
+        let n = 10;
+        let m = tridiag(n);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let b = vec![1.0; n];
+        let ax = m.mul_vec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
+        let expected = vec_ops::norm(&r) / vec_ops::norm(&b);
+        assert!((m.relative_residual(&b, &x) - expected).abs() < 1e-14);
+        // An exact solution has (near-)zero residual.
+        let exact = m.solve_cg(&b, None, 1e-14, 1000).unwrap();
+        assert!(m.relative_residual(&b, &exact) < 1e-12);
+    }
+
+    #[test]
     fn gauss_seidel_solves_diagonally_dominant() {
         let n = 40;
         let m = tridiag(n);
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
         let b = m.mul_vec(&x_true).unwrap();
         let mut x = vec![0.0; n];
-        let sweeps = m
+        let stats = m
             .solve_gauss_seidel(&b, &mut x, 1.0, 1e-12, 10_000)
             .unwrap();
-        assert!(sweeps > 0);
+        assert!(stats.iterations > 0);
+        assert!(
+            stats.residual.is_finite() && stats.residual < 1e-8,
+            "GS must report a real final residual, got {}",
+            stats.residual
+        );
         assert!(vec_ops::max_abs_diff(&x, &x_true) < 1e-8);
     }
 
@@ -844,10 +951,12 @@ mod tests {
         let mut x_sor = vec![0.0; n];
         let gs = m
             .solve_gauss_seidel(&b, &mut x_gs, 1.0, 1e-8, 1_000_000)
-            .unwrap();
+            .unwrap()
+            .iterations;
         let sor = m
             .solve_gauss_seidel(&b, &mut x_sor, omega_opt, 1e-8, 1_000_000)
-            .unwrap();
+            .unwrap()
+            .iterations;
         assert!(sor < gs, "SOR {sor} sweeps vs GS {gs}");
         assert!(vec_ops::max_abs_diff(&x_gs, &x_sor) < 1e-4);
     }
@@ -859,7 +968,10 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
         let b = m.mul_vec(&x_true).unwrap();
         let mut x = x_true.clone();
-        let sweeps = m.solve_gauss_seidel(&b, &mut x, 1.0, 1e-12, 100).unwrap();
+        let sweeps = m
+            .solve_gauss_seidel(&b, &mut x, 1.0, 1e-12, 100)
+            .unwrap()
+            .iterations;
         assert!(sweeps <= 2, "warm start took {sweeps} sweeps");
     }
 
@@ -969,10 +1081,11 @@ mod tests {
         let pre = JacobiPreconditioner::new(&m).unwrap();
         let mut ws = CgWorkspace::new();
         let mut x = vec![0.0; n];
-        let iters = m
+        let stats = m
             .solve_cg_with(&b, &mut x, &pre, &mut ws, 1e-13, 1000)
             .unwrap();
-        assert!(iters > 0);
+        assert!(stats.iterations > 0);
+        assert!(stats.residual.is_finite() && stats.residual <= 1e-13);
         assert!(vec_ops::max_abs_diff(&x, &baseline) < 1e-12);
     }
 
@@ -1007,10 +1120,11 @@ mod tests {
             .unwrap();
         let ws = GsWorkspace::new(&m).unwrap();
         let mut x_colored = vec![0.0; n];
-        let sweeps = m
+        let stats = m
             .solve_gauss_seidel_colored(&b, &mut x_colored, &ws, 1.0, 1e-14, 100_000)
             .unwrap();
-        assert!(sweeps > 0);
+        assert!(stats.iterations > 0);
+        assert!(stats.residual.is_finite(), "colored GS residual is NaN");
         assert!(vec_ops::max_abs_diff(&x_colored, &x_plain) < 1e-12);
         assert!(vec_ops::max_abs_diff(&x_colored, &x_true) < 1e-10);
     }

@@ -24,6 +24,7 @@
 //! assert!(phases.total_seconds() >= 0.5);
 //! ```
 
+use crate::linalg::SolveStats;
 use std::time::Instant;
 
 /// A started wall-clock timer; read it with
@@ -137,6 +138,154 @@ impl PhaseTimes {
     }
 }
 
+/// Aggregate over many iterative solves: count, total iterations, and
+/// residual extremes — what the engine accumulates per phase so solver
+/// behaviour is visible in results, not dropped on the floor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverAgg {
+    /// Number of solves folded in.
+    pub solves: u64,
+    /// Total iterations (or sweeps) across all solves.
+    pub iterations: u64,
+    /// Sum of final relative residuals (for the mean).
+    pub sum_residual: f64,
+    /// Worst (largest) final relative residual seen.
+    pub max_residual: f64,
+}
+
+impl SolverAgg {
+    /// Folds one solve in.
+    pub fn record(&mut self, stats: SolveStats) {
+        self.solves += 1;
+        self.iterations += stats.iterations as u64;
+        self.sum_residual += stats.residual;
+        self.max_residual = self.max_residual.max(stats.residual);
+    }
+
+    /// Merges another aggregate in.
+    pub fn merge(&mut self, other: &SolverAgg) {
+        self.solves += other.solves;
+        self.iterations += other.iterations;
+        self.sum_residual += other.sum_residual;
+        self.max_residual = self.max_residual.max(other.max_residual);
+    }
+
+    /// Mean iterations per solve (0.0 when empty).
+    pub fn mean_iterations(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean final relative residual (0.0 when empty).
+    pub fn mean_residual(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.sum_residual / self.solves as f64
+        }
+    }
+}
+
+/// Per-phase [`SolverAgg`] accumulator, keyed like [`PhaseTimes`] by
+/// `&'static str` in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::linalg::SolveStats;
+/// use simkit::perf::SolverProfile;
+///
+/// let mut profile = SolverProfile::new();
+/// profile.record("transient", SolveStats { iterations: 4, residual: 1e-9 });
+/// profile.record("transient", SolveStats { iterations: 6, residual: 2e-9 });
+/// let agg = profile.get("transient").unwrap();
+/// assert_eq!(agg.solves, 2);
+/// assert_eq!(agg.iterations, 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverProfile {
+    phases: Vec<(&'static str, SolverAgg)>,
+}
+
+impl SolverProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        SolverProfile::default()
+    }
+
+    /// Folds one solve into `phase`, creating the phase on first use.
+    pub fn record(&mut self, phase: &'static str, stats: SolveStats) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| *name == phase) {
+            entry.1.record(stats);
+        } else {
+            let mut agg = SolverAgg::default();
+            agg.record(stats);
+            self.phases.push((phase, agg));
+        }
+    }
+
+    /// Merges a pre-aggregated [`SolverAgg`] into `phase`.
+    pub fn merge_agg(&mut self, phase: &'static str, agg: &SolverAgg) {
+        if agg.solves == 0 {
+            return;
+        }
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| *name == phase) {
+            entry.1.merge(agg);
+        } else {
+            self.phases.push((phase, *agg));
+        }
+    }
+
+    /// Merges another profile in.
+    pub fn merge(&mut self, other: &SolverProfile) {
+        for (phase, agg) in &other.phases {
+            self.merge_agg(phase, agg);
+        }
+    }
+
+    /// The aggregate for one phase, when any solve was recorded there.
+    pub fn get(&self, phase: &str) -> Option<SolverAgg> {
+        self.phases
+            .iter()
+            .find(|(name, _)| *name == phase)
+            .map(|(_, agg)| *agg)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Iterates `(phase, aggregate)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SolverAgg)> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Renders a fixed-width table, one line per phase.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10} {:>12} {:>12}\n",
+            "phase", "solves", "iters", "iters/sol", "mean resid", "max resid"
+        ));
+        for (name, agg) in self.iter() {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>10} {:>10.1} {:>12.3e} {:>12.3e}\n",
+                name,
+                agg.solves,
+                agg.iterations,
+                agg.mean_iterations(),
+                agg.mean_residual(),
+                agg.max_residual
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +334,64 @@ mod tests {
         assert!(table.contains("noise"));
         assert!(table.contains("total"));
         assert!(table.contains("50.0%"));
+    }
+
+    #[test]
+    fn solver_profile_accumulates_and_merges() {
+        let mut a = SolverProfile::new();
+        a.record(
+            "transient",
+            SolveStats {
+                iterations: 4,
+                residual: 1e-9,
+            },
+        );
+        a.record(
+            "transient",
+            SolveStats {
+                iterations: 8,
+                residual: 3e-9,
+            },
+        );
+        a.record(
+            "steady",
+            SolveStats {
+                iterations: 100,
+                residual: 1e-11,
+            },
+        );
+        let t = a.get("transient").unwrap();
+        assert_eq!(t.solves, 2);
+        assert_eq!(t.iterations, 12);
+        assert!((t.mean_iterations() - 6.0).abs() < 1e-12);
+        assert!((t.mean_residual() - 2e-9).abs() < 1e-21);
+        assert_eq!(t.max_residual, 3e-9);
+        assert!(a.get("absent").is_none());
+
+        let mut b = SolverProfile::new();
+        b.record(
+            "transient",
+            SolveStats {
+                iterations: 2,
+                residual: 5e-9,
+            },
+        );
+        b.record(
+            "noise",
+            SolveStats {
+                iterations: 30,
+                residual: 1e-10,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.get("transient").unwrap().solves, 3);
+        assert_eq!(a.get("transient").unwrap().max_residual, 5e-9);
+        assert_eq!(a.get("noise").unwrap().solves, 1);
+        let order: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, ["transient", "steady", "noise"]);
+        let table = a.render();
+        assert!(table.contains("transient"));
+        assert!(table.contains("max resid"));
     }
 
     #[test]

@@ -1,0 +1,1096 @@
+//! Structured run telemetry: events, sinks, and a metrics registry.
+//!
+//! Every layer of the simulation stack (solvers, thermal stepper, PDN
+//! analyzer, engine, sweep executor) can emit structured events —
+//! span start/end pairs, counters, histograms, per-step gauges, and
+//! domain events (gating changes, voltage emergencies, solver
+//! convergence) — through a shared [`Telemetry`] handle. The handle is
+//!
+//! * **zero-overhead when disabled** — [`Telemetry::disabled`] carries no
+//!   sink at all, so every emit site reduces to one branch on an
+//!   `Option` and constructs nothing (no event, no allocation);
+//! * **thread-safe** — handles are `Clone + Send + Sync` and all sinks
+//!   accept events from any thread, so the parallel sweep executor can
+//!   share one trace file across workers;
+//! * **pluggable** — backends implement [`TelemetrySink`]:
+//!   [`NoopSink`] (discard, reports itself inactive), [`MemorySink`]
+//!   (in-memory recorder for tests), [`JsonlSink`] (JSON-lines file
+//!   writer), plus the combinators [`FanoutSink`], [`CountingSink`],
+//!   and [`MetricsSink`].
+//!
+//! Aggregated counter/histogram statistics live in a [`MetricsRegistry`]
+//! (usually fed by a [`MetricsSink`]) which renders the summary table
+//! shown by `experiments::report` next to the phase-time table.
+//!
+//! The [`json`] submodule holds the dependency-free JSON writer/parser
+//! the JSONL sink and the manifest validator share; [`manifest`] holds
+//! the machine-readable per-run `manifest.json` schema.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::telemetry::{EventKind, MemorySink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::default());
+//! let tel = Telemetry::with_sink(sink.clone());
+//! {
+//!     let _span = tel.span("solve");
+//!     tel.counter("steps", 3);
+//!     tel.histogram("residual", 1e-9);
+//! }
+//! assert_eq!(sink.count_kind(EventKind::SpanStart), 1);
+//! assert_eq!(sink.count_kind(EventKind::SpanEnd), 1);
+//! assert_eq!(sink.len(), 4);
+//!
+//! let off = Telemetry::disabled();
+//! assert!(!off.is_enabled());
+//! off.counter("steps", 3); // no-op, allocates nothing
+//! ```
+
+pub mod json;
+pub mod manifest;
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The kind of a telemetry [`Event`].
+///
+/// The kind string (see [`EventKind::as_str`]) is what lands in the
+/// `"kind"` field of each JSONL line, and what trace consumers key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named span opened (paired with a later [`EventKind::SpanEnd`]).
+    SpanStart,
+    /// A named span closed; carries a `dur_s` field.
+    SpanEnd,
+    /// A monotonic counter increment; carries a `delta` field.
+    Counter,
+    /// An instantaneous sampled value; carries a `value` field.
+    Gauge,
+    /// A distribution observation; carries a `value` field.
+    Histogram,
+    /// A regulator gating decision or active-set change.
+    Gating,
+    /// A voltage-emergency check or occurrence.
+    Emergency,
+    /// An iterative solve finished; carries `iters` and `residual`.
+    Solve,
+    /// Coarse progress (sweep cells, run start/end).
+    Progress,
+}
+
+impl EventKind {
+    /// All kinds, in a stable order (used by validators).
+    pub const ALL: [EventKind; 9] = [
+        EventKind::SpanStart,
+        EventKind::SpanEnd,
+        EventKind::Counter,
+        EventKind::Gauge,
+        EventKind::Histogram,
+        EventKind::Gating,
+        EventKind::Emergency,
+        EventKind::Solve,
+        EventKind::Progress,
+    ];
+
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Histogram => "histogram",
+            EventKind::Gating => "gating",
+            EventKind::Emergency => "emergency",
+            EventKind::Solve => "solve",
+            EventKind::Progress => "progress",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+}
+
+/// One typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (times, temperatures, residuals).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (labels).
+    Str(String),
+}
+
+/// A single structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds since the owning [`Telemetry`] handle's epoch.
+    pub t_s: f64,
+    /// Event kind (drives the `"kind"` wire field).
+    pub kind: EventKind,
+    /// Event name, e.g. `"thermal.max_c"` or `"transient"`.
+    pub name: Cow<'static, str>,
+    /// Additional key/value payload.
+    pub fields: Vec<(Cow<'static, str>, FieldValue)>,
+}
+
+impl Event {
+    /// Serialises the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        out.push_str("{\"t\":");
+        json::write_f64(&mut out, self.t_s);
+        out.push_str(",\"kind\":");
+        json::write_str(&mut out, self.kind.as_str());
+        out.push_str(",\"name\":");
+        json::write_str(&mut out, &self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            json::write_str(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => json::write_f64(&mut out, *v),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => json::write_str(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A telemetry backend: receives every emitted [`Event`].
+///
+/// Implementations must be cheap and non-blocking where possible; they
+/// are called from solver hot paths (only when the handle is enabled).
+pub trait TelemetrySink: Send + Sync + std::fmt::Debug {
+    /// Whether emit sites should bother constructing events at all.
+    ///
+    /// [`NoopSink`] returns `false`, which makes a handle carrying it
+    /// behave exactly like [`Telemetry::disabled`].
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file-backed sinks.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event and reports itself inactive, so emit sites
+/// skip event construction entirely. Equivalent to
+/// [`Telemetry::disabled`] in cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// In-memory recorder, mainly for tests and the overhead benchmark.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of recorded events of one kind.
+    pub fn count_kind(&self, kind: EventKind) -> usize {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// JSON-lines file writer: one event per line, buffered.
+///
+/// Write errors after creation are counted rather than panicking (the
+/// simulation should not die because a trace disk filled up); call
+/// [`JsonlSink::flush`] / check [`JsonlSink::write_errors`] at the end
+/// of a run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    lines: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            lines: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of lines successfully handed to the writer.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Number of write failures since creation.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        match writer.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.lines.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+/// Forwards every event to each of several sinks (e.g. a JSONL file
+/// plus a [`MetricsSink`]).
+#[derive(Debug, Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// Builds a fanout over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TelemetrySink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn active(&self) -> bool {
+        self.sinks.iter().any(|s| s.active())
+    }
+
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        for sink in &self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Counts events passing through to an inner sink — the sweep executor
+/// wraps the shared trace sink per cell to attribute event counts in
+/// the run manifest.
+#[derive(Debug)]
+pub struct CountingSink {
+    inner: Arc<dyn TelemetrySink>,
+    count: AtomicU64,
+}
+
+impl CountingSink {
+    /// Wraps `inner`.
+    pub fn new(inner: Arc<dyn TelemetrySink>) -> Self {
+        CountingSink {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events seen so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl TelemetrySink for CountingSink {
+    fn active(&self) -> bool {
+        self.inner.active()
+    }
+
+    fn record(&self, event: &Event) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.record(event);
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Feeds counter/gauge/histogram events into a [`MetricsRegistry`] so a
+/// run can print an aggregate summary table without replaying the trace.
+#[derive(Debug)]
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MetricsSink {
+    /// Builds a sink updating `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        MetricsSink { registry }
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn record(&self, event: &Event) {
+        match event.kind {
+            EventKind::Counter => {
+                let delta = event
+                    .fields
+                    .iter()
+                    .find_map(|(k, v)| match (k.as_ref(), v) {
+                        ("delta", FieldValue::U64(d)) => Some(*d),
+                        _ => None,
+                    })
+                    .unwrap_or(1);
+                self.registry.add_counter(&event.name, delta);
+            }
+            EventKind::Gauge | EventKind::Histogram => {
+                if let Some(value) = event
+                    .fields
+                    .iter()
+                    .find_map(|(k, v)| match (k.as_ref(), v) {
+                        ("value", FieldValue::F64(x)) => Some(*x),
+                        _ => None,
+                    })
+                {
+                    self.registry.observe(&event.name, value);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct TelemetryInner {
+    sink: Arc<dyn TelemetrySink>,
+    epoch: Instant,
+    active: bool,
+}
+
+impl std::fmt::Debug for TelemetryInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryInner")
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cheap, cloneable handle every instrumented component holds.
+///
+/// The default handle is disabled: emit methods check one flag and
+/// return without constructing anything, so instrumentation costs
+/// nothing on hot paths unless a sink is installed.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The zero-overhead disabled handle (also `Telemetry::default()`).
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle emitting into `sink`; the epoch (t = 0) is now.
+    ///
+    /// If the sink reports itself [inactive](TelemetrySink::active)
+    /// (e.g. [`NoopSink`]) the handle behaves like
+    /// [`Telemetry::disabled`]: no events are constructed.
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        let active = sink.active();
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                epoch: Instant::now(),
+                active,
+            })),
+        }
+    }
+
+    /// A handle plus the in-memory recorder behind it, for tests.
+    pub fn recorder() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::default());
+        (Telemetry::with_sink(sink.clone()), sink)
+    }
+
+    /// Whether events will actually be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(&self.inner, Some(inner) if inner.active)
+    }
+
+    /// Seconds since the handle's epoch (0.0 when disabled).
+    pub fn now_s(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file-backed sinks.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.sink.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn send(
+        &self,
+        kind: EventKind,
+        name: Cow<'static, str>,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            if inner.active {
+                let event = Event {
+                    t_s: inner.epoch.elapsed().as_secs_f64(),
+                    kind,
+                    name,
+                    fields,
+                };
+                inner.sink.record(&event);
+            }
+        }
+    }
+
+    /// Emits a counter increment.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if self.is_enabled() {
+            self.send(
+                EventKind::Counter,
+                Cow::Borrowed(name),
+                vec![(Cow::Borrowed("delta"), FieldValue::U64(delta))],
+            );
+        }
+    }
+
+    /// Emits an instantaneous gauge sample.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if self.is_enabled() {
+            self.send(
+                EventKind::Gauge,
+                Cow::Borrowed(name),
+                vec![(Cow::Borrowed("value"), FieldValue::F64(value))],
+            );
+        }
+    }
+
+    /// Emits a histogram observation.
+    pub fn histogram(&self, name: &'static str, value: f64) {
+        if self.is_enabled() {
+            self.send(
+                EventKind::Histogram,
+                Cow::Borrowed(name),
+                vec![(Cow::Borrowed("value"), FieldValue::F64(value))],
+            );
+        }
+    }
+
+    /// Emits a solver-convergence event (iteration count + residual).
+    pub fn solve(&self, name: &'static str, iterations: usize, residual: f64) {
+        if self.is_enabled() {
+            self.send(
+                EventKind::Solve,
+                Cow::Borrowed(name),
+                vec![
+                    (Cow::Borrowed("iters"), FieldValue::U64(iterations as u64)),
+                    (Cow::Borrowed("residual"), FieldValue::F64(residual)),
+                ],
+            );
+        }
+    }
+
+    /// Starts building an event of arbitrary kind; finish with
+    /// [`EventBuilder::emit`]. No-op (and allocation-free) when the
+    /// handle is disabled.
+    pub fn event(&self, kind: EventKind, name: &'static str) -> EventBuilder<'_> {
+        EventBuilder {
+            telemetry: self,
+            event: if self.is_enabled() {
+                Some((kind, Cow::Borrowed(name), Vec::new()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Opens a span; the returned guard emits the matching
+    /// [`EventKind::SpanEnd`] (with a `dur_s` field) when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if self.is_enabled() {
+            self.send(EventKind::SpanStart, Cow::Borrowed(name), Vec::new());
+            SpanGuard {
+                telemetry: self.clone(),
+                name,
+                started: Some(Instant::now()),
+            }
+        } else {
+            SpanGuard {
+                telemetry: Telemetry::disabled(),
+                name,
+                started: None,
+            }
+        }
+    }
+}
+
+/// The in-flight payload of an [`EventBuilder`]: kind, name, and the
+/// fields accumulated so far.
+type PendingEvent = (
+    EventKind,
+    Cow<'static, str>,
+    Vec<(Cow<'static, str>, FieldValue)>,
+);
+
+/// Incremental builder returned by [`Telemetry::event`].
+#[derive(Debug)]
+pub struct EventBuilder<'a> {
+    telemetry: &'a Telemetry,
+    event: Option<PendingEvent>,
+}
+
+impl EventBuilder<'_> {
+    fn push(mut self, key: &'static str, value: FieldValue) -> Self {
+        if let Some((_, _, fields)) = &mut self.event {
+            fields.push((Cow::Borrowed(key), value));
+        }
+        self
+    }
+
+    /// Attaches an unsigned-integer field.
+    pub fn field_u64(self, key: &'static str, value: u64) -> Self {
+        self.push(key, FieldValue::U64(value))
+    }
+
+    /// Attaches a signed-integer field.
+    pub fn field_i64(self, key: &'static str, value: i64) -> Self {
+        self.push(key, FieldValue::I64(value))
+    }
+
+    /// Attaches a floating-point field.
+    pub fn field_f64(self, key: &'static str, value: f64) -> Self {
+        self.push(key, FieldValue::F64(value))
+    }
+
+    /// Attaches a boolean field.
+    pub fn field_bool(self, key: &'static str, value: bool) -> Self {
+        self.push(key, FieldValue::Bool(value))
+    }
+
+    /// Attaches a string field (only evaluated when enabled if the
+    /// caller guards with [`Telemetry::is_enabled`]).
+    pub fn field_str(self, key: &'static str, value: impl Into<String>) -> Self {
+        self.push(key, FieldValue::Str(value.into()))
+    }
+
+    /// Emits the built event (no-op when the handle is disabled).
+    pub fn emit(self) {
+        if let Some((kind, name, fields)) = self.event {
+            self.telemetry.send(kind, name, fields);
+        }
+    }
+}
+
+/// RAII guard emitting a span-end event on drop; see [`Telemetry::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(started) = self.started.take() {
+            self.telemetry.send(
+                EventKind::SpanEnd,
+                Cow::Borrowed(self.name),
+                vec![(
+                    Cow::Borrowed("dur_s"),
+                    FieldValue::F64(started.elapsed().as_secs_f64()),
+                )],
+            );
+        }
+    }
+}
+
+/// Aggregate of one histogram metric: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// An empty summary (count 0).
+    pub fn new() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary in.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary::new()
+    }
+}
+
+/// Thread-safe named counters and histogram summaries.
+///
+/// Names are kept in first-insertion order so rendered tables are
+/// deterministic for a deterministic event stream.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(entry) = inner.counters.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += delta;
+        } else {
+            inner.counters.push((name.to_string(), delta));
+        }
+    }
+
+    /// Folds one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(entry) = inner.histograms.iter_mut().find(|(n, _)| n == name) {
+            entry.1.observe(value);
+        } else {
+            let mut summary = HistogramSummary::new();
+            summary.observe(value);
+            inner.histograms.push((name.to_string(), summary));
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Summary of a histogram, when any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Snapshot of all counters in insertion order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .counters
+            .clone()
+    }
+
+    /// Snapshot of all histograms in insertion order.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .histograms
+            .clone()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.is_empty() && inner.histograms.is_empty()
+    }
+
+    /// Merges a snapshot of `other` into `self`.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        let (counters, histograms) = {
+            let inner = other.inner.lock().expect("metrics registry poisoned");
+            (inner.counters.clone(), inner.histograms.clone())
+        };
+        for (name, delta) in counters {
+            self.add_counter(&name, delta);
+        }
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        for (name, summary) in histograms {
+            if let Some(entry) = inner.histograms.iter_mut().find(|(n, _)| *n == name) {
+                entry.1.merge(&summary);
+            } else {
+                inner.histograms.push((name, summary));
+            }
+        }
+    }
+
+    /// Renders the counter table then the histogram table, one metric
+    /// per line — the summary `experiments::report` prints next to the
+    /// phase table.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        if !inner.counters.is_empty() {
+            out.push_str(&format!("{:<28} {:>12}\n", "counter", "total"));
+            for (name, value) in &inner.counters {
+                out.push_str(&format!("{name:<28} {value:>12}\n"));
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "mean", "min", "max"
+            ));
+            for (name, s) in &inner.histograms {
+                out.push_str(&format!(
+                    "{:<28} {:>8} {:>12.4e} {:>12.4e} {:>12.4e}\n",
+                    name,
+                    s.count,
+                    s.mean(),
+                    s.min,
+                    s.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter("a", 1);
+        tel.gauge("b", 2.0);
+        tel.histogram("c", 3.0);
+        tel.solve("d", 4, 1e-9);
+        tel.event(EventKind::Gating, "e").field_u64("k", 1).emit();
+        let span = tel.span("f");
+        span.finish();
+        assert_eq!(tel.now_s(), 0.0);
+        tel.flush().expect("noop flush");
+    }
+
+    #[test]
+    fn noop_sink_handle_is_disabled() {
+        let tel = Telemetry::with_sink(Arc::new(NoopSink));
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn memory_sink_records_all_emit_shapes() {
+        let (tel, sink) = Telemetry::recorder();
+        assert!(tel.is_enabled());
+        {
+            let _span = tel.span("phase");
+            tel.counter("steps", 7);
+            tel.gauge("temp_c", 81.5);
+            tel.histogram("residual", 1e-8);
+            tel.solve("cg", 12, 1e-10);
+            tel.event(EventKind::Emergency, "check")
+                .field_u64("domains", 2)
+                .field_bool("any", true)
+                .field_f64("worst", 0.06)
+                .field_str("policy", "oracvt")
+                .emit();
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 7);
+        assert_eq!(sink.count_kind(EventKind::SpanStart), 1);
+        assert_eq!(sink.count_kind(EventKind::SpanEnd), 1);
+        assert_eq!(sink.count_kind(EventKind::Emergency), 1);
+        let end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd)
+            .expect("span end recorded");
+        assert_eq!(end.name, "phase");
+        assert!(matches!(end.fields[0], (ref k, FieldValue::F64(d)) if k == "dur_s" && d >= 0.0));
+        let mut last_t = 0.0;
+        for event in &events {
+            assert!(event.t_s >= last_t);
+            last_t = event.t_s;
+        }
+    }
+
+    #[test]
+    fn event_json_is_parseable_and_escaped() {
+        let (tel, sink) = Telemetry::recorder();
+        tel.event(EventKind::Progress, "cell")
+            .field_str("label", "fft-\"quoted\"\n")
+            .field_u64("index", 3)
+            .field_f64("nan", f64::NAN)
+            .emit();
+        let line = sink.events()[0].to_json();
+        let value = json::parse(&line).expect("event json parses");
+        assert_eq!(
+            value.get("kind").and_then(json::JsonValue::as_str),
+            Some("progress")
+        );
+        assert_eq!(
+            value.get("label").and_then(json::JsonValue::as_str),
+            Some("fft-\"quoted\"\n")
+        );
+        assert_eq!(
+            value.get("index").and_then(json::JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert!(value.get("nan").expect("nan field present").is_null());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn counting_and_fanout_sinks_compose() {
+        let mem_a = Arc::new(MemorySink::default());
+        let mem_b = Arc::new(MemorySink::default());
+        let fan = Arc::new(FanoutSink::new(vec![mem_a.clone(), mem_b.clone()]));
+        let counting = Arc::new(CountingSink::new(fan));
+        let tel = Telemetry::with_sink(counting.clone());
+        tel.counter("x", 1);
+        tel.counter("x", 2);
+        assert_eq!(counting.count(), 2);
+        assert_eq!(mem_a.len(), 2);
+        assert_eq!(mem_b.len(), 2);
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_counters_and_histograms() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let tel = Telemetry::with_sink(Arc::new(MetricsSink::new(registry.clone())));
+        tel.counter("engine.steps", 100);
+        tel.counter("engine.steps", 50);
+        tel.histogram("noise.pct", 1.0);
+        tel.histogram("noise.pct", 3.0);
+        tel.gauge("thermal.max_c", 85.0);
+        assert_eq!(registry.counter("engine.steps"), 150);
+        let h = registry.histogram("noise.pct").expect("histogram exists");
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        let g = registry.histogram("thermal.max_c").expect("gauge recorded");
+        assert_eq!(g.count, 1);
+        let table = registry.render();
+        assert!(table.contains("engine.steps"));
+        assert!(table.contains("noise.pct"));
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let registry = Arc::new(MetricsRegistry::new());
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        registry.add_counter("hits", 1);
+                        registry.observe("vals", i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("hits"), 8000);
+        let h = registry.histogram("vals").expect("histogram exists");
+        assert_eq!(h.count, 8000);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 999.0);
+    }
+
+    #[test]
+    fn registry_merge_sums_snapshots() {
+        let a = MetricsRegistry::new();
+        a.add_counter("c", 1);
+        a.observe("h", 1.0);
+        let b = MetricsRegistry::new();
+        b.add_counter("c", 2);
+        b.add_counter("only_b", 5);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 5);
+        let h = a.histogram("h").expect("histogram exists");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn sink_swapping_changes_destination() {
+        let (tel_a, sink_a) = Telemetry::recorder();
+        tel_a.counter("x", 1);
+        // A component re-configured with a new handle writes to the new
+        // sink only; the old recorder keeps its history.
+        let (tel_b, sink_b) = Telemetry::recorder();
+        tel_b.counter("x", 1);
+        tel_b.counter("x", 1);
+        assert_eq!(sink_a.len(), 1);
+        assert_eq!(sink_b.len(), 2);
+    }
+
+    #[test]
+    fn shared_handle_accepts_events_from_many_threads() {
+        let (tel, sink) = Telemetry::recorder();
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let tel = tel.clone();
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        tel.counter("thread.events", t + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 1000);
+    }
+}

@@ -1,0 +1,375 @@
+//! Dependency-free JSON writing and parsing for telemetry artifacts.
+//!
+//! The workspace deliberately has no third-party dependencies, so the
+//! JSONL trace writer, the run-manifest serialiser, and the `jq`-free
+//! CI validator share this small module: an escaping string/number
+//! writer and a strict recursive-descent parser producing a
+//! [`JsonValue`] tree.
+//!
+//! Numbers are parsed as `f64` (ample for trace timestamps, counts, and
+//! residuals); non-finite floats serialise as `null`, matching strict
+//! JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::telemetry::json::{parse, JsonValue};
+//!
+//! let v = parse(r#"{"kind":"solve","iters":12,"ok":true}"#).unwrap();
+//! assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("solve"));
+//! assert_eq!(v.get("iters").and_then(JsonValue::as_f64), Some(12.0));
+//! assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+//! ```
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys kept in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number (`null` when non-finite).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 is the shortest representation that round-trips.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with byte offset) on malformed
+/// input or trailing garbage.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid utf-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v =
+            parse(r#"{"a":[1,2.5,-3e2],"b":{"c":null,"d":false},"e":"x"}"#).expect("valid json");
+        let a = v.get("a").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert!(v.get("b").and_then(|b| b.get("c")).expect("c").is_null());
+        assert_eq!(v.get("e").and_then(JsonValue::as_str), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nquote\"slash\\tab\tünïcode";
+        let mut encoded = String::new();
+        write_str(&mut encoded, original);
+        let parsed = parse(&encoded).expect("escaped string parses");
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut encoded = String::new();
+        write_str(&mut encoded, "\u{1}");
+        assert_eq!(encoded, "\"\\u0001\"");
+        assert_eq!(parse(&encoded).expect("parses").as_str(), Some("\u{1}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, 1.5e-9);
+        assert_eq!(out.parse::<f64>().expect("number"), 1.5e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "\"open", "12x", "{} extra"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_containers_parse() {
+        assert_eq!(parse("{}").expect("obj"), JsonValue::Obj(vec![]));
+        assert_eq!(parse("[]").expect("arr"), JsonValue::Arr(vec![]));
+        assert_eq!(parse(" [ ] ").expect("spaced arr"), JsonValue::Arr(vec![]));
+    }
+}

@@ -57,5 +57,5 @@ mod state;
 pub use block_model::BlockThermalModel;
 pub use config::{PackageParams, ThermalConfig};
 pub use map::PowerMap;
-pub use model::{SteadyScratch, ThermalModel, TransientStepper};
+pub use model::{FeedbackStats, SteadyScratch, ThermalModel, TransientStepper};
 pub use state::ThermalState;

@@ -4,7 +4,11 @@ use crate::config::ThermalConfig;
 use crate::map::PowerMap;
 use crate::state::ThermalState;
 use floorplan::{BlockId, Floorplan, VrId};
-use simkit::linalg::{CgWorkspace, CsrMatrix, GsWorkspace, JacobiPreconditioner, TripletBuilder};
+use simkit::linalg::{
+    CgWorkspace, CsrMatrix, GsWorkspace, JacobiPreconditioner, SolveStats, TripletBuilder,
+};
+use simkit::perf::SolverAgg;
+use simkit::telemetry::Telemetry;
 use simkit::units::{Celsius, Seconds};
 use simkit::{Error, Result};
 
@@ -33,6 +37,7 @@ pub struct ThermalModel {
     vr_cells: Vec<usize>,
     die_origin_m: (f64, f64),
     cell_size_m: (f64, f64),
+    telemetry: Telemetry,
 }
 
 impl ThermalModel {
@@ -162,7 +167,16 @@ impl ThermalModel {
             vr_cells,
             die_origin_m: (die.origin.x.get(), die.origin.y.get()),
             cell_size_m: (cell_w, cell_h),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; steady solves emit
+    /// `thermal.steady_cg` solve events and steppers created afterwards
+    /// emit per-step `thermal.gs` solve events plus a
+    /// `thermal.max_silicon_c` hotspot gauge.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration used to build this model.
@@ -260,7 +274,8 @@ impl ThermalModel {
     /// Steady-state solve writing into an existing state, warm-started
     /// from that state's current temperatures, with every scratch buffer
     /// caller-supplied — the allocation-free path for repeated solves
-    /// (leakage feedback, per-decision oracle previews).
+    /// (leakage feedback, per-decision oracle previews). Returns the
+    /// CG convergence statistics.
     ///
     /// # Errors
     ///
@@ -274,11 +289,11 @@ impl ThermalModel {
         power: &PowerMap,
         state: &mut ThermalState,
         scratch: &mut SteadyScratch,
-    ) -> Result<()> {
+    ) -> Result<SolveStats> {
         debug_assert_eq!(state.raw().len(), self.n_nodes);
         scratch.rhs.resize(self.n_nodes, 0.0);
         self.rhs_into(power, &mut scratch.rhs);
-        self.conductance.solve_cg_with(
+        let stats = self.conductance.solve_cg_with(
             &scratch.rhs,
             state.raw_mut(),
             &self.conductance_pre,
@@ -286,7 +301,9 @@ impl ThermalModel {
             1e-10,
             20_000,
         )?;
-        Ok(())
+        self.telemetry
+            .solve("thermal.steady_cg", stats.iterations, stats.residual);
+        Ok(stats)
     }
 
     /// Iterates steady-state solves against a temperature-dependent power
@@ -294,40 +311,52 @@ impl ThermalModel {
     /// leakage depends on temperature, temperature depends on power) until
     /// the hottest node moves less than `tol_c` between iterations.
     ///
-    /// Returns the converged state and the number of iterations taken.
+    /// Returns the converged state and a [`FeedbackStats`] carrying the
+    /// number of feedback iterations plus the aggregated inner-CG
+    /// convergence statistics.
     ///
     /// # Errors
     ///
     /// * Solver failures are propagated;
     /// * [`Error::NonConverged`] when `max_iter` passes do not reach
-    ///   `tol_c`.
+    ///   `tol_c` (the reported residual is the last inter-iteration
+    ///   temperature movement in °C).
     pub fn steady_state_with_feedback<'s, F>(
         &'s self,
         max_iter: usize,
         tol_c: f64,
         mut power_of: F,
-    ) -> Result<(ThermalState, usize)>
+    ) -> Result<(ThermalState, FeedbackStats)>
     where
         F: FnMut(&ThermalState) -> Result<PowerMap<'s>>,
     {
         let mut state = self.ambient_state();
         let mut next = self.ambient_state();
         let mut scratch = SteadyScratch::default();
+        let mut cg = SolverAgg::default();
+        let mut last_delta = f64::INFINITY;
         for iteration in 1..=max_iter {
             let power = power_of(&state)?;
             // Warm-start the solve from the previous iterate: the scratch
             // buffers and both states are reused across the loop.
             next.raw_mut().copy_from_slice(state.raw());
-            self.steady_state_with_scratch(&power, &mut next, &mut scratch)?;
+            cg.record(self.steady_state_with_scratch(&power, &mut next, &mut scratch)?);
             let delta = state.max_abs_difference(&next);
+            last_delta = delta;
             std::mem::swap(&mut state, &mut next);
             if delta < tol_c {
-                return Ok((state, iteration));
+                return Ok((
+                    state,
+                    FeedbackStats {
+                        iterations: iteration,
+                        cg,
+                    },
+                ));
             }
         }
         Err(Error::NonConverged {
             iterations: max_iter,
-            residual: f64::NAN,
+            residual: last_delta,
         })
     }
 
@@ -351,8 +380,19 @@ impl ThermalModel {
             system: a,
             gs,
             rhs: vec![0.0; self.n_nodes],
+            telemetry: self.telemetry.clone(),
         }
     }
+}
+
+/// Convergence summary of one [`ThermalModel::steady_state_with_feedback`]
+/// loop: outer feedback iterations plus the aggregated inner CG solves.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeedbackStats {
+    /// Outer leakage-feedback iterations until the hottest node settled.
+    pub iterations: usize,
+    /// Aggregate over the inner steady-state CG solves.
+    pub cg: SolverAgg,
 }
 
 /// Reusable scratch buffers for repeated steady-state solves:
@@ -401,6 +441,7 @@ pub struct TransientStepper<'m> {
     system: CsrMatrix,
     gs: GsWorkspace,
     rhs: Vec<f64>,
+    telemetry: Telemetry,
 }
 
 impl TransientStepper<'_> {
@@ -409,7 +450,8 @@ impl TransientStepper<'_> {
         self.dt
     }
 
-    /// Advances `state` by one step under the given power map.
+    /// Advances `state` by one step under the given power map and
+    /// returns the Gauss–Seidel convergence statistics.
     ///
     /// Solves in place: the state's own buffer is the warm start and the
     /// solution, and the right-hand side lives in the stepper.
@@ -417,7 +459,7 @@ impl TransientStepper<'_> {
     /// # Errors
     ///
     /// Propagates solver failures; physical inputs converge.
-    pub fn step(&mut self, state: &mut ThermalState, power: &PowerMap) -> Result<()> {
+    pub fn step(&mut self, state: &mut ThermalState, power: &PowerMap) -> Result<SolveStats> {
         let n = self.model.n_nodes;
         self.model.rhs_into(power, &mut self.rhs);
         let temps = state.raw();
@@ -429,7 +471,7 @@ impl TransientStepper<'_> {
         {
             *r += c * inv_dt * t;
         }
-        self.system.solve_gauss_seidel_colored(
+        let stats = self.system.solve_gauss_seidel_colored(
             &self.rhs,
             state.raw_mut(),
             &self.gs,
@@ -437,7 +479,13 @@ impl TransientStepper<'_> {
             1e-7,
             2_000,
         )?;
-        Ok(())
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .solve("thermal.gs", stats.iterations, stats.residual);
+            self.telemetry
+                .gauge("thermal.max_silicon_c", state.max_silicon().get());
+        }
+        Ok(stats)
     }
 
     /// Capacity of the right-hand-side scratch buffer (allocation-
@@ -570,7 +618,7 @@ mod tests {
     fn feedback_loop_converges() {
         let (chip, model) = setup();
         let blocks: Vec<_> = chip.blocks().iter().map(|b| b.id()).collect();
-        let (state, iters) = model
+        let (state, fb) = model
             .steady_state_with_feedback(50, 0.01, |state| {
                 let mut pm = PowerMap::new(&model);
                 for &b in &blocks {
@@ -582,8 +630,40 @@ mod tests {
                 Ok(pm)
             })
             .unwrap();
-        assert!(iters >= 2, "took {iters} iterations");
+        assert!(fb.iterations >= 2, "took {} iterations", fb.iterations);
+        assert_eq!(fb.cg.solves as usize, fb.iterations);
+        assert!(fb.cg.iterations > 0);
+        assert!(fb.cg.max_residual.is_finite() && fb.cg.max_residual <= 1e-10);
         assert!(state.max_silicon().get() > 45.0);
+    }
+
+    #[test]
+    fn stepper_emits_solve_events_and_hotspot_gauge() {
+        use simkit::telemetry::{EventKind, Telemetry};
+
+        let (chip, mut model) = setup();
+        let (tel, sink) = Telemetry::recorder();
+        model.set_telemetry(tel);
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(1.0)).unwrap();
+        }
+        let mut stepper = model.stepper(Seconds::from_micros(100.0));
+        let mut state = model.ambient_state();
+        for _ in 0..3 {
+            stepper.step(&mut state, &power).unwrap();
+        }
+        assert_eq!(sink.count_kind(EventKind::Solve), 3);
+        assert_eq!(sink.count_kind(EventKind::Gauge), 3);
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.name == "thermal.gs"));
+        assert!(events.iter().any(|e| e.name == "thermal.max_silicon_c"));
+        // Steady solves report through the same handle.
+        let mut scratch = SteadyScratch::new();
+        model
+            .steady_state_with_scratch(&power, &mut state, &mut scratch)
+            .unwrap();
+        assert!(sink.events().iter().any(|e| e.name == "thermal.steady_cg"));
     }
 
     #[test]

@@ -117,6 +117,33 @@ impl GatingState {
             .map(|(i, (&now, _))| (VrId(i), now))
             .collect())
     }
+
+    /// Counts of regulators that changed between `before` and `self`,
+    /// as `(turned_on, turned_off)` — the allocation-free companion of
+    /// [`GatingState::diff`] used by per-decision telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the two states track a
+    /// different number of regulators.
+    pub fn diff_counts(&self, before: &GatingState) -> Result<(usize, usize)> {
+        if self.on.len() != before.on.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.on.len(),
+                actual: before.on.len(),
+            });
+        }
+        let mut turned_on = 0;
+        let mut turned_off = 0;
+        for (&now, &was) in self.on.iter().zip(&before.on) {
+            if now && !was {
+                turned_on += 1;
+            } else if !now && was {
+                turned_off += 1;
+            }
+        }
+        Ok((turned_on, turned_off))
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +206,23 @@ mod tests {
         let a = GatingState::all_on(2);
         let b = GatingState::all_on(3);
         assert!(a.diff(&b).is_err());
+        assert!(a.diff_counts(&b).is_err());
+    }
+
+    #[test]
+    fn diff_counts_match_diff() {
+        let before = GatingState::all_on(5);
+        let mut after = before.clone();
+        after.set(VrId(0), false).unwrap();
+        after.set(VrId(3), false).unwrap();
+        assert_eq!(after.diff_counts(&before).unwrap(), (0, 2));
+        assert_eq!(before.diff_counts(&after).unwrap(), (2, 0));
+        let mut mixed = before.clone();
+        mixed.set(VrId(1), false).unwrap();
+        let mut other = GatingState::all_off(5);
+        other.set(VrId(1), true).unwrap();
+        let (on, off) = other.diff_counts(&mixed).unwrap();
+        assert_eq!(on + off, other.diff(&mixed).unwrap().len());
+        assert_eq!((on, off), (1, 4));
     }
 }

@@ -5,6 +5,7 @@ use crate::mix::WorkloadSpec;
 use crate::profile::BenchmarkProfile;
 use floorplan::{BlockId, DomainKind, Floorplan, UnitKind};
 use simkit::series::TraceMatrix;
+use simkit::telemetry::{EventKind, Telemetry};
 use simkit::units::Seconds;
 use simkit::DeterministicRng;
 
@@ -76,6 +77,35 @@ impl ActivityTrace {
     /// Panics when either index is out of range.
     pub fn sample(&self, block: BlockId, index: usize) -> f64 {
         self.activity.channel(block.0)[index]
+    }
+
+    /// Mean utilisation across every channel and sample — a cheap
+    /// one-number summary for telemetry and sanity checks.
+    pub fn mean_activity(&self) -> f64 {
+        let channels = self.activity.channel_count();
+        let samples = self.activity.sample_count();
+        if channels == 0 || samples == 0 {
+            return 0.0;
+        }
+        let total: f64 = (0..channels)
+            .map(|c| self.activity.channel(c).iter().sum::<f64>())
+            .sum();
+        total / (channels * samples) as f64
+    }
+
+    /// Emits a `workload.trace` progress event describing this trace
+    /// (label, channels, samples, mean activity). No-op when `telemetry`
+    /// is disabled.
+    pub fn emit_telemetry(&self, telemetry: &Telemetry) {
+        if telemetry.is_enabled() {
+            telemetry
+                .event(EventKind::Progress, "workload.trace")
+                .field_str("workload", self.spec.to_string())
+                .field_u64("channels", self.activity.channel_count() as u64)
+                .field_u64("samples", self.activity.sample_count() as u64)
+                .field_f64("mean_activity", self.mean_activity())
+                .emit();
+        }
     }
 }
 
@@ -362,6 +392,25 @@ mod tests {
         assert_eq!(trace.activity().channel_count(), chip.blocks().len());
         assert_eq!(trace.sample_count(), 2000);
         assert_eq!(trace.benchmark(), Benchmark::Barnes);
+    }
+
+    #[test]
+    fn trace_summary_telemetry() {
+        use simkit::telemetry::{EventKind, FieldValue, Telemetry};
+
+        let (_, trace) = short_trace(Benchmark::Fft);
+        let mean = trace.mean_activity();
+        assert!(mean > 0.0 && mean < 1.0, "mean activity {mean}");
+        let (tel, sink) = Telemetry::recorder();
+        trace.emit_telemetry(&tel);
+        trace.emit_telemetry(&Telemetry::disabled());
+        assert_eq!(sink.count_kind(EventKind::Progress), 1);
+        let event = &sink.events()[0];
+        assert_eq!(event.name, "workload.trace");
+        assert!(event
+            .fields
+            .iter()
+            .any(|(k, v)| k == "samples" && *v == FieldValue::U64(2000)));
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn workload_power_thermal_pipeline_is_stable() {
         })
         .collect();
 
-    let (state, iterations) = thermal
+    let (state, feedback) = thermal
         .steady_state_with_feedback(60, 0.05, |state| {
             let mut pm = PowerMap::new(&thermal);
             for block in chip.blocks() {
@@ -70,7 +70,9 @@ fn workload_power_thermal_pipeline_is_stable() {
             Ok(pm)
         })
         .unwrap();
+    let iterations = feedback.iterations;
     assert!(iterations >= 2, "feedback loop too eager: {iterations}");
+    assert!(feedback.cg.solves > 0, "feedback ran no CG solves");
     let t = state.max_silicon().get();
     assert!(t > 50.0 && t < 100.0, "steady T_max {t}");
     // Logic regions run hotter than the L3 region.

@@ -80,3 +80,42 @@ fn transient_step_performs_no_heap_allocation() {
         after - before
     );
 }
+
+/// Telemetry with the no-op sink must not reintroduce allocations:
+/// the handle caches the sink's inactive flag, so no [`Event`]
+/// (name/field vector) is ever built on the hot path.
+///
+/// [`Event`]: simkit::telemetry::Event
+#[test]
+fn transient_step_with_noop_sink_performs_no_heap_allocation() {
+    use simkit::telemetry::{NoopSink, Telemetry};
+    use std::sync::Arc;
+
+    let chip = power8_like();
+    let mut model = ThermalModel::new(&chip, ThermalConfig::coarse());
+    model.set_telemetry(Telemetry::with_sink(Arc::new(NoopSink)));
+    let mut power = PowerMap::new(&model);
+    let per_block = Watts::new(100.0 / chip.blocks().len() as f64);
+    for block in chip.blocks() {
+        power.add_block(block.id(), per_block).unwrap();
+    }
+    let mut state = model.steady_state(&power).unwrap();
+    // The stepper inherits the model's telemetry handle at creation.
+    let mut stepper = model.stepper(Seconds::from_micros(20.0));
+
+    for _ in 0..5 {
+        stepper.step(&mut state, &power).unwrap();
+    }
+
+    let before = thread_allocs();
+    for _ in 0..100 {
+        stepper.step(&mut state, &power).unwrap();
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "no-op-sink stepping allocated {} times over 100 steps",
+        after - before
+    );
+}
