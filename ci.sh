@@ -29,4 +29,18 @@ test -s "$TELEMETRY_DIR/manifest.json"
 cargo run --release -q -p experiments --bin telemetry_check -- "$TELEMETRY_DIR" \
     --require span_start,span_end,counter,gauge,histogram,gating,emergency,solve,progress
 
+echo "== tg-obs: summarize, export, self-diff (must be zero-drift) =="
+cargo run --release -q -p experiments --bin tg-obs -- summarize "$TELEMETRY_DIR"
+cargo run --release -q -p experiments --bin tg-obs -- export "$TELEMETRY_DIR" \
+    --out "$TELEMETRY_DIR/series.csv"
+test -s "$TELEMETRY_DIR/series.csv"
+cargo run --release -q -p experiments --bin tg-obs -- diff "$TELEMETRY_DIR" "$TELEMETRY_DIR"
+
+echo "== tg-obs: perf snapshot (CI artifact at target/ci/BENCH_ci.json) =="
+mkdir -p target/ci
+cargo run --release -q -p experiments --bin tg-obs -- bench-snapshot \
+    --label ci --policies allon,oract,pracvt --out target/ci
+cargo run --release -q -p experiments --bin tg-obs -- \
+    diff target/ci/BENCH_ci.json target/ci/BENCH_ci.json
+
 echo "CI OK"

@@ -3,8 +3,16 @@
 //! Checks that `manifest.json` parses (schema, hash, and event totals
 //! are self-validated by the loader), that every `trace.jsonl` line is
 //! well-formed JSON with a known `kind`, a numeric `t`, and a string
-//! `name`, and that the trace's line count equals the manifest's
-//! `events_total`. With `--require a,b,..` the listed event kinds must
+//! `name`, that the trace's line count equals the manifest's
+//! `events_total`, that every `span_end` closes a previously opened
+//! span of the same name (and none stay open at end of trace), and
+//! that timestamps never step backwards by more than `--mono-slack`
+//! seconds (run-level and cell-level handles have separate epochs a
+//! few milliseconds apart, so exact monotonicity would be a false
+//! positive). Multi-cell traces interleave parallel workers, so the
+//! monotonicity check auto-skips when the manifest lists more than one
+//! cell; span pairing stays on — depth counting balances regardless of
+//! interleaving. With `--require a,b,..` the listed event kinds must
 //! each appear at least once.
 //!
 //! ```text
@@ -17,12 +25,12 @@
 use simkit::telemetry::json::{parse, JsonValue};
 use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
 use simkit::telemetry::EventKind;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: telemetry_check <dir> [--require kind1,kind2,..]\n\
+    "usage: telemetry_check <dir> [--require kind1,kind2,..] [--mono-slack <s>]\n\
      kinds: span_start span_end counter gauge histogram gating\n\
      \u{20}      emergency solve progress"
 }
@@ -30,11 +38,14 @@ fn usage() -> &'static str {
 struct Args {
     dir: PathBuf,
     require: Vec<EventKind>,
+    /// Largest tolerated backward timestamp step, in seconds.
+    mono_slack: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut dir = None;
     let mut require = Vec::new();
+    let mut mono_slack = 0.1;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -45,6 +56,12 @@ fn parse_args() -> Result<Args, String> {
                         EventKind::parse(tag).ok_or_else(|| format!("unknown kind {tag:?}"))?,
                     );
                 }
+            }
+            "--mono-slack" => {
+                let value = it.next().ok_or("--mono-slack expects seconds")?;
+                mono_slack = value
+                    .parse()
+                    .map_err(|e| format!("bad --mono-slack: {e}"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => match other.strip_prefix("--require=") {
@@ -63,11 +80,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         dir: dir.ok_or("missing <dir>")?,
         require,
+        mono_slack,
     })
 }
 
-/// Validates one trace line; returns its event kind.
-fn check_line(line: &str) -> Result<EventKind, String> {
+/// Validates one trace line; returns its event kind, timestamp, and
+/// name.
+fn check_line(line: &str) -> Result<(EventKind, f64, String), String> {
     let value = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     let obj = match &value {
         JsonValue::Obj(_) => &value,
@@ -78,7 +97,8 @@ fn check_line(line: &str) -> Result<EventKind, String> {
         .and_then(JsonValue::as_str)
         .ok_or("missing string field \"kind\"")?;
     let kind = EventKind::parse(kind_str).ok_or_else(|| format!("unknown kind {kind_str:?}"))?;
-    obj.get("t")
+    let t = obj
+        .get("t")
         .and_then(JsonValue::as_f64)
         .filter(|t| t.is_finite() && *t >= 0.0)
         .ok_or("missing finite numeric field \"t\"")?;
@@ -89,7 +109,7 @@ fn check_line(line: &str) -> Result<EventKind, String> {
     if name.is_empty() {
         return Err("empty \"name\"".into());
     }
-    Ok(kind)
+    Ok((kind, t, name.to_string()))
 }
 
 fn run(args: &Args) -> Result<(u64, usize), String> {
@@ -103,12 +123,57 @@ fn run(args: &Args) -> Result<(u64, usize), String> {
     let trace_path = args.dir.join(TRACE_FILE);
     let trace = std::fs::read_to_string(&trace_path)
         .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+    // Parallel sweep cells interleave their (per-handle-epoch)
+    // timestamps arbitrarily; only single-cell traces are ordered.
+    let check_mono = manifest.cells.len() <= 1;
     let mut seen = BTreeSet::new();
     let mut lines = 0u64;
+    let mut open_spans: BTreeMap<String, u64> = BTreeMap::new();
+    let mut prev_t = f64::NEG_INFINITY;
     for (i, line) in trace.lines().enumerate() {
-        let kind = check_line(line).map_err(|e| format!("{}:{}: {e}", TRACE_FILE, i + 1))?;
+        let (kind, t, name) =
+            check_line(line).map_err(|e| format!("{}:{}: {e}", TRACE_FILE, i + 1))?;
+        match kind {
+            EventKind::SpanStart => *open_spans.entry(name).or_insert(0) += 1,
+            EventKind::SpanEnd => {
+                let depth = open_spans
+                    .get_mut(&name)
+                    .filter(|d| **d > 0)
+                    .ok_or_else(|| {
+                        format!(
+                            "{}:{}: span_end {name:?} without a matching span_start",
+                            TRACE_FILE,
+                            i + 1
+                        )
+                    })?;
+                *depth -= 1;
+            }
+            _ => {}
+        }
+        if check_mono && t + args.mono_slack < prev_t {
+            return Err(format!(
+                "{}:{}: timestamp went backwards: {t:.6}s after {prev_t:.6}s \
+                 (slack {}s)",
+                TRACE_FILE,
+                i + 1,
+                args.mono_slack
+            ));
+        }
+        prev_t = prev_t.max(t);
         seen.insert(kind.as_str());
         lines += 1;
+    }
+    let unclosed: Vec<&str> = open_spans
+        .iter()
+        .filter(|(_, depth)| **depth > 0)
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if !unclosed.is_empty() {
+        return Err(format!(
+            "{} span(s) never closed: {}",
+            unclosed.len(),
+            unclosed.join(", ")
+        ));
     }
     if lines != manifest.total_events() {
         return Err(format!(
@@ -142,7 +207,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok((lines, kinds)) => {
             println!(
-                "ok: {} valid events across {} kinds in {}",
+                "ok: {} valid events across {} kinds in {} (spans paired, timestamps ordered)",
                 lines,
                 kinds,
                 args.dir.display()

@@ -1,0 +1,357 @@
+//! `tg-obs` — trace analytics, run diffing, and perf-regression
+//! snapshots over the telemetry layer.
+//!
+//! Operates on the run directories every experiment binary produces
+//! under `--telemetry=<dir>` (a `trace.jsonl` plus `manifest.json`) and
+//! on the `BENCH_*.json` performance snapshots this tool captures
+//! itself:
+//!
+//! ```text
+//! tg-obs summarize <run-dir>                  # human-readable report
+//! tg-obs export <run-dir> [--out <csv>]       # CSV time series
+//! tg-obs diff <a> <b> [--all] [--tol m=rel]   # run dirs OR snapshots
+//! tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies t,t]
+//! ```
+//!
+//! `diff` exits non-zero when a gated metric regresses beyond its
+//! tolerance, so it can guard CI.
+
+use experiments::obs::{diff_analyses, diff_manifests, diff_snapshots, DiffConfig, DiffReport};
+use experiments::report::analysis_report;
+use experiments::snapshot::{self, BenchSnapshot};
+use experiments::sweep::policy_from_tag;
+use simkit::telemetry::analyze::{series_points, TraceAnalysis, TraceReader};
+use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use thermogater::PolicyKind;
+
+const USAGE: &str = "\
+tg-obs — trace analytics over ThermoGater telemetry
+
+USAGE:
+    tg-obs summarize <run-dir>
+        Summarise a run: event counts, metric percentiles, span
+        durations, solver convergence, gating churn, emergency rates.
+
+    tg-obs export <run-dir> [--out <file.csv>]
+        Export the trace as a CSV time series (t_s,metric,value):
+        gauges, histograms, solver iterations/residuals, gating
+        activity, span durations.
+
+    tg-obs diff <a> <b> [--all] [--tol <metric>=<rel>]...
+        Compare two run directories or two BENCH_*.json snapshots.
+        Exits 1 when a gated metric regresses beyond tolerance.
+        --all prints every compared metric, not just notable ones.
+
+    tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies <t,t>]
+        Run the pinned fast-config workload per policy and write
+        BENCH_<label>.json (schema thermogater.bench/v1). Default
+        label `local`, directory `.`, policies allon,oract,pracvt;
+        `--policies all` measures all eight.
+
+A <run-dir> is a directory holding trace.jsonl (and usually
+manifest.json), as written by any experiment binary under
+--telemetry=<dir>; a bare path to a .jsonl trace also works.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tg-obs: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => cmd_summarize(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("bench-snapshot") => cmd_bench_snapshot(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Resolves a CLI input to the trace file it denotes.
+fn trace_path(input: &Path) -> PathBuf {
+    if input.is_dir() {
+        input.join(TRACE_FILE)
+    } else {
+        input.to_path_buf()
+    }
+}
+
+/// Loads `manifest.json` next to the trace, when present.
+fn load_manifest(input: &Path) -> Result<Option<RunManifest>, String> {
+    let path = if input.is_dir() {
+        input.join(MANIFEST_FILE)
+    } else {
+        match input.parent() {
+            Some(dir) => dir.join(MANIFEST_FILE),
+            None => return Ok(None),
+        }
+    };
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    RunManifest::from_json(text.trim())
+        .map(Some)
+        .map_err(|e| format!("invalid manifest {}: {e}", path.display()))
+}
+
+fn load_analysis(input: &Path) -> Result<TraceAnalysis, String> {
+    let trace = trace_path(input);
+    TraceAnalysis::from_path(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))
+}
+
+fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
+    let [run_dir] = args else {
+        return Err(format!("usage: tg-obs summarize <run-dir>\n\n{USAGE}"));
+    };
+    let input = Path::new(run_dir);
+    let analysis = load_analysis(input)?;
+    println!("run: {}", input.display());
+    if let Some(manifest) = load_manifest(input)? {
+        println!(
+            "created by {} · config hash {:016x} · {} thread(s) · {} cell(s)",
+            manifest.created_by,
+            manifest.config_hash(),
+            manifest.threads,
+            manifest.cells.len(),
+        );
+        if manifest.total_events() != analysis.events {
+            println!(
+                "warning: manifest claims {} events but the trace holds {}",
+                manifest.total_events(),
+                analysis.events
+            );
+        }
+    }
+    println!();
+    print!("{}", analysis_report(&analysis));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
+    let mut run_dir: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--out needs a file path".to_string())?,
+                );
+            }
+            _ if run_dir.is_none() => run_dir = Some(arg),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let run_dir = run_dir.ok_or_else(|| format!("usage: tg-obs export <run-dir>\n\n{USAGE}"))?;
+    let trace = trace_path(Path::new(run_dir));
+    let mut reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+
+    let mut csv = String::from("t_s,metric,value\n");
+    let mut points = Vec::new();
+    while let Some(event) = reader
+        .next_event()
+        .map_err(|e| format!("read error in {}: {e}", trace.display()))?
+    {
+        points.clear();
+        series_points(&event, &mut points);
+        for (metric, value) in &points {
+            csv.push_str(&format!("{:.9},{metric},{value}\n", event.t_s));
+        }
+    }
+    if reader.malformed_lines() > 0 || reader.truncated() {
+        eprintln!(
+            "warning: {} malformed line(s), truncated: {}",
+            reader.malformed_lines(),
+            reader.truncated()
+        );
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            // Large traces: one buffered write beats per-line println.
+            std::io::stdout()
+                .write_all(csv.as_bytes())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// What one side of a `diff` turned out to be.
+enum DiffSide {
+    Run(Box<TraceAnalysis>, Option<RunManifest>),
+    Snapshot(Box<BenchSnapshot>),
+}
+
+fn load_side(input: &Path) -> Result<DiffSide, String> {
+    if input.is_file() && input.extension().is_some_and(|e| e == "json") {
+        let text = std::fs::read_to_string(input)
+            .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+        let snap = BenchSnapshot::from_json(&text)
+            .map_err(|e| format!("{} is not a bench snapshot: {e}", input.display()))?;
+        return Ok(DiffSide::Snapshot(Box::new(snap)));
+    }
+    Ok(DiffSide::Run(
+        Box::new(load_analysis(input)?),
+        load_manifest(input)?,
+    ))
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut config = DiffConfig::new();
+    let mut all = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--tol" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| "--tol needs <metric>=<rel>".to_string())?;
+                let (metric, tol) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --tol `{spec}`, expected <metric>=<rel>"))?;
+                let tol: f64 = tol
+                    .parse()
+                    .map_err(|_| format!("bad --tol value in `{spec}`"))?;
+                config = config.with_tolerance(metric, tol);
+            }
+            _ => inputs.push(arg),
+        }
+    }
+    let [a, b] = inputs[..] else {
+        return Err(format!("usage: tg-obs diff <a> <b>\n\n{USAGE}"));
+    };
+
+    let report = match (load_side(Path::new(a))?, load_side(Path::new(b))?) {
+        (DiffSide::Run(analysis_a, manifest_a), DiffSide::Run(analysis_b, manifest_b)) => {
+            let mut report = DiffReport::default();
+            if let (Some(ma), Some(mb)) = (manifest_a, manifest_b) {
+                report.extend(diff_manifests(&ma, &mb, &config));
+            }
+            report.extend(diff_analyses(&analysis_a, &analysis_b, &config));
+            report
+        }
+        (DiffSide::Snapshot(snap_a), DiffSide::Snapshot(snap_b)) => {
+            diff_snapshots(&snap_a, &snap_b, &config)
+        }
+        _ => {
+            return Err(format!(
+                "cannot diff a run directory against a snapshot ({a} vs {b})"
+            ))
+        }
+    };
+
+    let regressions: Vec<&str> = report.regressions().map(|d| d.metric.as_str()).collect();
+    let table = report.render(!all);
+    if !table.trim_end().ends_with('-') || all {
+        // The table body is non-empty (or everything was requested).
+        print!("{table}");
+    }
+    println!(
+        "{} metric(s) compared, {} regression(s)",
+        report.deltas.len(),
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for metric in &regressions {
+            eprintln!("regression: {metric}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
+    let mut label = "local".to_string();
+    let mut out_dir = PathBuf::from(".");
+    let mut policies = vec![PolicyKind::AllOn, PolicyKind::OracT, PolicyKind::PracVT];
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--label" => {
+                label = iter
+                    .next()
+                    .ok_or_else(|| "--label needs a value".to_string())?
+                    .clone();
+            }
+            "--out" => {
+                out_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--out needs a directory".to_string())?,
+                );
+            }
+            "--policies" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| "--policies needs a comma-separated list".to_string())?;
+                if spec == "all" {
+                    policies = PolicyKind::ALL.to_vec();
+                } else {
+                    policies = spec
+                        .split(',')
+                        .map(|tag| {
+                            policy_from_tag(tag.trim())
+                                .ok_or_else(|| format!("unknown policy tag `{tag}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if policies.is_empty() {
+        return Err("--policies list is empty".to_string());
+    }
+
+    eprintln!(
+        "measuring {} polic{} with the pinned fast config…",
+        policies.len(),
+        if policies.len() == 1 { "y" } else { "ies" }
+    );
+    let snap = snapshot::capture(&label, &policies)?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = snap
+        .write(&out_dir)
+        .map_err(|e| format!("cannot write snapshot: {e}"))?;
+
+    let mut t = experiments::report::TextTable::new(&["policy", "steps", "steps/s", "wall s"]);
+    for entry in &snap.entries {
+        t.add_row(vec![
+            entry.policy.clone(),
+            entry.steps.to_string(),
+            format!("{:.0}", entry.steps_per_sec),
+            format!("{:.3}", entry.wall_s),
+        ]);
+    }
+    print!("{}", t.render());
+    if let Some(rss) = snap.peak_rss_bytes {
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    println!("wrote {}", path.display());
+    Ok(ExitCode::SUCCESS)
+}

@@ -12,7 +12,11 @@
 //!   Figs. 9/10/11 and Table 2 share);
 //! * [`telemetry`] — per-run JSONL traces, metrics registries, and
 //!   `manifest.json` writing (`--telemetry=<dir>`);
-//! * [`figures`] — the per-artefact data builders.
+//! * [`figures`] — the per-artefact data builders;
+//! * [`obs`] — run/snapshot diffing with per-metric directional
+//!   tolerances (the engine behind `tg-obs diff`);
+//! * [`snapshot`] — pinned-workload performance snapshots
+//!   (`BENCH_*.json`, schema `thermogater.bench/v1`).
 //!
 //! Run an experiment with e.g.
 //!
@@ -26,6 +30,8 @@
 
 pub mod context;
 pub mod figures;
+pub mod obs;
 pub mod report;
+pub mod snapshot;
 pub mod sweep;
 pub mod telemetry;

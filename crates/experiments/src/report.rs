@@ -1,6 +1,7 @@
 //! Plain-text rendering of tables, series, and heat maps.
 
 use simkit::perf::SolverProfile;
+use simkit::telemetry::analyze::TraceAnalysis;
 use simkit::telemetry::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -205,6 +206,137 @@ pub fn metrics_report(registry: &MetricsRegistry) -> String {
             ]);
         }
         out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders a full trace analysis ([`tg-obs
+/// summarize`](crate::obs)) as a stack of column-aligned tables:
+/// event-kind counts, counters, metric rollups with percentiles, span
+/// durations, solver convergence, and the gating/emergency aggregates.
+/// Sections with no data are omitted. Malformed or truncated trace
+/// lines are called out at the top so a damaged trace is never
+/// summarised silently.
+pub fn analysis_report(analysis: &TraceAnalysis) -> String {
+    use simkit::telemetry::EventKind;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "events: {}   trace span: {:.3}s\n",
+        analysis.events,
+        analysis.duration_s()
+    ));
+    if analysis.malformed_lines > 0 {
+        out.push_str(&format!(
+            "warning: {} malformed line(s) skipped\n",
+            analysis.malformed_lines
+        ));
+    }
+    if analysis.truncated {
+        out.push_str("warning: trace ends mid-line (truncated write)\n");
+    }
+    out.push('\n');
+
+    let mut kinds = TextTable::new(&["event kind", "count"]);
+    for kind in EventKind::ALL {
+        let n = analysis.kind_count(kind);
+        if n > 0 {
+            kinds.add_row(vec![kind.as_str().to_string(), n.to_string()]);
+        }
+    }
+    out.push_str(&kinds.render());
+
+    if !analysis.counters.is_empty() {
+        out.push('\n');
+        let mut t = TextTable::new(&["counter", "total"]);
+        for (name, total) in &analysis.counters {
+            t.add_row(vec![name.clone(), total.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !analysis.rollups.is_empty() {
+        out.push('\n');
+        let mut t = TextTable::new(&[
+            "metric", "samples", "min", "mean", "p50", "p95", "p99", "max",
+        ]);
+        for (name, r) in &analysis.rollups {
+            t.add_row(vec![
+                name.clone(),
+                r.count().to_string(),
+                fmt_opt(r.min(), 4),
+                fmt_opt(r.mean(), 4),
+                fmt_opt(r.percentile(50.0), 4),
+                fmt_opt(r.percentile(95.0), 4),
+                fmt_opt(r.percentile(99.0), 4),
+                fmt_opt(r.max(), 4),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !analysis.spans.is_empty() {
+        out.push('\n');
+        let mut t = TextTable::new(&["span", "completed", "open", "total s", "p50 s", "max s"]);
+        for (name, s) in &analysis.spans {
+            t.add_row(vec![
+                name.clone(),
+                s.completed().to_string(),
+                s.open.to_string(),
+                fmt_opt(Some(s.durations.sum()), 3),
+                fmt_opt(s.durations.percentile(50.0), 3),
+                fmt_opt(s.durations.max(), 3),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !analysis.solvers.is_empty() {
+        out.push('\n');
+        let mut t = TextTable::new(&[
+            "solver",
+            "solves",
+            "iters p50",
+            "iters p95",
+            "iters max",
+            "resid max",
+        ]);
+        for (name, s) in &analysis.solvers {
+            t.add_row(vec![
+                name.clone(),
+                s.solves().to_string(),
+                fmt_opt(s.iters.percentile(50.0), 1),
+                fmt_opt(s.iters.percentile(95.0), 1),
+                fmt_opt(s.iters.max(), 1),
+                s.residuals
+                    .max()
+                    .map_or("-".to_string(), |r| format!("{r:.2e}")),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if analysis.gating.decisions > 0 {
+        out.push_str(&format!(
+            "\ngating: {} decisions, churn {} (+{} / -{}), {:.3} toggles/decision, mean active {}\n",
+            analysis.gating.decisions,
+            analysis.gating.churn(),
+            analysis.gating.turned_on,
+            analysis.gating.turned_off,
+            analysis.gating.churn_per_decision().unwrap_or(0.0),
+            fmt_opt(analysis.gating.active.mean(), 2),
+        ));
+    }
+    if analysis.emergency.checks > 0 {
+        out.push_str(&format!(
+            "emergency: {} checks, {} with emergencies ({:.2}% rate), {} flagged / {} true domains, {} mispredicted\n",
+            analysis.emergency.checks,
+            analysis.emergency.with_emergency,
+            analysis.emergency.emergency_rate().unwrap_or(0.0) * 100.0,
+            analysis.emergency.flagged_domains,
+            analysis.emergency.true_domains,
+            analysis.emergency.mispredicted,
+        ));
     }
     out
 }

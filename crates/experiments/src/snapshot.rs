@@ -1,0 +1,429 @@
+//! Performance snapshots (`BENCH_<label>.json`, schema
+//! `thermogater.bench/v1`).
+//!
+//! A snapshot pins the repository's performance at one point in time:
+//! for each policy it runs the pinned fast-configuration workload
+//! (`lu_ncb` under [`EngineConfig::fast`]) once and records throughput
+//! (thermal steps per second), the per-phase wall-time breakdown, and
+//! solver iteration percentiles recovered from the run's own telemetry
+//! stream. `tg-obs bench-snapshot` writes one; `tg-obs diff` compares
+//! two and fails CI on a regression, so the `BENCH_*.json` trajectory
+//! accumulates a machine-checkable perf history instead of prose.
+//!
+//! Wall-clock numbers are env-sensitive, so snapshot comparisons use
+//! loose, directional tolerances (see [`crate::obs`]); solver iteration
+//! counts are deterministic and gate tightly.
+
+use simkit::telemetry::analyze::{ParsedEvent, TraceAnalysis};
+use simkit::telemetry::json::{self, JsonValue};
+use simkit::telemetry::Telemetry;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+/// Schema identifier stamped into (and required of) every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "thermogater.bench/v1";
+
+/// The pinned benchmark every snapshot entry runs.
+pub const SNAPSHOT_BENCH: Benchmark = Benchmark::LuNcb;
+
+/// Solver iteration/residual percentiles for one solve site of one
+/// entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSnapshot {
+    /// Solve site, e.g. `"thermal.gs"`.
+    pub site: String,
+    /// Number of solves recorded.
+    pub solves: u64,
+    /// Mean iterations per solve.
+    pub iters_mean: f64,
+    /// Median iterations per solve.
+    pub iters_p50: f64,
+    /// 95th-percentile iterations per solve.
+    pub iters_p95: f64,
+    /// Worst final relative residual.
+    pub residual_max: f64,
+}
+
+/// One policy's measurement within a [`BenchSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEntry {
+    /// Policy tag, e.g. `"oracvt"`.
+    pub policy: String,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Thermal steps simulated.
+    pub steps: u64,
+    /// Throughput: `steps / wall_s`.
+    pub steps_per_sec: f64,
+    /// Per-phase wall seconds, in first-recorded order.
+    pub phases: Vec<(String, f64)>,
+    /// Per-site solver percentiles.
+    pub solver: Vec<SolverSnapshot>,
+}
+
+/// A schema-tagged performance snapshot (one `BENCH_<label>.json`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchSnapshot {
+    /// Snapshot label (`ci`, a date stamp, …) — names the output file.
+    pub label: String,
+    /// Engine-configuration tag the entries ran under.
+    pub config: String,
+    /// Benchmark label the entries ran.
+    pub bench: String,
+    /// Peak resident set size, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// One entry per measured policy.
+    pub entries: Vec<PolicyEntry>,
+}
+
+/// Peak resident set size of this process (`VmHWM` from
+/// `/proc/self/status`); `None` where unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Measures one policy under the pinned fast configuration.
+///
+/// The run is traced into an in-memory sink so solver iteration
+/// *distributions* (not just the mean/max the engine aggregates) can be
+/// rolled up through [`TraceAnalysis`].
+///
+/// # Errors
+///
+/// Propagates engine failures as a rendered message.
+pub fn measure_policy(policy: PolicyKind) -> Result<PolicyEntry, String> {
+    let chip = floorplan::reference::power8_like();
+    let config = EngineConfig::fast();
+    let steps = (config.duration.get() / config.thermal_step.get()).round() as u64;
+    let mut engine = SimulationEngine::new(&chip, config);
+    let (telemetry, sink) = Telemetry::recorder();
+    engine.set_telemetry(telemetry);
+
+    let started = Instant::now();
+    let result = engine
+        .run(SNAPSHOT_BENCH, policy)
+        .map_err(|e| format!("{policy:?} run failed: {e}"))?;
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut analysis = TraceAnalysis::new();
+    for event in sink.events() {
+        if let Ok(parsed) = ParsedEvent::from_line(&event.to_json()) {
+            analysis.observe(&parsed);
+        }
+    }
+    let solver = analysis
+        .solvers
+        .iter()
+        .map(|(site, rollup)| SolverSnapshot {
+            site: site.clone(),
+            solves: rollup.solves(),
+            iters_mean: rollup.iters.mean().unwrap_or(0.0),
+            iters_p50: rollup.iters.percentile(50.0).unwrap_or(0.0),
+            iters_p95: rollup.iters.percentile(95.0).unwrap_or(0.0),
+            residual_max: rollup.residuals.max().unwrap_or(0.0),
+        })
+        .collect();
+    Ok(PolicyEntry {
+        policy: crate::sweep::policy_tag(policy).to_string(),
+        wall_s,
+        steps,
+        steps_per_sec: steps as f64 / wall_s.max(f64::MIN_POSITIVE),
+        phases: result
+            .phase_times()
+            .iter()
+            .map(|(name, seconds, _)| (name.to_string(), seconds))
+            .collect(),
+        solver,
+    })
+}
+
+/// Captures a full snapshot: one [`measure_policy`] run per `policies`
+/// entry, plus the process peak RSS.
+///
+/// # Errors
+///
+/// Propagates the first failing policy run.
+pub fn capture(label: &str, policies: &[PolicyKind]) -> Result<BenchSnapshot, String> {
+    let entries = policies
+        .iter()
+        .map(|&p| measure_policy(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BenchSnapshot {
+        label: label.to_string(),
+        config: "fast".to_string(),
+        bench: SNAPSHOT_BENCH.label().to_string(),
+        peak_rss_bytes: peak_rss_bytes(),
+        entries,
+    })
+}
+
+impl BenchSnapshot {
+    /// The conventional file name, `BENCH_<label>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.label)
+    }
+
+    /// Serialises the snapshot as one JSON document (trailing newline
+    /// included, for clean committed artifacts).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":");
+        json::write_str(&mut out, SNAPSHOT_SCHEMA);
+        out.push_str(",\"label\":");
+        json::write_str(&mut out, &self.label);
+        out.push_str(",\"config\":");
+        json::write_str(&mut out, &self.config);
+        out.push_str(",\"bench\":");
+        json::write_str(&mut out, &self.bench);
+        match self.peak_rss_bytes {
+            Some(rss) => {
+                let _ = write!(out, ",\"peak_rss_bytes\":{rss}");
+            }
+            None => out.push_str(",\"peak_rss_bytes\":null"),
+        }
+        out.push_str(",\"entries\":[");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"policy\":");
+            json::write_str(&mut out, &entry.policy);
+            out.push_str(",\"wall_s\":");
+            json::write_f64(&mut out, entry.wall_s);
+            let _ = write!(out, ",\"steps\":{}", entry.steps);
+            out.push_str(",\"steps_per_sec\":");
+            json::write_f64(&mut out, entry.steps_per_sec);
+            out.push_str(",\"phases\":{");
+            for (j, (name, seconds)) in entry.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, name);
+                out.push(':');
+                json::write_f64(&mut out, *seconds);
+            }
+            out.push_str("},\"solver\":[");
+            for (j, s) in entry.solver.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"site\":");
+                json::write_str(&mut out, &s.site);
+                let _ = write!(out, ",\"solves\":{}", s.solves);
+                out.push_str(",\"iters_mean\":");
+                json::write_f64(&mut out, s.iters_mean);
+                out.push_str(",\"iters_p50\":");
+                json::write_f64(&mut out, s.iters_p50);
+                out.push_str(",\"iters_p95\":");
+                json::write_f64(&mut out, s.iters_p95);
+                out.push_str(",\"residual_max\":");
+                json::write_f64(&mut out, s.residual_max);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes `BENCH_<label>.json` into `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn write(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Parses and validates a snapshot document.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem: malformed JSON, a wrong
+    /// or missing schema tag, or missing required members.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text.trim())?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("snapshot missing \"schema\"")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"
+            ));
+        }
+        let str_member = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("snapshot missing \"{key}\""))
+        };
+        let peak_rss_bytes = match doc.get("peak_rss_bytes") {
+            None => return Err("snapshot missing \"peak_rss_bytes\"".into()),
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .filter(|r| *r >= 0.0)
+                    .ok_or("\"peak_rss_bytes\" is not a number")? as u64,
+            ),
+        };
+        let mut entries = Vec::new();
+        for (index, entry) in doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("snapshot missing \"entries\"")?
+            .iter()
+            .enumerate()
+        {
+            let num = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("entry {index} missing number \"{key}\""))
+            };
+            let phases = entry
+                .get("phases")
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| format!("entry {index} missing \"phases\""))?
+                .iter()
+                .map(|(name, v)| {
+                    v.as_f64()
+                        .map(|s| (name.clone(), s))
+                        .ok_or_else(|| format!("entry {index} phase {name:?} is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut solver = Vec::new();
+            for (j, site) in entry
+                .get("solver")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("entry {index} missing \"solver\""))?
+                .iter()
+                .enumerate()
+            {
+                let snum = |key: &str| {
+                    site.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("entry {index} solver {j} missing \"{key}\""))
+                };
+                solver.push(SolverSnapshot {
+                    site: site
+                        .get("site")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("entry {index} solver {j} missing \"site\""))?
+                        .to_string(),
+                    solves: snum("solves")? as u64,
+                    iters_mean: snum("iters_mean")?,
+                    iters_p50: snum("iters_p50")?,
+                    iters_p95: snum("iters_p95")?,
+                    residual_max: snum("residual_max")?,
+                });
+            }
+            entries.push(PolicyEntry {
+                policy: entry
+                    .get("policy")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("entry {index} missing \"policy\""))?
+                    .to_string(),
+                wall_s: num("wall_s")?,
+                steps: num("steps")? as u64,
+                steps_per_sec: num("steps_per_sec")?,
+                phases,
+                solver,
+            });
+        }
+        Ok(BenchSnapshot {
+            label: str_member("label")?,
+            config: str_member("config")?,
+            bench: str_member("bench")?,
+            peak_rss_bytes,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A small hand-built snapshot (no engine run — fast).
+    pub(crate) fn sample(label: &str, iters_p95: f64) -> BenchSnapshot {
+        BenchSnapshot {
+            label: label.to_string(),
+            config: "fast".to_string(),
+            bench: "lu_ncb".to_string(),
+            peak_rss_bytes: Some(64 * 1024 * 1024),
+            entries: vec![PolicyEntry {
+                policy: "oract".to_string(),
+                wall_s: 0.5,
+                steps: 300,
+                steps_per_sec: 600.0,
+                phases: vec![("trace".into(), 0.01), ("transient".into(), 0.4)],
+                solver: vec![SolverSnapshot {
+                    site: "transient".to_string(),
+                    solves: 300,
+                    iters_mean: 3.1,
+                    iters_p50: 3.0,
+                    iters_p95,
+                    residual_max: 1e-9,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let snap = sample("test", 4.0);
+        let back = BenchSnapshot::from_json(&snap.to_json()).expect("round trip");
+        assert_eq!(back, snap);
+        assert_eq!(back.file_name(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn null_rss_round_trips() {
+        let mut snap = sample("test", 4.0);
+        snap.peak_rss_bytes = None;
+        let back = BenchSnapshot::from_json(&snap.to_json()).expect("round trip");
+        assert_eq!(back.peak_rss_bytes, None);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(BenchSnapshot::from_json("not json").is_err());
+        assert!(BenchSnapshot::from_json("{}").is_err());
+        let wrong_schema = sample("x", 4.0).to_json().replace(SNAPSHOT_SCHEMA, "v0");
+        assert!(BenchSnapshot::from_json(&wrong_schema).is_err());
+        let no_entries = sample("x", 4.0)
+            .to_json()
+            .replace("\"entries\"", "\"cells\"");
+        assert!(BenchSnapshot::from_json(&no_entries).is_err());
+    }
+
+    #[test]
+    fn measure_policy_records_throughput_and_solvers() {
+        let entry = measure_policy(thermogater::PolicyKind::AllOn).expect("run succeeds");
+        assert_eq!(entry.policy, "allon");
+        assert!(entry.steps > 0);
+        assert!(entry.steps_per_sec > 0.0);
+        assert!(!entry.phases.is_empty());
+        // The transient stepper always solves; its site must be rolled up.
+        assert!(entry.solver.iter().any(|s| s.solves > 0));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_when_present() {
+        if let Some(rss) = peak_rss_bytes() {
+            // More than a page, less than a terabyte.
+            assert!(rss > 4096 && rss < 1 << 40, "implausible RSS {rss}");
+        }
+    }
+}

@@ -137,7 +137,9 @@ pub fn policy_tag(policy: PolicyKind) -> &'static str {
     }
 }
 
-fn policy_from_tag(tag: &str) -> Option<PolicyKind> {
+/// The inverse of [`policy_tag`] (used by `tg-obs bench-snapshot
+/// --policies`).
+pub fn policy_from_tag(tag: &str) -> Option<PolicyKind> {
     PolicyKind::ALL.into_iter().find(|&p| policy_tag(p) == tag)
 }
 

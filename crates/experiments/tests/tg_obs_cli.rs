@@ -1,0 +1,302 @@
+//! End-to-end tests of the `tg-obs` and `telemetry_check` binaries:
+//! summarize/export/diff over the committed fixture run, regression
+//! gating with non-zero exits and named metrics, snapshot capture, and
+//! the extended trace validation (span pairing, timestamp ordering).
+
+use experiments::snapshot::{BenchSnapshot, PolicyEntry, SolverSnapshot};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_run() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_a")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tg-obs-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir creatable");
+    dir
+}
+
+fn tg_obs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tg-obs"))
+        .args(args)
+        .output()
+        .expect("tg-obs runs")
+}
+
+fn telemetry_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_telemetry_check"))
+        .args(args)
+        .output()
+        .expect("telemetry_check runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn summarize_reports_fixture_statistics() {
+    let run = fixture_run();
+    let out = tg_obs(&["summarize", run.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in [
+        "created by fixture",
+        "events: 14",
+        "engine.steps",
+        "65.7000",
+        "thermal.gs",
+        "gating: 1 decisions, churn 3",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn summarize_works_on_a_bare_trace_file() {
+    let trace = fixture_run().join("trace.jsonl");
+    let out = tg_obs(&["summarize", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("events: 14"));
+}
+
+#[test]
+fn export_writes_the_expected_csv_series() {
+    let run = fixture_run();
+    let dir = temp_dir("export");
+    let csv_path = dir.join("series.csv");
+    let out = tg_obs(&[
+        "export",
+        run.to_str().unwrap(),
+        "--out",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+    assert!(csv.starts_with("t_s,metric,value\n"));
+    for needle in [
+        "thermal.max_silicon_c,60",
+        "thermal.max_silicon_c,66",
+        "engine.window_noise_pct,5",
+        "thermal.gs.iters,8",
+        "thermal.gs.iters,12",
+        "engine.gating.active,10",
+        "engine.run.dur_s,0.13",
+    ] {
+        assert!(csv.contains(needle), "missing {needle:?} in:\n{csv}");
+    }
+    // 4 gauges + 2 histograms + 2 solves × 2 points + 1 gating + 1 span
+    // end = 12 data rows.
+    assert_eq!(csv.lines().count(), 13);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn self_diff_exits_zero_with_zero_drift() {
+    let run = fixture_run();
+    let out = tg_obs(&["diff", run.to_str().unwrap(), run.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("0 regression(s)"), "{}", stdout(&out));
+}
+
+#[test]
+fn doctored_run_diff_exits_nonzero_and_names_the_metric() {
+    let run = fixture_run();
+    let dir = temp_dir("doctored");
+    // Same event count (the manifest stays valid), different solver
+    // iteration count.
+    let trace = std::fs::read_to_string(run.join("trace.jsonl")).expect("fixture trace");
+    assert!(trace.contains("\"iters\":12"));
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        trace.replace("\"iters\":12", "\"iters\":50"),
+    )
+    .expect("doctored trace written");
+    std::fs::copy(run.join("manifest.json"), dir.join("manifest.json")).expect("manifest copied");
+
+    let out = tg_obs(&["diff", run.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("regression: solver.thermal.gs.iters_mean"),
+        "stderr: {err}"
+    );
+    // A tolerance override wide enough to absorb the change flips the
+    // exit back to success.
+    let out = tg_obs(&[
+        "diff",
+        run.to_str().unwrap(),
+        dir.to_str().unwrap(),
+        "--tol",
+        "solver.thermal.gs.iters_mean=10",
+        "--tol",
+        "solver.thermal.gs.iters_p95=10",
+        "--tol",
+        "solver.thermal.gs.residual_max=10",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
+    BenchSnapshot {
+        label: label.to_string(),
+        config: "fast".to_string(),
+        bench: "lu_ncb".to_string(),
+        peak_rss_bytes: Some(32 * 1024 * 1024),
+        entries: vec![PolicyEntry {
+            policy: "oract".to_string(),
+            wall_s: 0.5,
+            steps: 300,
+            steps_per_sec: 600.0,
+            phases: vec![("noise".to_string(), 0.3)],
+            solver: vec![SolverSnapshot {
+                site: "transient".to_string(),
+                solves: 300,
+                iters_mean: 3.0,
+                iters_p50: 3.0,
+                iters_p95,
+                residual_max: 1e-12,
+            }],
+        }],
+    }
+}
+
+#[test]
+fn snapshot_diff_gates_on_injected_iteration_regression() {
+    let dir = temp_dir("snapdiff");
+    let base = dir.join("BENCH_base.json");
+    let worse = dir.join("BENCH_worse.json");
+    std::fs::write(&base, sample_snapshot("base", 4.0).to_json()).expect("base written");
+    std::fs::write(&worse, sample_snapshot("worse", 8.0).to_json()).expect("worse written");
+
+    // Self-diff of a snapshot: clean.
+    let out = tg_obs(&["diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Injected +100% iters_p95: non-zero exit, metric named.
+    let out = tg_obs(&["diff", base.to_str().unwrap(), worse.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("regression: snap.oract.solver.transient.iters_p95"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // Mixing a run directory with a snapshot is a usage error (exit 2).
+    let run = fixture_run();
+    let out = tg_obs(&["diff", run.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_snapshot_captures_a_valid_schema_file() {
+    let dir = temp_dir("bench");
+    let out = tg_obs(&[
+        "bench-snapshot",
+        "--label",
+        "e2e",
+        "--policies",
+        "allon",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let path = dir.join("BENCH_e2e.json");
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    let snap = BenchSnapshot::from_json(&text).expect("schema-valid snapshot");
+    assert_eq!(snap.label, "e2e");
+    assert_eq!(snap.entries.len(), 1);
+    assert_eq!(snap.entries[0].policy, "allon");
+    assert!(snap.entries[0].steps > 0);
+    assert!(snap.entries[0].steps_per_sec > 0.0);
+
+    // The file it just captured self-diffs clean.
+    let out = tg_obs(&["diff", path.to_str().unwrap(), path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_subcommand_and_bad_policy_fail_cleanly() {
+    let out = tg_obs(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown subcommand"));
+
+    let out = tg_obs(&["bench-snapshot", "--policies", "warp9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown policy tag"));
+}
+
+#[test]
+fn telemetry_check_accepts_the_fixture_and_rejects_broken_traces() {
+    let run = fixture_run();
+    let out = telemetry_check(&[run.to_str().unwrap(), "--require", "gating,emergency,solve"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("spans paired"));
+
+    // An extra span_end with no opener must fail pairing...
+    let dir = temp_dir("check-span");
+    let trace = std::fs::read_to_string(run.join("trace.jsonl")).expect("fixture trace");
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        trace.replace(
+            "{\"t\":0.120,\"kind\":\"progress\",\"name\":\"workload.trace\",\"workload\":\"lu_ncb\"}",
+            "{\"t\":0.120,\"kind\":\"span_end\",\"name\":\"engine.orphan\",\"dur_s\":0.1}",
+        ),
+    )
+    .expect("doctored trace written");
+    std::fs::copy(run.join("manifest.json"), dir.join("manifest.json")).expect("manifest copied");
+    let out = telemetry_check(&[dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("without a matching span_start"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // ...a span left open must fail too...
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        trace.replace(
+            "{\"t\":0.130,\"kind\":\"span_end\",\"name\":\"engine.run\",\"dur_s\":0.13}",
+            "{\"t\":0.130,\"kind\":\"span_start\",\"name\":\"engine.run\"}",
+        ),
+    )
+    .expect("doctored trace written");
+    let out = telemetry_check(&[dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("never closed"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // ...and a timestamp jumping backwards beyond the slack must fail.
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        trace.replace(
+            "{\"t\":0.120,\"kind\":\"progress\",\"name\":\"workload.trace\",\"workload\":\"lu_ncb\"}",
+            "{\"t\":0.020,\"kind\":\"progress\",\"name\":\"workload.trace\",\"workload\":\"lu_ncb\"}",
+        ),
+    )
+    .expect("doctored trace written");
+    let out = telemetry_check(&[dir.to_str().unwrap(), "--mono-slack", "0.01"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("timestamp went backwards"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // The default slack (0.1 s) tolerates the same wobble.
+    let out = telemetry_check(&[dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,7 +23,8 @@
 //!   weighted moving average the practical policies use to forecast power;
 //! * [`telemetry`] — structured event tracing (spans, counters,
 //!   histograms, gauges) with pluggable sinks, a thread-safe metrics
-//!   registry, and machine-readable run manifests;
+//!   registry, machine-readable run manifests, and streaming trace
+//!   analytics ([`telemetry::analyze`]) for run summaries and diffs;
 //! * [`error`] — the shared error type.
 //!
 //! # Examples

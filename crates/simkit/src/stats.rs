@@ -45,18 +45,22 @@ pub fn min(values: &[f64]) -> Option<f64> {
         .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.min(v))))
 }
 
-/// Linear-interpolated percentile (`p` in `[0, 100]`); `None` when empty.
+/// Linear-interpolated percentile (`p` in `[0, 100]`).
+///
+/// Non-finite values (NaN, ±∞) are filtered out before ranking — trace
+/// analyzers feed this arbitrary recorded data, so it must never panic.
+/// Returns `None` when the slice is empty or holds no finite value.
 ///
 /// # Panics
 ///
 /// Panics in debug builds when `p` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -244,6 +248,21 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), Some(10.0));
         assert_eq!(percentile(&v, 100.0), Some(40.0));
         assert_eq!(percentile(&v, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_filters_non_finite_instead_of_panicking() {
+        // Regression: this used to panic on the NaN partial_cmp.
+        let v = [10.0, f64::NAN, 20.0, f64::INFINITY, 30.0, f64::NEG_INFINITY];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 50.0), Some(20.0));
+        assert_eq!(percentile(&v, 100.0), Some(30.0));
+    }
+
+    #[test]
+    fn percentile_all_non_finite_is_none() {
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+        assert_eq!(percentile(&[f64::INFINITY], 99.0), None);
     }
 
     #[test]

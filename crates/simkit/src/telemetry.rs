@@ -24,7 +24,10 @@
 //!
 //! The [`json`] submodule holds the dependency-free JSON writer/parser
 //! the JSONL sink and the manifest validator share; [`manifest`] holds
-//! the machine-readable per-run `manifest.json` schema.
+//! the machine-readable per-run `manifest.json` schema; [`analyze`]
+//! closes the loop with a streaming trace reader and per-run rollups
+//! (event counts, percentile summaries, span durations, solver /
+//! gating / emergency aggregates) consumed by the `tg-obs` CLI.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@
 //! off.counter("steps", 3); // no-op, allocates nothing
 //! ```
 
+pub mod analyze;
 pub mod json;
 pub mod manifest;
 

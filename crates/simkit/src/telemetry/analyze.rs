@@ -1,0 +1,823 @@
+//! Trace analytics: streaming consumption of JSONL telemetry traces.
+//!
+//! The [`telemetry`](crate::telemetry) module *emits* structured traces;
+//! this module *consumes* them. A [`TraceReader`] streams a
+//! `trace.jsonl` file line by line through the hand-rolled
+//! [`json`] parser (skipping corrupt interior lines and recovering from
+//! a truncated final line, so a trace cut mid-write still analyzes), and
+//! a [`TraceAnalysis`] folds the event stream into:
+//!
+//! * per-[`EventKind`] event counts;
+//! * per-name value [`Rollup`]s for gauges and histograms, with
+//!   p50/p95/p99 percentiles via [`crate::stats::percentile`];
+//! * span begin/end pairing into per-name duration rollups
+//!   ([`SpanStats`], with unmatched starts/ends surfaced rather than
+//!   silently dropped);
+//! * solver-convergence aggregates per solve site ([`SolverRollup`]:
+//!   iteration and residual distributions);
+//! * gating-churn ([`GatingStats`]) and voltage-emergency
+//!   ([`EmergencyStats`]) aggregates.
+//!
+//! Nothing here panics on hostile input: unknown kinds, missing fields,
+//! `null`ed non-finite numbers, and malformed lines are counted and
+//! reported instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::telemetry::analyze::TraceAnalysis;
+//! use simkit::telemetry::{EventKind, Telemetry};
+//!
+//! let (tel, sink) = Telemetry::recorder();
+//! {
+//!     let _span = tel.span("engine.run");
+//!     tel.gauge("thermal.max_c", 81.5);
+//!     tel.solve("thermal.gs", 12, 1e-9);
+//! }
+//! let trace: String = sink
+//!     .events()
+//!     .iter()
+//!     .map(|e| e.to_json() + "\n")
+//!     .collect();
+//! let analysis = TraceAnalysis::from_reader(trace.as_bytes()).unwrap();
+//! assert_eq!(analysis.events, 4);
+//! assert_eq!(analysis.kind_count(EventKind::SpanEnd), 1);
+//! assert_eq!(analysis.rollup("thermal.max_c").unwrap().count(), 1);
+//! assert_eq!(analysis.solver("thermal.gs").unwrap().solves(), 1);
+//! ```
+
+use super::json::JsonValue;
+use super::EventKind;
+use crate::stats;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// One trace line decoded into its envelope and payload fields.
+///
+/// Unlike the emit-side [`Event`](super::Event), field values are parsed
+/// [`JsonValue`]s: a consumer cannot know the original Rust type, and
+/// non-finite floats arrive as `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Seconds since the producing handle's epoch.
+    pub t_s: f64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name, e.g. `"thermal.max_silicon_c"`.
+    pub name: String,
+    /// Remaining payload members, in document order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl ParsedEvent {
+    /// Decodes one JSONL trace line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem: malformed JSON, a
+    /// non-object document, a missing/invalid `t`, `kind`, or `name`.
+    pub fn from_line(line: &str) -> Result<ParsedEvent, String> {
+        let doc = super::json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let members = doc.as_object().ok_or("event is not a JSON object")?;
+        let t_s = doc
+            .get("t")
+            .and_then(JsonValue::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or("missing finite numeric field \"t\"")?;
+        let kind_str = doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field \"kind\"")?;
+        let kind =
+            EventKind::parse(kind_str).ok_or_else(|| format!("unknown kind {kind_str:?}"))?;
+        let name = doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .filter(|n| !n.is_empty())
+            .ok_or("missing string field \"name\"")?
+            .to_string();
+        let fields = members
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "t" | "kind" | "name"))
+            .cloned()
+            .collect();
+        Ok(ParsedEvent {
+            t_s,
+            kind,
+            name,
+            fields,
+        })
+    }
+
+    /// Looks up a payload field.
+    pub fn field(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A payload field as a number.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(JsonValue::as_f64)
+    }
+
+    /// A payload field as an unsigned integer (negative values clamp
+    /// to 0, fractional values truncate).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field_f64(key).map(|v| v.max(0.0) as u64)
+    }
+}
+
+/// Streaming JSONL trace reader with recovery.
+///
+/// Reads one event per [`TraceReader::next_event`] call. A malformed
+/// line *with* a trailing newline (mid-file corruption) is counted in
+/// [`malformed_lines`](TraceReader::malformed_lines) and skipped; a
+/// malformed *final* line without one (the writer died mid-line, or the
+/// file is still being appended to) ends the stream cleanly and sets
+/// [`truncated`](TraceReader::truncated). Blank lines are ignored.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    buf: String,
+    lines_read: u64,
+    malformed: u64,
+    truncated: bool,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered byte source.
+    pub fn new(reader: R) -> Self {
+        TraceReader {
+            reader,
+            buf: String::new(),
+            lines_read: 0,
+            malformed: 0,
+            truncated: false,
+        }
+    }
+
+    /// The next well-formed event, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (including invalid UTF-8) from the
+    /// underlying reader; recoverable *format* problems never error.
+    pub fn next_event(&mut self) -> io::Result<Option<ParsedEvent>> {
+        loop {
+            self.buf.clear();
+            if self.reader.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            let complete = self.buf.ends_with('\n');
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.lines_read += 1;
+            match ParsedEvent::from_line(line) {
+                Ok(event) => return Ok(Some(event)),
+                Err(_) if !complete => {
+                    // Final unterminated line: a writer cut mid-record.
+                    self.truncated = true;
+                    return Ok(None);
+                }
+                Err(_) => {
+                    self.malformed += 1;
+                }
+            }
+        }
+    }
+
+    /// Non-blank lines consumed so far (including bad ones).
+    pub fn lines_read(&self) -> u64 {
+        self.lines_read
+    }
+
+    /// Malformed interior lines skipped so far.
+    pub fn malformed_lines(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Whether the stream ended in a truncated (unterminated,
+    /// unparseable) final line.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(TraceReader::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+/// Distribution rollup of one named value stream.
+///
+/// Keeps every finite observation so percentiles are exact (traces are
+/// bounded by run length; a full run emits thousands, not billions, of
+/// observations per name). Non-finite observations — including `null`s
+/// the JSON writer substitutes for NaN — are counted separately.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rollup {
+    values: Vec<f64>,
+    non_finite: u64,
+}
+
+impl Rollup {
+    /// Folds one observation in (non-finite values are counted but not
+    /// ranked).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_finite() {
+            self.values.push(value);
+        } else {
+            self.non_finite += 1;
+        }
+    }
+
+    /// Counts an observation that carried no usable number (absent
+    /// field, or a `null` from a non-finite float).
+    pub fn note_invalid(&mut self) {
+        self.non_finite += 1;
+    }
+
+    /// Number of finite observations.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Number of non-finite / unusable observations.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Mean of finite observations; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        stats::mean(&self.values)
+    }
+
+    /// Smallest finite observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        stats::min(&self.values)
+    }
+
+    /// Largest finite observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        stats::max(&self.values)
+    }
+
+    /// Linear-interpolated percentile over the finite observations.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        stats::percentile(&self.values, p)
+    }
+
+    /// The raw finite observations, in arrival order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Span begin/end pairing state and completed-duration rollup for one
+/// span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Starts not yet matched by an end (non-zero at end of trace means
+    /// the run died inside this span).
+    pub open: u64,
+    /// Durations (`dur_s`) of completed spans.
+    pub durations: Rollup,
+    /// Ends that arrived with no matching start.
+    pub unmatched_ends: u64,
+}
+
+impl SpanStats {
+    /// Completed start/end pairs.
+    pub fn completed(&self) -> u64 {
+        self.durations.count() + self.durations.non_finite()
+    }
+}
+
+/// Solver-convergence rollup for one solve site (`thermal.gs`,
+/// `pdn.ir_cg`, …): iteration-count and final-residual distributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverRollup {
+    /// Iterations per solve.
+    pub iters: Rollup,
+    /// Final relative residual per solve.
+    pub residuals: Rollup,
+}
+
+impl SolverRollup {
+    /// Number of solve events folded in.
+    pub fn solves(&self) -> u64 {
+        self.iters.count() + self.iters.non_finite()
+    }
+}
+
+/// Aggregate over the regulator gating decisions of a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatingStats {
+    /// Gating events seen.
+    pub decisions: u64,
+    /// Regulators switched on across all decisions.
+    pub turned_on: u64,
+    /// Regulators switched off across all decisions.
+    pub turned_off: u64,
+    /// Active-regulator count per decision.
+    pub active: Rollup,
+}
+
+impl GatingStats {
+    /// Total switching activity (on + off transitions).
+    pub fn churn(&self) -> u64 {
+        self.turned_on + self.turned_off
+    }
+
+    /// Mean switching activity per decision; `None` with no decisions.
+    pub fn churn_per_decision(&self) -> Option<f64> {
+        if self.decisions == 0 {
+            None
+        } else {
+            Some(self.churn() as f64 / self.decisions as f64)
+        }
+    }
+}
+
+/// Aggregate over the voltage-emergency checks of a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EmergencyStats {
+    /// Emergency-check events seen.
+    pub checks: u64,
+    /// Checks that flagged at least one domain.
+    pub with_emergency: u64,
+    /// Domain flags raised, summed over all checks.
+    pub flagged_domains: u64,
+    /// Ground-truth emergency domains, summed over all checks.
+    pub true_domains: u64,
+    /// Mispredicted domains, summed over all checks.
+    pub mispredicted: u64,
+}
+
+impl EmergencyStats {
+    /// Fraction of checks that flagged an emergency; `None` with no
+    /// checks.
+    pub fn emergency_rate(&self) -> Option<f64> {
+        if self.checks == 0 {
+            None
+        } else {
+            Some(self.with_emergency as f64 / self.checks as f64)
+        }
+    }
+}
+
+/// Full rollup of one JSONL trace.
+///
+/// Build it with [`TraceAnalysis::from_path`] /
+/// [`TraceAnalysis::from_reader`], or fold events in one at a time with
+/// [`TraceAnalysis::observe`]. All name-keyed collections preserve
+/// first-appearance order, so reports over a deterministic trace are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Well-formed events folded in.
+    pub events: u64,
+    kind_counts: [u64; EventKind::ALL.len()],
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge/histogram value rollups by name.
+    pub rollups: Vec<(String, Rollup)>,
+    /// Span pairing and durations by name.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Solver-convergence rollups by solve site.
+    pub solvers: Vec<(String, SolverRollup)>,
+    /// Gating-churn aggregate.
+    pub gating: GatingStats,
+    /// Voltage-emergency aggregate.
+    pub emergency: EmergencyStats,
+    /// Timestamp of the first event.
+    pub first_t_s: Option<f64>,
+    /// Timestamp of the last event.
+    pub last_t_s: Option<f64>,
+    /// Malformed interior lines the reader skipped.
+    pub malformed_lines: u64,
+    /// Whether the trace ended in a truncated final line.
+    pub truncated: bool,
+}
+
+fn kind_index(kind: EventKind) -> usize {
+    EventKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind is in ALL")
+}
+
+/// Finds or inserts `name` in an order-preserving name-keyed vector.
+fn entry<'v, T: Default>(vec: &'v mut Vec<(String, T)>, name: &str) -> &'v mut T {
+    if let Some(i) = vec.iter().position(|(n, _)| n == name) {
+        return &mut vec[i].1;
+    }
+    vec.push((name.to_string(), T::default()));
+    &mut vec.last_mut().expect("just pushed").1
+}
+
+impl TraceAnalysis {
+    /// An empty analysis.
+    pub fn new() -> Self {
+        TraceAnalysis::default()
+    }
+
+    /// Streams every event of a byte source into a fresh analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors only; format problems are folded into
+    /// [`malformed_lines`](TraceAnalysis::malformed_lines) /
+    /// [`truncated`](TraceAnalysis::truncated).
+    pub fn from_reader(reader: impl BufRead) -> io::Result<Self> {
+        let mut trace = TraceReader::new(reader);
+        let mut analysis = TraceAnalysis::new();
+        while let Some(event) = trace.next_event()? {
+            analysis.observe(&event);
+        }
+        analysis.malformed_lines = trace.malformed_lines();
+        analysis.truncated = trace.truncated();
+        Ok(analysis)
+    }
+
+    /// Streams a trace file (conventionally `trace.jsonl`) into a fresh
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures.
+    pub fn from_path(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        TraceAnalysis::from_reader(BufReader::new(file))
+    }
+
+    /// Folds one event in.
+    pub fn observe(&mut self, event: &ParsedEvent) {
+        self.events += 1;
+        self.kind_counts[kind_index(event.kind)] += 1;
+        if self.first_t_s.is_none() {
+            self.first_t_s = Some(event.t_s);
+        }
+        self.last_t_s = Some(self.last_t_s.map_or(event.t_s, |t| t.max(event.t_s)));
+        match event.kind {
+            EventKind::Counter => {
+                *entry(&mut self.counters, &event.name) += event.field_u64("delta").unwrap_or(1);
+            }
+            EventKind::Gauge | EventKind::Histogram => {
+                let rollup = entry(&mut self.rollups, &event.name);
+                match event.field_f64("value") {
+                    Some(v) => rollup.observe(v),
+                    None => rollup.note_invalid(),
+                }
+            }
+            EventKind::SpanStart => {
+                entry::<SpanStats>(&mut self.spans, &event.name).open += 1;
+            }
+            EventKind::SpanEnd => {
+                let span = entry::<SpanStats>(&mut self.spans, &event.name);
+                if span.open > 0 {
+                    span.open -= 1;
+                    match event.field_f64("dur_s") {
+                        Some(d) => span.durations.observe(d),
+                        None => span.durations.note_invalid(),
+                    }
+                } else {
+                    span.unmatched_ends += 1;
+                }
+            }
+            EventKind::Solve => {
+                let solver = entry::<SolverRollup>(&mut self.solvers, &event.name);
+                match event.field_f64("iters") {
+                    Some(i) => solver.iters.observe(i),
+                    None => solver.iters.note_invalid(),
+                }
+                match event.field_f64("residual") {
+                    Some(r) => solver.residuals.observe(r),
+                    None => solver.residuals.note_invalid(),
+                }
+            }
+            EventKind::Gating => {
+                self.gating.decisions += 1;
+                self.gating.turned_on += event.field_u64("turned_on").unwrap_or(0);
+                self.gating.turned_off += event.field_u64("turned_off").unwrap_or(0);
+                match event.field_f64("active") {
+                    Some(a) => self.gating.active.observe(a),
+                    None => self.gating.active.note_invalid(),
+                }
+            }
+            EventKind::Emergency => {
+                self.emergency.checks += 1;
+                let flagged = event.field_u64("flagged_domains").unwrap_or(0);
+                if flagged > 0 {
+                    self.emergency.with_emergency += 1;
+                }
+                self.emergency.flagged_domains += flagged;
+                self.emergency.true_domains += event.field_u64("true_domains").unwrap_or(0);
+                self.emergency.mispredicted += event.field_u64("mispredicted").unwrap_or(0);
+            }
+            EventKind::Progress => {}
+        }
+    }
+
+    /// Number of events of one kind.
+    pub fn kind_count(&self, kind: EventKind) -> u64 {
+        self.kind_counts[kind_index(kind)]
+    }
+
+    /// Total of one named counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The gauge/histogram rollup for one name.
+    pub fn rollup(&self, name: &str) -> Option<&Rollup> {
+        self.rollups.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// The span stats for one name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// The solver rollup for one solve site.
+    pub fn solver(&self, name: &str) -> Option<&SolverRollup> {
+        self.solvers.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Span of event timestamps (0.0 for empty or single-event traces).
+    pub fn duration_s(&self) -> f64 {
+        match (self.first_t_s, self.last_t_s) {
+            (Some(a), Some(b)) => (b - a).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Spans left open or ended without a start, summed over all names
+    /// — 0 for a cleanly recorded trace.
+    pub fn unpaired_spans(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|(_, s)| s.open + s.unmatched_ends)
+            .sum()
+    }
+}
+
+/// Expands one event into exportable time-series points, appended to
+/// `out` as `(series, value)` pairs (the timestamp is the event's own
+/// `t_s`):
+///
+/// * gauges and histograms → one point on the series of that name;
+/// * gating events → `<name>.active` (the active-regulator count);
+/// * solve events → `<name>.iters` and `<name>.residual`;
+/// * span ends → `<name>.dur_s`.
+///
+/// Everything else (counters, span starts, progress) carries no
+/// plottable instantaneous value and contributes nothing. This is the
+/// mapping behind `tg-obs export`: T_max arrives as the
+/// `thermal.max_silicon_c` gauge, worst window noise as the
+/// `engine.window_noise_pct` histogram / `pdn.noise_max_pct` gauge,
+/// `n_on` as `engine.gating.active`, and solver residuals as
+/// `<site>.residual`.
+pub fn series_points(event: &ParsedEvent, out: &mut Vec<(String, f64)>) {
+    match event.kind {
+        EventKind::Gauge | EventKind::Histogram => {
+            if let Some(v) = event.field_f64("value") {
+                out.push((event.name.clone(), v));
+            }
+        }
+        EventKind::Gating => {
+            if let Some(a) = event.field_f64("active") {
+                out.push((format!("{}.active", event.name), a));
+            }
+        }
+        EventKind::Solve => {
+            if let Some(i) = event.field_f64("iters") {
+                out.push((format!("{}.iters", event.name), i));
+            }
+            if let Some(r) = event.field_f64("residual") {
+                out.push((format!("{}.residual", event.name), r));
+            }
+        }
+        EventKind::SpanEnd => {
+            if let Some(d) = event.field_f64("dur_s") {
+                out.push((format!("{}.dur_s", event.name), d));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    /// Records a small synthetic run and returns its JSONL text.
+    fn sample_trace() -> String {
+        let (tel, sink) = Telemetry::recorder();
+        {
+            let _run = tel.span("engine.run");
+            for k in 0..4u64 {
+                tel.event(EventKind::Gating, "engine.gating")
+                    .field_u64("decision", k)
+                    .field_u64("active", 10 + k)
+                    .field_u64("turned_on", 1)
+                    .field_u64("turned_off", if k > 1 { 2 } else { 0 })
+                    .emit();
+                tel.counter("engine.decisions", 1);
+                tel.histogram("engine.window_noise_pct", 4.0 + k as f64);
+                tel.solve("thermal.gs", 10 + k as usize, 1e-9 * (k + 1) as f64);
+            }
+            tel.event(EventKind::Emergency, "engine.emergency_check")
+                .field_u64("flagged_domains", 2)
+                .field_u64("true_domains", 1)
+                .field_u64("mispredicted", 1)
+                .emit();
+            tel.event(EventKind::Emergency, "engine.emergency_check")
+                .field_u64("flagged_domains", 0)
+                .field_u64("true_domains", 0)
+                .field_u64("mispredicted", 0)
+                .emit();
+            tel.gauge("thermal.max_silicon_c", 63.5);
+        }
+        sink.events().iter().map(|e| e.to_json() + "\n").collect()
+    }
+
+    #[test]
+    fn analysis_counts_and_rolls_up() {
+        let text = sample_trace();
+        let a = TraceAnalysis::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(a.events, text.lines().count() as u64);
+        assert_eq!(a.kind_count(EventKind::Gating), 4);
+        assert_eq!(a.kind_count(EventKind::Emergency), 2);
+        assert_eq!(a.counter("engine.decisions"), 4);
+
+        let noise = a.rollup("engine.window_noise_pct").unwrap();
+        assert_eq!(noise.count(), 4);
+        assert_eq!(noise.min(), Some(4.0));
+        assert_eq!(noise.max(), Some(7.0));
+        assert_eq!(noise.percentile(50.0), Some(5.5));
+
+        let gs = a.solver("thermal.gs").unwrap();
+        assert_eq!(gs.solves(), 4);
+        assert_eq!(gs.iters.percentile(0.0), Some(10.0));
+        assert_eq!(gs.iters.percentile(100.0), Some(13.0));
+        assert_eq!(gs.residuals.max(), Some(4e-9));
+
+        assert_eq!(a.gating.decisions, 4);
+        assert_eq!(a.gating.turned_on, 4);
+        assert_eq!(a.gating.turned_off, 4);
+        assert_eq!(a.gating.churn(), 8);
+        assert_eq!(a.gating.churn_per_decision(), Some(2.0));
+        assert_eq!(a.gating.active.mean(), Some(11.5));
+
+        assert_eq!(a.emergency.checks, 2);
+        assert_eq!(a.emergency.with_emergency, 1);
+        assert_eq!(a.emergency.flagged_domains, 2);
+        assert_eq!(a.emergency.mispredicted, 1);
+        assert_eq!(a.emergency.emergency_rate(), Some(0.5));
+
+        let run = a.span("engine.run").unwrap();
+        assert_eq!(run.completed(), 1);
+        assert_eq!(run.open, 0);
+        assert_eq!(run.unmatched_ends, 0);
+        assert_eq!(a.unpaired_spans(), 0);
+        assert!(run.durations.max().unwrap() >= 0.0);
+        assert!(!a.truncated);
+        assert_eq!(a.malformed_lines, 0);
+    }
+
+    #[test]
+    fn truncated_final_line_is_recovered() {
+        let mut text = sample_trace();
+        // Cut the final record mid-JSON, dropping its newline.
+        text.truncate(text.len() - 15);
+        assert!(!text.ends_with('\n'));
+        let full_events = sample_trace().lines().count() as u64;
+        let a = TraceAnalysis::from_reader(text.as_bytes()).unwrap();
+        assert!(a.truncated);
+        assert_eq!(a.events, full_events - 1);
+        assert_eq!(a.malformed_lines, 0);
+    }
+
+    #[test]
+    fn malformed_interior_lines_are_skipped_and_counted() {
+        let good = sample_trace();
+        let lines: Vec<&str> = good.lines().collect();
+        let text = format!(
+            "{}\nnot json at all\n{{\"t\":1}}\n{}\n",
+            lines[0],
+            lines[1..].join("\n")
+        );
+        let a = TraceAnalysis::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(a.malformed_lines, 2);
+        assert_eq!(a.events, lines.len() as u64);
+        assert!(!a.truncated);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = format!("\n\n{}\n\n", sample_trace());
+        let a = TraceAnalysis::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(a.malformed_lines, 0);
+        assert_eq!(a.events, sample_trace().lines().count() as u64);
+    }
+
+    #[test]
+    fn null_values_count_as_non_finite() {
+        // The writer emits NaN gauges as null; the rollup must not
+        // panic and must surface the bad observation.
+        let (tel, sink) = Telemetry::recorder();
+        tel.gauge("g", f64::NAN);
+        tel.gauge("g", 2.0);
+        tel.solve("s", 3, f64::NAN);
+        let text: String = sink.events().iter().map(|e| e.to_json() + "\n").collect();
+        let a = TraceAnalysis::from_reader(text.as_bytes()).unwrap();
+        let g = a.rollup("g").unwrap();
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.non_finite(), 1);
+        assert_eq!(g.percentile(99.0), Some(2.0));
+        let s = a.solver("s").unwrap();
+        assert_eq!(s.solves(), 1);
+        assert_eq!(s.residuals.non_finite(), 1);
+    }
+
+    #[test]
+    fn unmatched_spans_are_reported() {
+        let lines = "\
+            {\"t\":0.1,\"kind\":\"span_end\",\"name\":\"a\",\"dur_s\":0.1}\n\
+            {\"t\":0.2,\"kind\":\"span_start\",\"name\":\"b\"}\n";
+        let a = TraceAnalysis::from_reader(lines.as_bytes()).unwrap();
+        assert_eq!(a.span("a").unwrap().unmatched_ends, 1);
+        assert_eq!(a.span("b").unwrap().open, 1);
+        assert_eq!(a.unpaired_spans(), 2);
+    }
+
+    #[test]
+    fn series_points_expand_expected_kinds() {
+        let (tel, sink) = Telemetry::recorder();
+        tel.gauge("thermal.max_silicon_c", 63.5);
+        tel.event(EventKind::Gating, "engine.gating")
+            .field_u64("active", 12)
+            .emit();
+        tel.solve("pdn.ir_cg", 8, 1e-10);
+        tel.counter("engine.steps", 50);
+        let mut points = Vec::new();
+        for event in sink.events() {
+            let parsed = ParsedEvent::from_line(&event.to_json()).unwrap();
+            series_points(&parsed, &mut points);
+        }
+        let names: Vec<&str> = points.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "thermal.max_silicon_c",
+                "engine.gating.active",
+                "pdn.ir_cg.iters",
+                "pdn.ir_cg.residual"
+            ]
+        );
+        assert_eq!(points[0].1, 63.5);
+        assert_eq!(points[2].1, 8.0);
+    }
+
+    #[test]
+    fn parsed_event_rejects_bad_envelopes() {
+        for bad in [
+            "[1,2]",
+            "{\"kind\":\"gauge\",\"name\":\"x\"}",
+            "{\"t\":1.0,\"kind\":\"nope\",\"name\":\"x\"}",
+            "{\"t\":1.0,\"kind\":\"gauge\"}",
+            "{\"t\":1.0,\"kind\":\"gauge\",\"name\":\"\"}",
+            "{\"t\":-1.0,\"kind\":\"gauge\",\"name\":\"x\"}",
+            "{\"t\":null,\"kind\":\"gauge\",\"name\":\"x\"}",
+        ] {
+            assert!(ParsedEvent::from_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_empty() {
+        let a = TraceAnalysis::from_reader("".as_bytes()).unwrap();
+        assert_eq!(a.events, 0);
+        assert_eq!(a.duration_s(), 0.0);
+        assert_eq!(a.first_t_s, None);
+        assert!(a.counters.is_empty() && a.rollups.is_empty());
+    }
+}

@@ -372,4 +372,76 @@ mod tests {
         assert_eq!(parse("[]").expect("arr"), JsonValue::Arr(vec![]));
         assert_eq!(parse(" [ ] ").expect("spaced arr"), JsonValue::Arr(vec![]));
     }
+
+    #[test]
+    fn every_escapable_string_round_trips() {
+        // Everything the writer can emit: named escapes, \uXXXX control
+        // codes, multi-byte UTF-8, and an astral-plane character (kept
+        // literal, not as a surrogate pair).
+        for original in [
+            "",
+            "\"\\/\u{8}\u{c}\n\r\t",
+            "\u{0}\u{1f}\u{7f}",
+            "κλίμα 気温 🌡",
+            "back\\slash at end\\",
+        ] {
+            let mut encoded = String::new();
+            write_str(&mut encoded, original);
+            let parsed = parse(&encoded).expect("writer output parses");
+            assert_eq!(parsed.as_str(), Some(original), "via {encoded}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse_and_lone_surrogates_are_replaced() {
+        assert_eq!(parse(r#""Aé☃""#).expect("parses").as_str(), Some("Aé☃"));
+        // A lone surrogate half is not a char; the parser substitutes
+        // U+FFFD rather than erroring out mid-trace.
+        assert_eq!(
+            parse(r#""\ud800""#).expect("parses").as_str(),
+            Some("\u{fffd}")
+        );
+        assert!(parse(r#""\u00g1""#).is_err());
+        assert!(parse(r#""\u00""#).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_as_null() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            assert!(parse(&out).expect("null parses").is_null());
+        }
+    }
+
+    #[test]
+    fn deeply_nested_documents_parse() {
+        // 64 levels of alternating object/array nesting — far deeper
+        // than any event the tracer writes, so recursion depth is never
+        // the thing that corrupts a trace read.
+        let mut doc = String::from("1");
+        for i in 0..64 {
+            doc = if i % 2 == 0 {
+                format!("[{doc}]")
+            } else {
+                format!("{{\"n\":{doc}}}")
+            };
+        }
+        let mut v = parse(&doc).expect("deep nesting parses");
+        for i in (0..64).rev() {
+            v = if i % 2 == 0 {
+                v.as_array().expect("array level")[0].clone()
+            } else {
+                v.get("n").expect("object level").clone()
+            };
+        }
+        assert_eq!(v.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_occurrence_on_get() {
+        let v = parse(r#"{"a":1,"a":2}"#).expect("parses");
+        assert_eq!(v.get("a").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(v.as_object().expect("obj").len(), 2);
+    }
 }
