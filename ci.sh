@@ -43,4 +43,11 @@ cargo run --release -q -p experiments --bin tg-obs -- bench-snapshot \
 cargo run --release -q -p experiments --bin tg-obs -- \
     diff target/ci/BENCH_ci.json target/ci/BENCH_ci.json
 
+echo "== tg-verify: physics oracles + corpus replay (determinism via cmp) =="
+cargo run --release -q -p experiments --bin tg-verify -- \
+    --fast --seed=0xC1 --threads=2 --report=target/ci/verify_a.txt
+cargo run --release -q -p experiments --bin tg-verify -- \
+    --fast --seed=0xC1 --threads=2 --report=target/ci/verify_b.txt
+cmp target/ci/verify_a.txt target/ci/verify_b.txt
+
 echo "CI OK"

@@ -16,7 +16,9 @@
 //! * [`obs`] — run/snapshot diffing with per-metric directional
 //!   tolerances (the engine behind `tg-obs diff`);
 //! * [`snapshot`] — pinned-workload performance snapshots
-//!   (`BENCH_*.json`, schema `thermogater.bench/v1`).
+//!   (`BENCH_*.json`, schema `thermogater.bench/v1`);
+//! * [`verify`] — physics-invariant oracles, differential checks, and
+//!   golden-run comparison (the engine behind `tg-verify`).
 //!
 //! Run an experiment with e.g.
 //!
@@ -35,3 +37,4 @@ pub mod report;
 pub mod snapshot;
 pub mod sweep;
 pub mod telemetry;
+pub mod verify;

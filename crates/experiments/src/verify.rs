@@ -1,0 +1,874 @@
+//! Physics-invariant and differential verification — the engine behind
+//! the `tg-verify` bin.
+//!
+//! Three layers, all built on [`simkit::check`]:
+//!
+//! 1. **Physics/policy oracles** — properties that must hold for *every*
+//!    configuration, not just the paper's figure setups: regulator
+//!    sizing (`required_active` minimal + sufficient), Eqn-1 loss
+//!    consistency, η ≤ η_peak with equality only at the peak-load point,
+//!    policy active-set exactness, the VT policies' per-domain all-on
+//!    emergency overlay, steady-state thermal energy balance
+//!    (heat in ≈ heat out), PDN KCL residual bounds, and PDN linearity.
+//! 2. **Differential checks** — CG vs Gauss–Seidel agreement on the same
+//!    SPD system, and serial vs parallel sweep bit-equality (the cache is
+//!    cleared between legs so both actually recompute).
+//! 3. **Golden-run comparison** — a committed fixture of tiny-sweep
+//!    records, compared field-by-field at relative tolerance; regenerate
+//!    with `tg-verify --bless` after an intentional physics change.
+//!
+//! Failures carry a fully shrunk [`simkit::check::Counterexample`]
+//! (base seed + shrunk input), so any red run reproduces offline.
+
+use crate::context::ExpOptions;
+use crate::sweep::{self, SweepRecord};
+use floorplan::reference::power8_like;
+use simkit::check::{self, CheckConfig, CheckOutcome, Checker};
+use simkit::linalg::vec_ops;
+use simkit::linalg::TripletBuilder;
+use simkit::units::{Amps, Volts, Watts};
+use std::path::{Path, PathBuf};
+use thermal::{PowerMap, ThermalConfig, ThermalModel};
+use thermogater::{select_gating, PolicyInputs, PolicyKind};
+use vreg::{loss, EfficiencyCurve, GatingState, RegulatorBank, RegulatorDesign};
+use workload::Benchmark;
+
+/// Default corpus directory: `tests/corpus/` at the repository root.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Default golden fixture: `crates/experiments/tests/fixtures/golden_tiny.csv`.
+pub fn default_golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_tiny.csv")
+}
+
+/// Configuration of a `tg-verify` run.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Base seed for every property's per-case RNG streams.
+    pub seed: u64,
+    /// Random cases per cheap (vreg/policy) oracle; the solver-heavy
+    /// oracles use a small fixed fraction of this.
+    pub cases: usize,
+    /// Reduced-depth mode for CI smoke runs.
+    pub fast: bool,
+    /// `.case` regression corpus replayed before every random phase.
+    pub corpus: Option<PathBuf>,
+    /// Where to persist newly shrunk counterexamples (`None` = print
+    /// only).
+    pub save_dir: Option<PathBuf>,
+    /// Thread count of the parallel sweep leg (≥ 2).
+    pub threads: usize,
+    /// Golden fixture path.
+    pub golden: PathBuf,
+    /// Regenerate the golden fixture instead of comparing against it.
+    pub bless: bool,
+    /// Skip the (slow) sweep differential + golden comparison.
+    pub skip_sweep: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            seed: 0x7467_2d76_6572_6966, // "tg-verif"
+            cases: 48,
+            fast: false,
+            corpus: Some(default_corpus_dir()),
+            save_dir: None,
+            threads: 2,
+            golden: default_golden_path(),
+            bless: false,
+            skip_sweep: false,
+        }
+    }
+}
+
+/// Outcome of one named check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Check name (`vreg.required_active`, `diff.golden`, …).
+    pub name: String,
+    /// Random cases evaluated (0 for non-property checks).
+    pub cases: usize,
+    /// Corpus cases replayed.
+    pub corpus_cases: usize,
+    /// `None` when the check passed; the rendered counterexample or
+    /// mismatch description otherwise.
+    pub failure: Option<String>,
+    /// Informational note shown on passing checks (e.g. "blessed").
+    pub note: Option<String>,
+}
+
+impl CheckReport {
+    /// Whether the check passed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// A full verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyRun {
+    /// Per-check outcomes, in execution order.
+    pub reports: Vec<CheckReport>,
+}
+
+impl VerifyRun {
+    /// Whether every check passed.
+    pub fn ok(&self) -> bool {
+        self.reports.iter().all(CheckReport::passed)
+    }
+
+    /// Deterministic plain-text report (no timestamps, no paths that
+    /// vary run-to-run) — two runs with the same options must render
+    /// byte-identically.
+    pub fn render(&self, opts: &VerifyOptions) -> String {
+        let mut out = String::new();
+        out.push_str("tg-verify report\n");
+        out.push_str(&format!(
+            "seed: {:#018x}  cases: {}  mode: {}  sweep: {}\n\n",
+            opts.seed,
+            opts.cases,
+            if opts.fast { "fast" } else { "full" },
+            if opts.skip_sweep { "skipped" } else { "on" },
+        ));
+        for r in &self.reports {
+            match &r.failure {
+                None => {
+                    let note = r
+                        .note
+                        .as_deref()
+                        .map(|n| format!("  [{n}]"))
+                        .unwrap_or_default();
+                    out.push_str(&format!(
+                        "ok   {:<34} ({} cases + {} corpus){}\n",
+                        r.name, r.cases, r.corpus_cases, note
+                    ));
+                }
+                Some(detail) => {
+                    out.push_str(&format!("FAIL {}\n", r.name));
+                    for line in detail.lines() {
+                        out.push_str(&format!("     {line}\n"));
+                    }
+                }
+            }
+        }
+        let passed = self.reports.iter().filter(|r| r.passed()).count();
+        out.push_str(&format!(
+            "\nsummary: {passed}/{} checks passed\n",
+            self.reports.len()
+        ));
+        out
+    }
+}
+
+fn checker(opts: &VerifyOptions, cases: usize) -> Checker {
+    Checker::new(CheckConfig {
+        seed: opts.seed,
+        cases,
+        max_shrink_evals: 200,
+        corpus: opts.corpus.clone(),
+    })
+}
+
+fn to_report(name: &str, cases: usize, outcome: CheckOutcome, opts: &VerifyOptions) -> CheckReport {
+    match outcome {
+        CheckOutcome::Pass {
+            cases,
+            corpus_cases,
+        } => CheckReport {
+            name: name.to_string(),
+            cases,
+            corpus_cases,
+            failure: None,
+            note: None,
+        },
+        CheckOutcome::Fail(cex) => {
+            let mut detail = cex.render();
+            if let Some(dir) = &opts.save_dir {
+                match cex.save_into(dir) {
+                    Ok(path) => detail.push_str(&format!("\nsaved to {}", path.display())),
+                    Err(e) => detail.push_str(&format!("\n(corpus save failed: {e})")),
+                }
+            }
+            CheckReport {
+                name: name.to_string(),
+                cases,
+                corpus_cases: 0,
+                failure: Some(detail),
+                note: None,
+            }
+        }
+    }
+}
+
+fn err_str(e: simkit::Error) -> String {
+    e.to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Physics / policy oracles
+// ---------------------------------------------------------------------------
+
+/// `required_active` is minimal and sufficient for the demand.
+pub fn oracle_required_active(opts: &VerifyOptions) -> CheckReport {
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    let peak = bank.design().peak_current().get();
+    let gen = check::f64_in(0.0, 20.0);
+    let outcome = checker(opts, opts.cases).run("vreg.required_active", &gen, |&demand| {
+        let n = bank.required_active(Amps::new(demand));
+        check::ensure((1..=9).contains(&n), || format!("n = {n} outside 1..=9"))?;
+        if demand > 0.0 && n < 9 {
+            check::ensure(demand / n as f64 <= peak + 1e-12, || {
+                format!(
+                    "insufficient: {n} regulators carry {} A each",
+                    demand / n as f64
+                )
+            })?;
+        }
+        if n > 1 {
+            check::ensure(demand / (n as f64 - 1.0) > peak - 1e-12, || {
+                format!("not minimal: {} regulators would already suffice", n - 1)
+            })?;
+        }
+        Ok(())
+    });
+    to_report("vreg.required_active", opts.cases, outcome, opts)
+}
+
+/// Eqn 1 consistency: the bank's reported per-regulator and total losses
+/// equal `P_out·(1/η − 1)` computed from its own reported efficiency.
+pub fn oracle_loss_eqn1(opts: &VerifyOptions) -> CheckReport {
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    let vdd = Volts::new(1.0);
+    let gen = (check::f64_in(1e-3, 25.0), check::usize_in(1, 9));
+    let outcome = checker(opts, opts.cases).run("vreg.loss_eqn1", &gen, |&(demand, n_on)| {
+        let share = bank
+            .per_regulator_current(Amps::new(demand), n_on)
+            .map_err(err_str)?;
+        let eta = bank.efficiency(Amps::new(demand), n_on).map_err(err_str)?;
+        let per = bank
+            .per_regulator_loss(Amps::new(demand), n_on, vdd)
+            .map_err(err_str)?;
+        let total = bank
+            .total_loss(Amps::new(demand), n_on, vdd)
+            .map_err(err_str)?;
+        let p_out = Watts::new(vdd.get() * share.get());
+        let expect = loss::conversion_loss(p_out, eta);
+        check::ensure(
+            (per.get() - expect.get()).abs() <= 1e-9 * expect.get().max(1e-9),
+            || format!("per-regulator loss {per:?} != Eqn-1 value {expect:?}"),
+        )?;
+        check::ensure(
+            (total.get() - n_on as f64 * per.get()).abs() <= 1e-9 * total.get().max(1e-9),
+            || format!("total loss {total:?} != n_on × per-regulator loss"),
+        )?;
+        let p_in = loss::input_power(p_out, eta);
+        check::ensure(
+            (p_in.get() * eta - p_out.get()).abs() <= 1e-9 * p_out.get().max(1e-9),
+            || "P_in·η != P_out".to_string(),
+        )
+    });
+    to_report("vreg.loss_eqn1", opts.cases, outcome, opts)
+}
+
+/// η never exceeds η_peak, with equality only at the peak-load point.
+pub fn oracle_eta_peak(opts: &VerifyOptions) -> CheckReport {
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    let peak_eta = bank.design().peak_efficiency();
+    let peak_i = bank.design().peak_current().get();
+    let gen = (check::f64_in(1e-3, 25.0), check::usize_in(1, 9));
+    let outcome = checker(opts, opts.cases).run("vreg.eta_peak", &gen, |&(demand, n_on)| {
+        let share = bank
+            .per_regulator_current(Amps::new(demand), n_on)
+            .map_err(err_str)?;
+        let eta = bank.efficiency(Amps::new(demand), n_on).map_err(err_str)?;
+        check::ensure(eta <= peak_eta + 1e-12, || {
+            format!("η = {eta} exceeds η_peak = {peak_eta}")
+        })?;
+        if eta > peak_eta - 1e-12 {
+            check::ensure((share.get() - peak_i).abs() <= 1e-6, || {
+                format!(
+                    "η hit the peak at share {} A, but the peak-load point is {peak_i} A",
+                    share.get()
+                )
+            })?;
+        }
+        Ok(())
+    });
+    to_report("vreg.eta_peak", opts.cases, outcome, opts)
+}
+
+/// The bank's efficiency agrees point-for-point with a reference curve.
+///
+/// Exposed with an explicit `bank`/`reference` so the fault-injection
+/// test can demonstrate that a 1 %-perturbed efficiency curve is caught:
+/// the reference is rebuilt from the *shape* the design claims
+/// ([`EfficiencyCurve::scaled_reference`] through the design's peak), so
+/// any deviation of the actual curve from that shape fails the oracle.
+pub fn curve_consistency_outcome(
+    bank: &RegulatorBank,
+    reference: &EfficiencyCurve,
+    checker: &Checker,
+) -> CheckOutcome {
+    let gen = (check::f64_in(1e-3, 25.0), check::usize_in(1, bank.total()));
+    checker.run("vreg.curve_consistency", &gen, |&(demand, n_on)| {
+        let share = bank
+            .per_regulator_current(Amps::new(demand), n_on)
+            .map_err(err_str)?;
+        let eta = bank.efficiency(Amps::new(demand), n_on).map_err(err_str)?;
+        let expected = reference.eval(share);
+        check::ensure((eta - expected).abs() <= 1e-9 * expected.max(1e-3), || {
+            format!(
+                "η({} A) = {eta}, reference shape says {expected}",
+                share.get()
+            )
+        })
+    })
+}
+
+/// [`curve_consistency_outcome`] for the stock FIVR design.
+pub fn oracle_curve_consistency(opts: &VerifyOptions) -> CheckReport {
+    let bank = RegulatorBank::new(RegulatorDesign::fivr(), 9);
+    let reference = EfficiencyCurve::scaled_reference(
+        bank.design().peak_efficiency(),
+        bank.design().peak_current(),
+    )
+    .expect("reference shape is valid");
+    let outcome = curve_consistency_outcome(&bank, &reference, &checker(opts, opts.cases));
+    to_report("vreg.curve_consistency", opts.cases, outcome, opts)
+}
+
+/// Gating policies activate exactly `n_on` regulators per domain
+/// (clamped to the domain's VR count) absent emergencies.
+pub fn oracle_policy_active_set(opts: &VerifyOptions) -> CheckReport {
+    let chip = power8_like();
+    let n_vrs = chip.vr_sites().len();
+    let gen = (
+        check::vec_of(check::f64_in(20.0, 120.0), n_vrs, n_vrs),
+        check::usize_in(1, 9),
+        check::usize_in(1, 3),
+    );
+    let outcome =
+        checker(opts, opts.cases).run("policy.active_set", &gen, |(temps, n_on_core, n_on_l3)| {
+            let n_on: Vec<usize> = chip
+                .domains()
+                .iter()
+                .map(|d| {
+                    if d.vr_count() == 9 {
+                        *n_on_core
+                    } else {
+                        *n_on_l3
+                    }
+                })
+                .collect();
+            let noise = vec![0.0; n_vrs];
+            let emergency = vec![false; chip.domains().len()];
+            let inputs = PolicyInputs {
+                chip: &chip,
+                n_on: &n_on,
+                vr_temp_rank: temps,
+                vr_noise_score: &noise,
+                emergency: &emergency,
+            };
+            for kind in [
+                PolicyKind::Naive,
+                PolicyKind::OracT,
+                PolicyKind::OracV,
+                PolicyKind::PracT,
+            ] {
+                let state = select_gating(kind, &inputs).map_err(err_str)?;
+                let mut sum = 0;
+                for domain in chip.domains() {
+                    let want = n_on[domain.id().0].min(domain.vr_count());
+                    let got = state.active_among(domain.vrs());
+                    check::ensure(got == want, || {
+                        format!(
+                            "{kind:?}: domain D{} has {got} active, wanted {want}",
+                            domain.id().0
+                        )
+                    })?;
+                    sum += got;
+                }
+                check::ensure(state.active_count() == sum, || {
+                    format!(
+                        "{kind:?}: {} regulators on chip-wide, but domains account for {sum}",
+                        state.active_count()
+                    )
+                })?;
+            }
+            Ok(())
+        });
+    to_report("policy.active_set", opts.cases, outcome, opts)
+}
+
+/// The VT policies force per-domain all-on exactly on flagged domains;
+/// non-reactive policies ignore the flags.
+pub fn oracle_policy_emergency(opts: &VerifyOptions) -> CheckReport {
+    let chip = power8_like();
+    let n_vrs = chip.vr_sites().len();
+    let n_domains = chip.domains().len();
+    let gen = (
+        check::vec_of(check::f64_in(20.0, 120.0), n_vrs, n_vrs),
+        check::vec_of(check::bool_any(), n_domains, n_domains),
+        check::usize_in(1, 9),
+    );
+    let outcome = checker(opts, opts.cases).run(
+        "policy.emergency_all_on",
+        &gen,
+        |(temps, flags, n_on_core)| {
+            let n_on: Vec<usize> = chip
+                .domains()
+                .iter()
+                .map(|d| (*n_on_core).min(d.vr_count()))
+                .collect();
+            let noise = vec![0.0; n_vrs];
+            let inputs = PolicyInputs {
+                chip: &chip,
+                n_on: &n_on,
+                vr_temp_rank: temps,
+                vr_noise_score: &noise,
+                emergency: flags,
+            };
+            for kind in [PolicyKind::OracVT, PolicyKind::PracVT] {
+                let state = select_gating(kind, &inputs).map_err(err_str)?;
+                for domain in chip.domains() {
+                    let d = domain.id().0;
+                    let got = state.active_among(domain.vrs());
+                    let want = if flags[d] {
+                        domain.vr_count()
+                    } else {
+                        n_on[d].min(domain.vr_count())
+                    };
+                    check::ensure(got == want, || {
+                        format!(
+                            "{kind:?}: domain D{d} (emergency={}) has {got} active, wanted {want}",
+                            flags[d]
+                        )
+                    })?;
+                }
+            }
+            // A non-reactive policy must ignore the flags entirely.
+            let state = select_gating(PolicyKind::OracT, &inputs).map_err(err_str)?;
+            for domain in chip.domains() {
+                let d = domain.id().0;
+                let got = state.active_among(domain.vrs());
+                let want = n_on[d].min(domain.vr_count());
+                check::ensure(got == want, || {
+                    format!("OracT reacted to an emergency flag on domain D{d}")
+                })?;
+            }
+            Ok(())
+        },
+    );
+    to_report("policy.emergency_all_on", opts.cases, outcome, opts)
+}
+
+/// Steady-state energy balance: convective outflow equals total injected
+/// power, and the temperature field solves the conductance system.
+pub fn oracle_thermal_energy_balance(opts: &VerifyOptions) -> CheckReport {
+    let cases = if opts.fast { 2 } else { 4 };
+    let chip = power8_like();
+    let model = ThermalModel::new(
+        &chip,
+        ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::coarse()
+        },
+    );
+    let n_blocks = chip.blocks().len();
+    let gen = check::vec_of(check::f64_in(0.0, 8.0), n_blocks, n_blocks);
+    let outcome = checker(opts, cases).run("thermal.energy_balance", &gen, |powers| {
+        let mut pm = PowerMap::new(&model);
+        for (block, &p) in chip.blocks().iter().zip(powers) {
+            pm.add_block(block.id(), Watts::new(p)).map_err(err_str)?;
+        }
+        let state = model.steady_state(&pm).map_err(err_str)?;
+        let outflow = model.heat_outflow(&state).get();
+        let total = pm.total().get();
+        check::ensure((outflow - total).abs() <= 1e-5 * total.max(1e-3), || {
+            format!("heat out {outflow} W vs heat in {total} W")
+        })?;
+        let residual = model.balance_residual(&pm, &state);
+        check::ensure(residual <= 1e-6, || {
+            format!("steady-state balance residual {residual:e} above 1e-6")
+        })
+    });
+    to_report("thermal.energy_balance", cases, outcome, opts)
+}
+
+/// Every PDN domain solve satisfies KCL to solver tolerance.
+pub fn oracle_pdn_kcl(opts: &VerifyOptions) -> CheckReport {
+    use pdn::{PdnConfig, PdnModel};
+    let cases = if opts.fast { 2 } else { 4 };
+    let chip = power8_like();
+    let model = PdnModel::new(&chip, PdnConfig::reference());
+    let gating = GatingState::all_on(chip.vr_sites().len());
+    let n_blocks = chip.blocks().len();
+    let gen = check::vec_of(check::f64_in(0.0, 4.0), n_blocks, n_blocks);
+    let outcome = checker(opts, cases).run("pdn.kcl", &gen, |powers| {
+        let watts: Vec<Watts> = powers.iter().map(|&p| Watts::new(p)).collect();
+        let residual = model.kcl_residual(&gating, &watts).map_err(err_str)?;
+        check::ensure(residual <= 1e-6, || {
+            format!("KCL residual {residual:e} above 1e-6")
+        })
+    });
+    to_report("pdn.kcl", cases, outcome, opts)
+}
+
+/// The PDN is linear: scaling every load scales every domain's worst
+/// drop by the same factor.
+pub fn oracle_pdn_linearity(opts: &VerifyOptions) -> CheckReport {
+    use pdn::{PdnConfig, PdnModel};
+    let cases = if opts.fast { 2 } else { 3 };
+    let chip = power8_like();
+    let model = PdnModel::new(&chip, PdnConfig::reference());
+    let gating = GatingState::all_on(chip.vr_sites().len());
+    let n_blocks = chip.blocks().len();
+    let gen = (
+        check::vec_of(check::f64_in(0.0, 4.0), n_blocks, n_blocks),
+        check::f64_in(0.25, 4.0),
+    );
+    let outcome = checker(opts, cases).run("pdn.linearity", &gen, |(powers, scale)| {
+        let to_watts = |v: &[f64]| v.iter().map(|&p| Watts::new(p)).collect::<Vec<_>>();
+        let scaled: Vec<f64> = powers.iter().map(|&p| p * scale).collect();
+        let base = model.ir_drop(&gating, &to_watts(powers)).map_err(err_str)?;
+        let big = model
+            .ir_drop(&gating, &to_watts(&scaled))
+            .map_err(err_str)?;
+        for d in 0..chip.domains().len() {
+            let id = floorplan::DomainId(d);
+            let lhs = big.domain_volts(id);
+            let rhs = base.domain_volts(id) * scale;
+            check::ensure((lhs - rhs).abs() < 1e-6 * scale.max(1.0), || {
+                format!("homogeneity broke on domain D{d}: {lhs} vs {rhs}")
+            })?;
+        }
+        Ok(())
+    });
+    to_report("pdn.linearity", cases, outcome, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Differential checks
+// ---------------------------------------------------------------------------
+
+/// CG and Gauss–Seidel agree on the same SPD grid system.
+pub fn diff_cg_vs_gs(opts: &VerifyOptions) -> CheckReport {
+    let cases = if opts.fast { 2 } else { 4 };
+    let n = 16usize; // 16×16 grid Laplacian, 256 unknowns
+    let nn = n * n;
+    let gen = (
+        check::vec_of(check::f64_in(0.1, 2.0), nn, nn),
+        check::vec_of(check::f64_in(0.0, 1.0), nn, nn),
+    );
+    let outcome = checker(opts, cases).run("diff.cg_vs_gs", &gen, |(loading, b)| {
+        let mut builder = TripletBuilder::new(nn, nn);
+        for j in 0..n {
+            for i in 0..n {
+                let cell = j * n + i;
+                let mut degree = 0.0;
+                for (di, dj) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                    let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                    if (0..n as i64).contains(&ni) && (0..n as i64).contains(&nj) {
+                        builder.add(cell, (nj * n as i64 + ni) as usize, -1.0);
+                        degree += 1.0;
+                    }
+                }
+                // Positive diagonal loading keeps the system SPD.
+                builder.add(cell, cell, degree + loading[cell]);
+            }
+        }
+        let a = builder.build();
+        let x_cg = a.solve_cg(b, None, 1e-11, 20 * nn).map_err(err_str)?;
+        let mut x_gs = vec![0.0; nn];
+        a.solve_gauss_seidel(b, &mut x_gs, 1.0, 1e-12, 50_000)
+            .map_err(err_str)?;
+        let diff = vec_ops::max_abs_diff(&x_cg, &x_gs);
+        let scale = x_cg.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        check::ensure(diff <= 1e-6 * scale, || {
+            format!("CG and Gauss–Seidel solutions differ by {diff:e}")
+        })?;
+        for (tag, x) in [("cg", &x_cg), ("gs", &x_gs)] {
+            let r = a.relative_residual(b, x);
+            check::ensure(r <= 1e-7, || format!("{tag} residual {r:e} above 1e-7"))?;
+        }
+        Ok(())
+    });
+    to_report("diff.cg_vs_gs", cases, outcome, opts)
+}
+
+/// The benchmark × policy cells of the sweep differential / golden runs.
+pub fn verify_grid() -> ([Benchmark; 2], [PolicyKind; 2]) {
+    (
+        [Benchmark::LuNcb, Benchmark::Fft],
+        [PolicyKind::OracT, PolicyKind::AllOn],
+    )
+}
+
+/// Serial vs parallel sweep equality. Both legs recompute from scratch
+/// (the on-disk cell cache is cleared first), so this checks the
+/// work-stealing executor, not the cache. Returns the serial records for
+/// reuse by [`golden_check`].
+pub fn diff_sweep_parallel(opts: &VerifyOptions) -> (CheckReport, Vec<SweepRecord>) {
+    let (benches, policies) = verify_grid();
+    let serial_opts = ExpOptions::tiny().with_threads(1).with_quiet();
+    let parallel_opts = ExpOptions::tiny()
+        .with_threads(opts.threads.max(2))
+        .with_quiet();
+    let _ = std::fs::remove_dir_all(sweep::cache_dir(&serial_opts));
+    let serial = sweep::grid(&serial_opts, &benches, &policies);
+    let _ = std::fs::remove_dir_all(sweep::cache_dir(&parallel_opts));
+    let parallel = sweep::grid(&parallel_opts, &benches, &policies);
+    let failure = if serial == parallel {
+        None
+    } else {
+        let detail = serial
+            .iter()
+            .zip(&parallel)
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first mismatch:\n  serial   {a:?}\n  parallel {b:?}"))
+            .unwrap_or_else(|| {
+                format!(
+                    "record counts differ: {} serial vs {} parallel",
+                    serial.len(),
+                    parallel.len()
+                )
+            });
+        Some(detail)
+    };
+    (
+        CheckReport {
+            name: "diff.sweep_serial_vs_parallel".to_string(),
+            cases: serial.len(),
+            corpus_cases: 0,
+            failure,
+            note: None,
+        },
+        serial,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Golden-run comparison
+// ---------------------------------------------------------------------------
+
+/// Names of the numeric fields of a golden row, in file order.
+pub const GOLDEN_FIELDS: [&str; 8] = [
+    "tmax_c",
+    "gradient_c",
+    "mean_efficiency",
+    "mean_loss_w",
+    "max_noise_pct",
+    "emergency_fraction",
+    "mean_active",
+    "r_squared",
+];
+
+/// One row of the golden fixture: a sweep cell's identity plus its
+/// numeric metrics (`None` = not applicable, stored as `-`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenRow {
+    /// Benchmark label (`lu_ncb`, …).
+    pub benchmark: String,
+    /// Policy tag (`oract`, …).
+    pub policy: String,
+    /// The eight metrics, ordered as [`GOLDEN_FIELDS`].
+    pub values: [Option<f64>; 8],
+}
+
+impl GoldenRow {
+    /// Builds a row from a sweep record.
+    pub fn from_record(r: &SweepRecord) -> Self {
+        GoldenRow {
+            benchmark: r.benchmark.label().to_string(),
+            policy: sweep::policy_tag(r.policy).to_string(),
+            values: [
+                Some(r.tmax_c),
+                Some(r.gradient_c),
+                Some(r.mean_efficiency),
+                Some(r.mean_loss_w),
+                r.max_noise_pct,
+                r.emergency_fraction,
+                Some(r.mean_active),
+                r.r_squared,
+            ],
+        }
+    }
+
+    /// Serialises the row as one CSV line (lossless `{:e}` floats, `-`
+    /// for not-applicable).
+    pub fn to_line(&self) -> String {
+        let mut parts = vec![self.benchmark.clone(), self.policy.clone()];
+        for v in &self.values {
+            parts.push(match v {
+                Some(x) => format!("{x:e}"),
+                None => "-".to_string(),
+            });
+        }
+        parts.join(",")
+    }
+
+    /// Parses one CSV line; `None` on malformed input.
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 10 {
+            return None;
+        }
+        let mut values = [None; 8];
+        for (slot, text) in values.iter_mut().zip(&parts[2..]) {
+            *slot = match *text {
+                "-" => None,
+                s => Some(s.parse::<f64>().ok()?),
+            };
+        }
+        Some(GoldenRow {
+            benchmark: parts[0].to_string(),
+            policy: parts[1].to_string(),
+            values,
+        })
+    }
+}
+
+/// Parses a golden fixture body (`#` comments and blank lines skipped).
+pub fn parse_golden(text: &str) -> Option<Vec<GoldenRow>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(GoldenRow::parse_line)
+        .collect()
+}
+
+/// Serialises golden rows with a header comment.
+pub fn render_golden(rows: &[GoldenRow]) -> String {
+    let mut out = String::from(
+        "# tg-verify golden fixture: tiny-sweep records (regenerate with `tg-verify --bless`)\n# benchmark,policy,tmax_c,gradient_c,mean_efficiency,mean_loss_w,max_noise_pct,emergency_fraction,mean_active,r_squared\n",
+    );
+    for row in rows {
+        out.push_str(&row.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares actual rows against expected, field-by-field, at relative
+/// tolerance `rel_tol`.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch (row, cell identity, and
+/// field name).
+pub fn compare_golden(
+    actual: &[GoldenRow],
+    expected: &[GoldenRow],
+    rel_tol: f64,
+) -> Result<(), String> {
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "row counts differ: {} actual vs {} expected",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        if a.benchmark != e.benchmark || a.policy != e.policy {
+            return Err(format!(
+                "row {i}: cell identity {}/{} vs expected {}/{}",
+                a.benchmark, a.policy, e.benchmark, e.policy
+            ));
+        }
+        for (field, (av, ev)) in GOLDEN_FIELDS.iter().zip(a.values.iter().zip(&e.values)) {
+            match (av, ev) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    let tol = rel_tol * x.abs().max(y.abs()).max(1.0);
+                    if (x - y).abs() > tol {
+                        return Err(format!(
+                            "row {i} ({}/{}): field {field}: got {x:e}, golden {y:e} (tol {tol:e})",
+                            a.benchmark, a.policy
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "row {i} ({}/{}): field {field}: applicability differs ({av:?} vs {ev:?})",
+                        a.benchmark, a.policy
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Golden comparison of freshly computed records against the committed
+/// fixture — or, with `opts.bless`, regeneration of the fixture.
+pub fn golden_check(records: &[SweepRecord], opts: &VerifyOptions) -> CheckReport {
+    let rows: Vec<GoldenRow> = records.iter().map(GoldenRow::from_record).collect();
+    let mut report = CheckReport {
+        name: "diff.golden".to_string(),
+        cases: rows.len(),
+        corpus_cases: 0,
+        failure: None,
+        note: None,
+    };
+    if opts.bless {
+        if let Some(parent) = opts.golden.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&opts.golden, render_golden(&rows)) {
+            Ok(()) => report.note = Some(format!("blessed {} rows", rows.len())),
+            Err(e) => report.failure = Some(format!("could not write golden fixture: {e}")),
+        }
+        return report;
+    }
+    let text = match std::fs::read_to_string(&opts.golden) {
+        Ok(t) => t,
+        Err(e) => {
+            report.failure = Some(format!(
+                "golden fixture {} unreadable ({e}); run `tg-verify --bless` to create it",
+                opts.golden.display()
+            ));
+            return report;
+        }
+    };
+    let Some(expected) = parse_golden(&text) else {
+        report.failure = Some(format!(
+            "golden fixture {} is malformed",
+            opts.golden.display()
+        ));
+        return report;
+    };
+    if let Err(detail) = compare_golden(&rows, &expected, 1e-6) {
+        report.failure = Some(detail);
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------------
+
+/// Runs every oracle and differential, in a fixed deterministic order.
+pub fn run_all(opts: &VerifyOptions) -> VerifyRun {
+    let mut reports = vec![
+        oracle_required_active(opts),
+        oracle_loss_eqn1(opts),
+        oracle_eta_peak(opts),
+        oracle_curve_consistency(opts),
+        oracle_policy_active_set(opts),
+        oracle_policy_emergency(opts),
+        oracle_thermal_energy_balance(opts),
+        oracle_pdn_kcl(opts),
+        oracle_pdn_linearity(opts),
+        diff_cg_vs_gs(opts),
+    ];
+    if !opts.skip_sweep {
+        let (sweep_report, records) = diff_sweep_parallel(opts);
+        reports.push(sweep_report);
+        reports.push(golden_check(&records, opts));
+    }
+    VerifyRun { reports }
+}

@@ -2,7 +2,7 @@
 
 use crate::config::PdnConfig;
 use floorplan::{DomainId, Floorplan, VrId};
-use simkit::linalg::{CgWorkspace, CsrMatrix, JacobiPreconditioner, TripletBuilder};
+use simkit::linalg::{CgWorkspace, CsrMatrix, JacobiPreconditioner, SolveStats, TripletBuilder};
 use simkit::perf::SolverAgg;
 use simkit::units::Watts;
 use simkit::{Error, Result};
@@ -296,6 +296,54 @@ impl PdnModel {
     ///   regulator (its blocks would be unpowered);
     /// * solver failures are propagated.
     pub fn ir_drop(&self, gating: &GatingState, block_powers: &[Watts]) -> Result<IrReport> {
+        let mut per_domain = vec![0.0; self.grids.len()];
+        let mut solve = SolverAgg::default();
+        let total_current =
+            self.solve_domains(gating, block_powers, |d, _matrix, _i_load, volts, stats| {
+                solve.record(stats);
+                per_domain[d] = volts.iter().copied().fold(0.0f64, f64::max);
+            })?;
+        Ok(IrReport {
+            per_domain_volts: per_domain,
+            global_volts: total_current * self.config.r_global_ohm,
+            vdd: self.config.vdd.get(),
+            solve,
+        })
+    }
+
+    /// Worst Kirchhoff-current-law relative residual `‖i − G·v‖/‖i‖`
+    /// across the domains, from a fresh per-domain solve with the given
+    /// gating and loads. Domains with zero injected load are skipped
+    /// (their residual is 0/0). A healthy solve keeps this at the CG
+    /// tolerance (≤ 1e-9); `tg-verify` uses it as the PDN physics oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PdnModel::ir_drop`].
+    pub fn kcl_residual(&self, gating: &GatingState, block_powers: &[Watts]) -> Result<f64> {
+        let mut worst = 0.0f64;
+        self.solve_domains(gating, block_powers, |_d, matrix, i_load, volts, _stats| {
+            if i_load.iter().any(|&v| v != 0.0) {
+                worst = worst.max(matrix.relative_residual(i_load, volts));
+            }
+        })?;
+        Ok(worst)
+    }
+
+    /// Shared per-domain setup + solve behind [`PdnModel::ir_drop`] and
+    /// [`PdnModel::kcl_residual`]: distributes the block loads, patches
+    /// the active regulators into each domain's cached matrix, solves,
+    /// and hands `visit` the solved system. Returns the total chip
+    /// current (for the global-grid drop).
+    fn solve_domains<F>(
+        &self,
+        gating: &GatingState,
+        block_powers: &[Watts],
+        mut visit: F,
+    ) -> Result<f64>
+    where
+        F: FnMut(usize, &CsrMatrix, &[f64], &[f64], SolveStats),
+    {
         if block_powers.len() != self.n_blocks {
             return Err(Error::DimensionMismatch {
                 expected: self.n_blocks,
@@ -315,9 +363,7 @@ impl PdnModel {
             .scratch
             .lock()
             .expect("pdn scratch lock is never poisoned");
-        let mut per_domain = Vec::with_capacity(self.grids.len());
         let mut total_current = 0.0;
-        let mut solve = SolverAgg::default();
         for (d, (grid, scratch)) in self.grids.iter().zip(scratches.iter_mut()).enumerate() {
             let n = grid.nx * grid.ny;
             let DomainScratch {
@@ -354,15 +400,10 @@ impl PdnModel {
             }
             pre.update(matrix)?;
             volts.iter_mut().for_each(|v| *v = 0.0);
-            solve.record(matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?);
-            per_domain.push(volts.iter().copied().fold(0.0f64, f64::max));
+            let stats = matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+            visit(d, matrix, i_load, volts, stats);
         }
-        Ok(IrReport {
-            per_domain_volts: per_domain,
-            global_volts: total_current * self.config.r_global_ohm,
-            vdd,
-            solve,
-        })
+        Ok(total_current)
     }
 
     /// Proximity of each regulator of `domain` to the domain's current

@@ -16,6 +16,9 @@
 //!   network and the power-delivery-network models require;
 //! * [`interp`] — piecewise-linear interpolation used for regulator
 //!   efficiency curves;
+//! * [`check`] — hand-rolled property-based testing (composable
+//!   generators, automatic shrinking, and a persisted `.case` regression
+//!   corpus) backing the repo's physics-invariant oracles;
 //! * [`perf`] — wall-clock timers and per-phase accumulators so the
 //!   engine can attribute its runtime to solver phases;
 //! * [`stats`] — summary statistics, the coefficient of determination
@@ -47,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod error;
 pub mod geometry;
 pub mod interp;

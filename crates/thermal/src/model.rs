@@ -9,7 +9,7 @@ use simkit::linalg::{
 };
 use simkit::perf::SolverAgg;
 use simkit::telemetry::Telemetry;
-use simkit::units::{Celsius, Seconds};
+use simkit::units::{Celsius, Seconds, Watts};
 use simkit::{Error, Result};
 
 /// The assembled compact thermal model of one chip.
@@ -256,6 +256,32 @@ impl ThermalModel {
         debug_assert_eq!(b.len(), self.n_nodes);
         b.copy_from_slice(power.values());
         b[self.n_nodes - 1] += self.g_convection * self.ambient().get();
+    }
+
+    /// Convective heat flowing out of the package in a given state:
+    /// `g_conv · (T_sink − T_ambient)`.
+    ///
+    /// At steady state the first law demands this equals the total
+    /// injected power ([`PowerMap::total`]) — the energy-balance
+    /// invariant `tg-verify` machine-checks; during a transient the
+    /// difference is the heat still charging the RC network.
+    pub fn heat_outflow(&self, state: &ThermalState) -> Watts {
+        Watts::new(self.g_convection * (state.sink_temperature().get() - self.ambient().get()))
+    }
+
+    /// Relative residual `‖b(P) − G·T‖ / ‖b(P)‖` of a candidate
+    /// steady-state temperature field against this model's conductance
+    /// system — zero (up to solver tolerance) exactly when `state` solves
+    /// the steady-state balance for `power`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `state` was built for another model.
+    pub fn balance_residual(&self, power: &PowerMap, state: &ThermalState) -> f64 {
+        debug_assert_eq!(state.raw().len(), self.n_nodes);
+        let mut b = vec![0.0; self.n_nodes];
+        self.rhs_into(power, &mut b);
+        self.conductance.relative_residual(&b, state.raw())
     }
 
     /// Steady-state temperatures under a fixed power map.
