@@ -50,4 +50,28 @@ cargo run --release -q -p experiments --bin tg-verify -- \
     --fast --seed=0xC1 --threads=2 --report=target/ci/verify_b.txt
 cmp target/ci/verify_a.txt target/ci/verify_b.txt
 
+echo "== tg-verify: pinned solver backends (direct and cg must both pass) =="
+# The default leg above runs under Auto; these two pin the direct LDLT
+# path and the CG path end-to-end, so every oracle (including the
+# serial-vs-parallel sweep with per-engine factor caches) is exercised
+# against both solver families.
+SIMKIT_SOLVER=direct cargo run --release -q -p experiments --bin tg-verify -- \
+    --fast --seed=0xC1 --threads=2 --report=target/ci/verify_direct.txt
+SIMKIT_SOLVER=cg cargo run --release -q -p experiments --bin tg-verify -- \
+    --fast --seed=0xC1 --threads=2 --report=target/ci/verify_cg.txt
+
+echo "== cross-backend run diff: cg vs direct must agree on the physics =="
+# Same trace, same policy, opposite solver families: the solver-agnostic
+# diff gates on identical event structure, gating decisions, emergency
+# behaviour, and per-system solve counts, with simulation metrics within
+# 1e-6 relative (measured agreement is ~6e-9 — see BENCH.md).
+mkdir -p "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/direct"
+for backend in cg direct; do
+    SIMKIT_SOLVER=$backend cargo run --release -q -p experiments --bin simulate -- \
+        --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
+        --quiet --telemetry="$TELEMETRY_DIR/$backend"
+done
+cargo run --release -q -p experiments --bin tg-obs -- diff --solver-agnostic \
+    "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/direct"
+
 echo "CI OK"

@@ -1,12 +1,14 @@
 //! Micro-benchmarks of the numerical kernels every experiment leans on:
-//! the thermal steady-state CG solve, the backward-Euler transient step,
-//! the PDN IR-drop solve, the transient-noise convolution, and workload
-//! trace generation.
+//! the thermal steady-state CG solve, the backward-Euler transient step
+//! per solver backend, the sparse LDLᵀ factor/refactor/solve kernels,
+//! the PDN IR-drop solve per backend, the transient-noise convolution,
+//! and workload trace generation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use floorplan::reference::power8_like;
 use pdn::transient::{peak_transient_fraction, TransientParams};
 use pdn::{PdnConfig, PdnModel};
+use simkit::linalg::{LdltFactor, LdltWorkspace, SolverBackend};
 use simkit::units::{Amps, Hertz, Seconds, Watts};
 use simkit::DeterministicRng;
 use std::hint::black_box;
@@ -31,6 +33,55 @@ fn thermal_solvers(c: &mut Criterion) {
     c.bench_function("thermal/transient_step_32x32", |b| {
         b.iter(|| stepper.step(black_box(&mut state), &pm).unwrap())
     });
+
+    // The same step under each pinned backend: BENCH.md's honest
+    // direct-vs-iterative transient comparison comes from these rows.
+    for backend in [
+        SolverBackend::Direct,
+        SolverBackend::GaussSeidel,
+        SolverBackend::Cg,
+    ] {
+        let config = ThermalConfig {
+            solver: backend,
+            ..ThermalConfig::coarse()
+        };
+        let model = ThermalModel::new(&chip, config);
+        let mut pm = PowerMap::new(&model);
+        for block in chip.blocks() {
+            pm.add_block(block.id(), Watts::new(2.0)).unwrap();
+        }
+        let mut stepper = model.stepper(Seconds::from_micros(20.0));
+        let mut state = model.steady_state(&pm).unwrap();
+        let name = format!("thermal/transient_step_32x32_{}", backend.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| stepper.step(black_box(&mut state), &pm).unwrap())
+        });
+    }
+}
+
+fn direct_factorization(c: &mut Criterion) {
+    // The LDLᵀ kernels on the real 32×32 conductance matrix (n = 2049):
+    // full factor (ordering + symbolic + numeric), values-only refactor,
+    // and the allocation-free triangular solve.
+    let chip = power8_like();
+    let model = ThermalModel::new(&chip, ThermalConfig::coarse());
+    let a = model.conductance_matrix();
+    c.bench_function("direct/factor_thermal_32x32", |b| {
+        b.iter(|| LdltFactor::new(black_box(a)).unwrap())
+    });
+
+    let mut factor = LdltFactor::new(a).unwrap();
+    c.bench_function("direct/refactor_thermal_32x32", |b| {
+        b.iter(|| factor.refactor(black_box(a)).unwrap())
+    });
+
+    let n = a.rows();
+    let rhs: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+    let mut x = vec![0.0; n];
+    let mut ws = LdltWorkspace::new();
+    c.bench_function("direct/trisolve_thermal_32x32", |b| {
+        b.iter(|| factor.solve_into(black_box(&rhs), &mut x, &mut ws).unwrap())
+    });
 }
 
 fn pdn_solvers(c: &mut Criterion) {
@@ -41,6 +92,20 @@ fn pdn_solvers(c: &mut Criterion) {
     c.bench_function("pdn/ir_drop_16_domains", |b| {
         b.iter(|| model.ir_drop(black_box(&all_on), &powers).unwrap())
     });
+
+    // Per-backend IR solve: the cached-factor direct path vs cold CG
+    // (the ungated domain systems need ~2k CG iterations per solve).
+    for backend in [SolverBackend::Direct, SolverBackend::Cg] {
+        let config = PdnConfig {
+            solver: backend,
+            ..PdnConfig::reference()
+        };
+        let model = PdnModel::new(&chip, config);
+        let name = format!("pdn/ir_drop_16_domains_{}", backend.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| model.ir_drop(black_box(&all_on), &powers).unwrap())
+        });
+    }
 
     let mut rng = DeterministicRng::new(7);
     let window = generate_window(&mut rng, 2000, 0.6, 0.7);
@@ -72,5 +137,11 @@ fn workload_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, thermal_solvers, pdn_solvers, workload_generation);
+criterion_group!(
+    benches,
+    thermal_solvers,
+    direct_factorization,
+    pdn_solvers,
+    workload_generation
+);
 criterion_main!(benches);

@@ -38,6 +38,7 @@ use pdn::{
     EmergencyDetector, EmergencyPredictor, NoiseAnalyzer, PdnConfig, PdnModel, WindowInputs,
 };
 use power::{PowerModel, TechnologyParams};
+use simkit::linalg::SolverBackend;
 use simkit::perf::{PhaseTimes, SolverProfile, Timer};
 use simkit::series::{TimeSeries, TraceMatrix};
 use simkit::telemetry::{EventKind, Telemetry};
@@ -73,6 +74,11 @@ pub struct EngineConfig {
     /// Number of noise windows sampled evenly over the run (the paper
     /// uses 200 per application).
     pub noise_window_count: usize,
+    /// Linear-solver family for the thermal and PDN systems. Engine
+    /// construction copies this into the thermal and PDN configurations
+    /// it instantiates, so one knob steers the whole stack; the
+    /// `SIMKIT_SOLVER` environment variable overrides the default.
+    pub solver: SolverBackend,
     /// Decision intervals simulated by the θ-calibration profiling pass.
     pub profiling_decisions: usize,
     /// Master seed for every stochastic element.
@@ -94,6 +100,7 @@ impl EngineConfig {
             tech: TechnologyParams::table1(),
             predictor_accuracy: 0.9,
             noise_window_count: 200,
+            solver: SolverBackend::env_default(),
             profiling_decisions: 10,
             seed: 0x7468_6572_6D6F,
         }
@@ -175,8 +182,15 @@ impl<'c> SimulationEngine<'c> {
         );
 
         let power = PowerModel::calibrated(chip, config.tech.clone());
-        let thermal = ThermalModel::new(chip, config.thermal.clone());
-        let pdn = PdnModel::new(chip, config.pdn.clone());
+        // The engine-level solver choice wins over whatever the thermal /
+        // PDN sub-configurations carry, so `EngineConfig::solver` (and
+        // `SIMKIT_SOLVER`) steers every linear solve of the run.
+        let mut thermal_config = config.thermal.clone();
+        thermal_config.solver = config.solver;
+        let thermal = ThermalModel::new(chip, thermal_config);
+        let mut pdn_config = config.pdn.clone();
+        pdn_config.solver = config.solver;
+        let pdn = PdnModel::new(chip, pdn_config);
         let banks = chip
             .domains()
             .iter()
@@ -1381,7 +1395,7 @@ mod tests {
                 agg.max_residual
             );
         }
-        // Transient Gauss-Seidel runs once per thermal step.
+        // Transient stepping solves once per thermal step.
         assert_eq!(
             r.solver_profile().get("transient").unwrap().solves as usize,
             r.total_power().len()
@@ -1407,8 +1421,54 @@ mod tests {
         for span in ["engine.trace", "engine.steady", "engine.run"] {
             assert!(names.iter().any(|n| n == span), "missing span {span}");
         }
-        assert!(names.iter().any(|n| n == "thermal.gs"));
-        assert!(names.iter().any(|n| n == "pdn.ir_cg"));
+        // Solve events carry the backend the engine resolved to: Auto
+        // pins warm CG for transient stepping and direct for the PDN IR
+        // solves (the measured break-even split — DESIGN.md §11).
+        let (transient_event, ir_event) = match engine.config().solver {
+            SolverBackend::GaussSeidel => ("thermal.gs", "pdn.ir_cg"),
+            SolverBackend::Cg => ("thermal.transient_cg", "pdn.ir_cg"),
+            SolverBackend::Auto => ("thermal.transient_cg", "pdn.ir_direct"),
+            SolverBackend::Direct => ("thermal.transient_direct", "pdn.ir_direct"),
+        };
+        assert!(
+            names.iter().any(|n| n == transient_event),
+            "missing {transient_event}"
+        );
+        assert!(names.iter().any(|n| n == ir_event), "missing {ir_event}");
+    }
+
+    #[test]
+    fn solver_backends_agree_over_a_full_run() {
+        // The direct LDLᵀ path must reproduce the iterative baselines at
+        // simulation-metric precision over an entire traced run: same
+        // gating decisions, and temperatures / noise within far less than
+        // any physically meaningful margin.
+        let chip = power8_like();
+        let trace = TraceGenerator::new(&chip).generate(Benchmark::LuNcb, tiny_config().duration);
+        let run_with = |solver: SolverBackend| {
+            let engine = SimulationEngine::new(
+                &chip,
+                EngineConfig {
+                    solver,
+                    ..tiny_config()
+                },
+            );
+            engine.run_trace(&trace, PolicyKind::OracVT).unwrap()
+        };
+        let direct = run_with(SolverBackend::Direct);
+        let gs = run_with(SolverBackend::GaussSeidel);
+        let cg = run_with(SolverBackend::Cg);
+        for (name, other) in [("gs", &gs), ("cg", &cg)] {
+            let dt = (direct.max_temperature().get() - other.max_temperature().get()).abs();
+            assert!(dt < 1e-2, "direct vs {name} T_max gap {dt} °C");
+            let dn =
+                (direct.max_noise_percent().unwrap() - other.max_noise_percent().unwrap()).abs();
+            assert!(dn < 1e-2, "direct vs {name} noise gap {dn} %");
+            assert_eq!(direct.decisions().len(), other.decisions().len());
+            for (da, db) in direct.decisions().iter().zip(other.decisions()) {
+                assert_eq!(da.gating, db.gating, "gating diverged vs {name}");
+            }
+        }
     }
 
     #[test]

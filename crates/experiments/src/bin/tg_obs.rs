@@ -9,7 +9,7 @@
 //! ```text
 //! tg-obs summarize <run-dir>                  # human-readable report
 //! tg-obs export <run-dir> [--out <csv>]       # CSV time series
-//! tg-obs diff <a> <b> [--all] [--tol m=rel]   # run dirs OR snapshots
+//! tg-obs diff <a> <b> [--all] [--tol m=rel] [--solver-agnostic]
 //! tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies t,t]
 //! ```
 //!
@@ -40,10 +40,13 @@ USAGE:
         gauges, histograms, solver iterations/residuals, gating
         activity, span durations.
 
-    tg-obs diff <a> <b> [--all] [--tol <metric>=<rel>]...
+    tg-obs diff <a> <b> [--all] [--tol <metric>=<rel>]... [--solver-agnostic]
         Compare two run directories or two BENCH_*.json snapshots.
         Exits 1 when a gated metric regresses beyond tolerance.
         --all prints every compared metric, not just notable ones.
+        --solver-agnostic compares runs made with different solver
+        backends: solver sites match by backend-stripped name and gate
+        on solve counts only, simulation metrics gate at 1e-6 relative.
 
     tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies <t,t>]
         Run the pinned fast-config workload per policy and write
@@ -226,6 +229,7 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--all" => all = true,
+            "--solver-agnostic" => config = config.solver_agnostic(true),
             "--tol" => {
                 let spec = iter
                     .next()

@@ -11,8 +11,10 @@
 //!    emergency overlay, steady-state thermal energy balance
 //!    (heat in ≈ heat out), PDN KCL residual bounds, and PDN linearity.
 //! 2. **Differential checks** — CG vs Gauss–Seidel agreement on the same
-//!    SPD system, and serial vs parallel sweep bit-equality (the cache is
-//!    cleared between legs so both actually recompute).
+//!    SPD system, direct LDLᵀ vs CG agreement on random SPD grids and on
+//!    the real thermal / PDN matrices, and serial vs parallel sweep
+//!    bit-equality (the cache is cleared between legs so both actually
+//!    recompute).
 //! 3. **Golden-run comparison** — a committed fixture of tiny-sweep
 //!    records, compared field-by-field at relative tolerance; regenerate
 //!    with `tg-verify --bless` after an intentional physics change.
@@ -600,6 +602,127 @@ pub fn diff_cg_vs_gs(opts: &VerifyOptions) -> CheckReport {
     to_report("diff.cg_vs_gs", cases, outcome, opts)
 }
 
+/// Solves `A·x = b` with both the tightly-converged CG path and the
+/// direct LDLᵀ factorization and demands max-abs agreement within
+/// `1e-8 × scale`.
+fn direct_matches_cg(tag: &str, a: &simkit::linalg::CsrMatrix, b: &[f64]) -> Result<(), String> {
+    use simkit::linalg::{LdltFactor, LdltWorkspace};
+    let n = a.rows();
+    let x_cg = a
+        .solve_cg(b, None, 1e-12, 40 * n.max(1))
+        .map_err(|e| format!("{tag}: CG failed: {e}"))?;
+    let factor = LdltFactor::new(a).map_err(|e| format!("{tag}: factorization failed: {e}"))?;
+    let mut ws = LdltWorkspace::new();
+    let mut x = vec![0.0; n];
+    factor
+        .solve_into(b, &mut x, &mut ws)
+        .map_err(|e| format!("{tag}: direct solve failed: {e}"))?;
+    let diff = vec_ops::max_abs_diff(&x_cg, &x);
+    let scale = x_cg.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    if diff > 1e-8 * scale {
+        return Err(format!(
+            "{tag}: direct and CG solutions differ by {diff:e} (scale {scale:e})"
+        ));
+    }
+    Ok(())
+}
+
+/// The direct LDLᵀ backend agrees with CG on the *real* model matrices:
+/// the thermal conductance system and every PDN domain grid under a
+/// partially gated configuration.
+fn direct_vs_cg_real_matrices() -> Result<(), String> {
+    let chip = power8_like();
+    let model = ThermalModel::new(
+        &chip,
+        ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::coarse()
+        },
+    );
+    let n = model.node_count();
+    // A deterministic, spatially varying heat load.
+    let b: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * (i % 7) as f64).collect();
+    direct_matches_cg("thermal conductance", model.conductance_matrix(), &b)?;
+
+    let pdn_model = pdn::PdnModel::new(&chip, pdn::PdnConfig::reference());
+    let mut gating = GatingState::all_on(chip.vr_sites().len());
+    for &v in chip.domains()[0].vrs().iter().skip(3) {
+        gating.set(v, false).map_err(err_str)?;
+    }
+    for domain in chip.domains() {
+        let a = pdn_model
+            .domain_system(domain.id(), &gating)
+            .map_err(err_str)?;
+        let b: Vec<f64> = (0..a.rows()).map(|i| 0.3 * (i % 5) as f64).collect();
+        direct_matches_cg(&format!("pdn domain D{}", domain.id().0), &a, &b)?;
+    }
+    Ok(())
+}
+
+/// The direct LDLᵀ solver matches CG on random SPD grid systems and on
+/// the real thermal / PDN matrices. The corpus pins the boundary shapes:
+/// a 1×1 system, a singleton pure-diagonal domain, and a grid with a
+/// disconnected node.
+pub fn diff_direct_vs_cg(opts: &VerifyOptions) -> CheckReport {
+    let cases = if opts.fast { 3 } else { 8 };
+    if let Err(detail) = direct_vs_cg_real_matrices() {
+        return CheckReport {
+            name: "diff.direct_vs_cg".to_string(),
+            cases: 0,
+            corpus_cases: 0,
+            failure: Some(detail),
+            note: None,
+        };
+    }
+    let gen = (
+        check::usize_in(1, 12),
+        check::vec_of(check::f64_in(0.05, 3.0), 1, 16),
+        check::vec_of(check::f64_in(-1.0, 1.0), 1, 16),
+        check::bool_any(),
+    );
+    let outcome = checker(opts, cases).run(
+        "diff.direct_vs_cg",
+        &gen,
+        |(side, loading, rhs, disconnect)| {
+            let side = *side;
+            let n = side * side;
+            // A side×side grid Laplacian with positive diagonal loading;
+            // `disconnect` isolates the last node (pure diagonal, no
+            // couplings) to exercise effectively-singleton structure.
+            let isolated = if *disconnect && n > 1 {
+                Some(n - 1)
+            } else {
+                None
+            };
+            let mut builder = TripletBuilder::new(n, n);
+            for j in 0..side {
+                for i in 0..side {
+                    let cell = j * side + i;
+                    let mut degree = 0.0;
+                    if Some(cell) != isolated {
+                        for (di, dj) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                            let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                            if (0..side as i64).contains(&ni) && (0..side as i64).contains(&nj) {
+                                let other = (nj * side as i64 + ni) as usize;
+                                if Some(other) != isolated {
+                                    builder.add(cell, other, -1.0);
+                                    degree += 1.0;
+                                }
+                            }
+                        }
+                    }
+                    builder.add(cell, cell, degree + loading[cell % loading.len()]);
+                }
+            }
+            let a = builder.build();
+            let b: Vec<f64> = (0..n).map(|c| rhs[c % rhs.len()]).collect();
+            direct_matches_cg("random grid", &a, &b)
+        },
+    );
+    to_report("diff.direct_vs_cg", cases, outcome, opts)
+}
+
 /// The benchmark × policy cells of the sweep differential / golden runs.
 pub fn verify_grid() -> ([Benchmark; 2], [PolicyKind; 2]) {
     (
@@ -864,6 +987,7 @@ pub fn run_all(opts: &VerifyOptions) -> VerifyRun {
         oracle_pdn_kcl(opts),
         oracle_pdn_linearity(opts),
         diff_cg_vs_gs(opts),
+        diff_direct_vs_cg(opts),
     ];
     if !opts.skip_sweep {
         let (sweep_report, records) = diff_sweep_parallel(opts);

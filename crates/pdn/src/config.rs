@@ -1,5 +1,6 @@
 //! PDN model configuration.
 
+use simkit::linalg::SolverBackend;
 use simkit::units::Volts;
 
 /// Electrical parameters of the on-chip power-delivery network.
@@ -35,6 +36,15 @@ pub struct PdnConfig {
     /// Passive decay constant of the transient response, cycles (before
     /// the regulator control loop reacts).
     pub passive_decay_cycles: f64,
+    /// Solver family for the per-domain IR-drop systems.
+    ///
+    /// Constructors default this to [`SolverBackend::env_default`]
+    /// (`SIMKIT_SOLVER` override, else [`SolverBackend::Auto`]). `Auto`
+    /// and `Direct` factor each domain's grid once and refactor only when
+    /// a gating change patches the matrix values; `Cg` (and
+    /// `GaussSeidel`, which the PDN maps to CG — the grids have no
+    /// Gauss–Seidel path) keep the previous iterative behaviour.
+    pub solver: SolverBackend,
 }
 
 impl PdnConfig {
@@ -50,6 +60,7 @@ impl PdnConfig {
             z_reference_active: 9.0,
             ring_period_cycles: 40.0,
             passive_decay_cycles: 90.0,
+            solver: SolverBackend::env_default(),
         }
     }
 }

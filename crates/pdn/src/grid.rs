@@ -2,23 +2,47 @@
 
 use crate::config::PdnConfig;
 use floorplan::{DomainId, Floorplan, VrId};
-use simkit::linalg::{CgWorkspace, CsrMatrix, JacobiPreconditioner, SolveStats, TripletBuilder};
+use simkit::linalg::{
+    CgWorkspace, CsrMatrix, JacobiPreconditioner, LdltFactor, LdltWorkspace, SolveStats,
+    SolverBackend, TripletBuilder,
+};
 use simkit::perf::SolverAgg;
 use simkit::units::Watts;
 use simkit::{Error, Result};
 use std::sync::Mutex;
+use std::time::Instant;
 use vreg::GatingState;
 
 /// Result of one static IR-drop analysis.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct IrReport {
     /// Worst local drop per domain, volts (indexed by [`DomainId`]).
     per_domain_volts: Vec<f64>,
     /// Chip-wide global-grid drop, volts.
     global_volts: f64,
     vdd: f64,
-    /// Aggregate over the per-domain CG solves that produced the report.
+    /// Aggregate over the per-domain solves that produced the report.
     solve: SolverAgg,
+    /// Solver family that produced the report (`"direct"` or `"cg"`).
+    backend: &'static str,
+    /// Wall-clock spent factoring / refactoring domain matrices, seconds
+    /// (zero on the iterative path and on factor-cache hits).
+    factor_seconds: f64,
+    /// Wall-clock spent in the triangular / iterative solves, seconds.
+    solve_seconds: f64,
+}
+
+/// Equality ignores the wall-clock timing fields: two reports are equal
+/// when they describe the same physical result via the same backend, so
+/// cache-consistency tests can `assert_eq!` across repeated solves.
+impl PartialEq for IrReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_domain_volts == other.per_domain_volts
+            && self.global_volts == other.global_volts
+            && self.vdd == other.vdd
+            && self.solve == other.solve
+            && self.backend == other.backend
+    }
 }
 
 impl IrReport {
@@ -56,10 +80,27 @@ impl IrReport {
         self.per_domain_volts.len()
     }
 
-    /// Aggregated convergence statistics of the per-domain CG solves
-    /// behind this report (one solve per domain).
+    /// Aggregated convergence statistics of the per-domain solves behind
+    /// this report (one solve per domain; direct solves count as one
+    /// iteration with the achieved relative residual).
     pub fn solve_stats(&self) -> SolverAgg {
         self.solve
+    }
+
+    /// Solver family that produced the report: `"direct"` or `"cg"`.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Wall-clock spent factoring domain matrices, seconds (zero on the
+    /// iterative path and when every factor cache hit).
+    pub fn factor_seconds(&self) -> f64 {
+        self.factor_seconds
+    }
+
+    /// Wall-clock spent in the per-domain solves, seconds.
+    pub fn solve_seconds(&self) -> f64 {
+        self.solve_seconds
     }
 }
 
@@ -85,7 +126,8 @@ struct DomainGrid {
 
 /// Per-domain solver scratch, reused across [`PdnModel::ir_drop`] calls:
 /// the patched conductance matrix, its preconditioner, the load/solution
-/// vectors, and the CG workspace.
+/// vectors, the CG workspace, and (on the direct path) the cached LDLᵀ
+/// factorization keyed by the matrix values it was computed from.
 #[derive(Debug, Clone)]
 struct DomainScratch {
     matrix: CsrMatrix,
@@ -93,6 +135,21 @@ struct DomainScratch {
     i_load: Vec<f64>,
     volts: Vec<f64>,
     cg: CgWorkspace,
+    /// Cached factorization of `matrix`; the symbolic structure survives
+    /// gating changes (only values are patched), so later gating states
+    /// pay a numeric `refactor` and repeated states pay nothing.
+    ldlt: Option<LdltFactor>,
+    /// Matrix values `ldlt` was factored from — the cache key.
+    ldlt_values: Vec<f64>,
+    ldlt_ws: LdltWorkspace,
+}
+
+/// Totals accumulated by [`PdnModel::solve_domains`] across the domains.
+struct DomainSolveTotals {
+    total_current: f64,
+    factor_seconds: f64,
+    solve_seconds: f64,
+    backend: &'static str,
 }
 
 impl DomainGrid {
@@ -268,6 +325,9 @@ impl PdnModel {
                     i_load: vec![0.0; n],
                     volts: vec![0.0; n],
                     cg: CgWorkspace::with_size(n),
+                    ldlt: None,
+                    ldlt_values: Vec::new(),
+                    ldlt_ws: LdltWorkspace::new(),
                 }
             })
             .collect();
@@ -298,16 +358,19 @@ impl PdnModel {
     pub fn ir_drop(&self, gating: &GatingState, block_powers: &[Watts]) -> Result<IrReport> {
         let mut per_domain = vec![0.0; self.grids.len()];
         let mut solve = SolverAgg::default();
-        let total_current =
+        let totals =
             self.solve_domains(gating, block_powers, |d, _matrix, _i_load, volts, stats| {
                 solve.record(stats);
                 per_domain[d] = volts.iter().copied().fold(0.0f64, f64::max);
             })?;
         Ok(IrReport {
             per_domain_volts: per_domain,
-            global_volts: total_current * self.config.r_global_ohm,
+            global_volts: totals.total_current * self.config.r_global_ohm,
             vdd: self.config.vdd.get(),
             solve,
+            backend: totals.backend,
+            factor_seconds: totals.factor_seconds,
+            solve_seconds: totals.solve_seconds,
         })
     }
 
@@ -315,7 +378,8 @@ impl PdnModel {
     /// across the domains, from a fresh per-domain solve with the given
     /// gating and loads. Domains with zero injected load are skipped
     /// (their residual is 0/0). A healthy solve keeps this at the CG
-    /// tolerance (≤ 1e-9); `tg-verify` uses it as the PDN physics oracle.
+    /// tolerance (≤ 1e-9; the direct backend lands near machine epsilon);
+    /// `tg-verify` uses it as the PDN physics oracle.
     ///
     /// # Errors
     ///
@@ -332,15 +396,16 @@ impl PdnModel {
 
     /// Shared per-domain setup + solve behind [`PdnModel::ir_drop`] and
     /// [`PdnModel::kcl_residual`]: distributes the block loads, patches
-    /// the active regulators into each domain's cached matrix, solves,
-    /// and hands `visit` the solved system. Returns the total chip
-    /// current (for the global-grid drop).
+    /// the active regulators into each domain's cached matrix, solves
+    /// with the configured backend, and hands `visit` the solved system.
+    /// Returns the total chip current (for the global-grid drop) plus the
+    /// factor/solve wall-clock split.
     fn solve_domains<F>(
         &self,
         gating: &GatingState,
         block_powers: &[Watts],
         mut visit: F,
-    ) -> Result<f64>
+    ) -> Result<DomainSolveTotals>
     where
         F: FnMut(usize, &CsrMatrix, &[f64], &[f64], SolveStats),
     {
@@ -358,12 +423,26 @@ impl PdnModel {
         }
         let vdd = self.config.vdd.get();
         let g_vr = 1.0 / self.config.r_vr_ohm;
+        // The IR systems are solved cold at every gating state, so `Auto`
+        // resolves to the direct path immediately: the symbolic analysis
+        // is shared across all gating states of a domain and a repeated
+        // state skips even the numeric refactor. `GaussSeidel` maps to CG
+        // because the PDN grids have no Gauss–Seidel path.
+        let use_direct = matches!(
+            self.config.solver,
+            SolverBackend::Auto | SolverBackend::Direct
+        );
 
         let mut scratches = self
             .scratch
             .lock()
             .expect("pdn scratch lock is never poisoned");
-        let mut total_current = 0.0;
+        let mut totals = DomainSolveTotals {
+            total_current: 0.0,
+            factor_seconds: 0.0,
+            solve_seconds: 0.0,
+            backend: if use_direct { "direct" } else { "cg" },
+        };
         for (d, (grid, scratch)) in self.grids.iter().zip(scratches.iter_mut()).enumerate() {
             let n = grid.nx * grid.ny;
             let DomainScratch {
@@ -372,12 +451,15 @@ impl PdnModel {
                 i_load,
                 volts,
                 cg,
+                ldlt,
+                ldlt_values,
+                ldlt_ws,
             } = scratch;
             // Load currents.
             i_load.iter_mut().for_each(|v| *v = 0.0);
             for (block, cover) in &grid.block_cells {
                 let amps = block_powers[*block].get().max(0.0) / vdd;
-                total_current += amps;
+                totals.total_current += amps;
                 for &(cell, fraction) in cover {
                     i_load[cell] += amps * fraction;
                 }
@@ -398,12 +480,79 @@ impl PdnModel {
                     "domain D{d} has no active regulator; its grid is floating"
                 )));
             }
-            pre.update(matrix)?;
-            volts.iter_mut().for_each(|v| *v = 0.0);
-            let stats = matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+            let stats = if use_direct {
+                let fresh = match ldlt {
+                    Some(f) => f.order() != n,
+                    None => true,
+                };
+                let stale = fresh || ldlt_values.as_slice() != matrix.values();
+                if stale {
+                    let t = Instant::now();
+                    match ldlt {
+                        Some(f) if !fresh => f.refactor(matrix)?,
+                        _ => *ldlt = Some(LdltFactor::new(matrix)?),
+                    }
+                    ldlt_values.clear();
+                    ldlt_values.extend_from_slice(matrix.values());
+                    totals.factor_seconds += t.elapsed().as_secs_f64();
+                }
+                let factor = ldlt.as_ref().expect("factored above");
+                let t = Instant::now();
+                factor.solve_into(i_load, volts, ldlt_ws)?;
+                totals.solve_seconds += t.elapsed().as_secs_f64();
+                LdltFactor::stats_for(matrix, i_load, volts)
+            } else {
+                pre.update(matrix)?;
+                volts.iter_mut().for_each(|v| *v = 0.0);
+                let t = Instant::now();
+                let stats = matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+                totals.solve_seconds += t.elapsed().as_secs_f64();
+                stats
+            };
             visit(d, matrix, i_load, volts, stats);
         }
-        Ok(total_current)
+        Ok(totals)
+    }
+
+    /// A copy of one domain's conductance matrix patched for `gating`
+    /// (sheet conductances plus the active regulators' supply paths) —
+    /// exposed for differential solver verification and benchmarking on
+    /// real PDN systems.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] when `gating` tracks a different
+    ///   VR count;
+    /// * [`Error::InvalidArgument`] when the domain has no active
+    ///   regulator (the matrix would be singular).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_system(&self, domain: DomainId, gating: &GatingState) -> Result<CsrMatrix> {
+        if gating.len() != self.n_vrs {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_vrs,
+                actual: gating.len(),
+            });
+        }
+        let grid = &self.grids[domain.0];
+        let mut matrix = grid.base.clone();
+        let g_vr = 1.0 / self.config.r_vr_ohm;
+        let mut active = 0;
+        for &(vid, k) in &grid.vr_entries {
+            if gating.is_on(vid) {
+                matrix.values_mut()[k] += g_vr;
+                active += 1;
+            }
+        }
+        if active == 0 {
+            return Err(Error::invalid_argument(format!(
+                "domain D{} has no active regulator; its grid is floating",
+                domain.0
+            )));
+        }
+        Ok(matrix)
     }
 
     /// Proximity of each regulator of `domain` to the domain's current
@@ -680,6 +829,65 @@ mod tests {
         let fresh = PdnModel::new(&chip, PdnConfig::default());
         let reference = fresh.ir_drop(&all_on, &powers).unwrap();
         assert_eq!(first, reference);
+    }
+
+    #[test]
+    fn direct_and_cg_backends_agree() {
+        let chip = power8_like();
+        let direct = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Direct,
+                ..PdnConfig::default()
+            },
+        );
+        let cg = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Cg,
+                ..PdnConfig::default()
+            },
+        );
+        let powers = uniform_powers(&chip, 1.5);
+        let mut gating = GatingState::all_on(chip.vr_sites().len());
+        for &v in chip.domains()[0].vrs().iter().skip(4) {
+            gating.set(v, false).unwrap();
+        }
+        let a = direct.ir_drop(&gating, &powers).unwrap();
+        let b = cg.ir_drop(&gating, &powers).unwrap();
+        assert_eq!(a.backend(), "direct");
+        assert_eq!(b.backend(), "cg");
+        for d in chip.domains() {
+            let gap = (a.domain_volts(d.id()) - b.domain_volts(d.id())).abs();
+            assert!(gap < 1e-8, "domain {} direct vs cg gap {gap}", d.name());
+        }
+        assert_eq!(a.global_volts(), b.global_volts());
+    }
+
+    #[test]
+    fn repeated_gating_state_skips_refactoring() {
+        let (chip, model) = setup();
+        let powers = uniform_powers(&chip, 1.5);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let first = model.ir_drop(&all_on, &powers).unwrap();
+        assert_eq!(first.backend(), "direct");
+        assert!(first.factor_seconds() > 0.0, "first call must factor");
+        // Identical gating → identical patched values → the cache key
+        // matches and no factor time is spent at all.
+        let again = model.ir_drop(&all_on, &powers).unwrap();
+        assert_eq!(again.factor_seconds(), 0.0);
+        assert_eq!(first, again);
+        // A different gating state refactors (numeric only) but must not
+        // poison the cache for the original state.
+        let mut half = all_on.clone();
+        for &v in chip.domains()[0].vrs().iter().skip(3) {
+            half.set(v, false).unwrap();
+        }
+        let other = model.ir_drop(&half, &powers).unwrap();
+        assert!(other.factor_seconds() > 0.0, "new gating must refactor");
+        let back = model.ir_drop(&all_on, &powers).unwrap();
+        assert!(back.factor_seconds() > 0.0);
+        assert_eq!(first, back);
     }
 
     #[test]

@@ -117,8 +117,10 @@ impl NoiseAnalyzer {
     }
 
     /// Installs a telemetry handle; each analysis then emits a
-    /// `pdn.ir_cg` solve event (aggregated over the per-domain solves)
-    /// and a `pdn.noise_max_pct` gauge.
+    /// `pdn.ir_direct` or `pdn.ir_cg` solve event (aggregated over the
+    /// per-domain solves, named after the configured solver backend,
+    /// carrying the factor/solve wall-clock split) and a
+    /// `pdn.noise_max_pct` gauge.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
     }
@@ -188,8 +190,19 @@ impl NoiseAnalyzer {
         };
         if self.telemetry.is_enabled() {
             let solve = report.ir_solve;
-            self.telemetry
-                .solve("pdn.ir_cg", solve.iterations as usize, solve.max_residual);
+            let event = if ir.backend() == "direct" {
+                "pdn.ir_direct"
+            } else {
+                "pdn.ir_cg"
+            };
+            self.telemetry.solve_timed(
+                event,
+                solve.iterations as usize,
+                solve.max_residual,
+                ir.backend(),
+                ir.factor_seconds(),
+                ir.solve_seconds(),
+            );
             self.telemetry
                 .gauge("pdn.noise_max_pct", report.max_percent());
         }

@@ -38,6 +38,15 @@ pub enum Error {
         /// Row (or diagonal index) at which singularity was detected.
         index: usize,
     },
+    /// A factorization that requires symmetric positive definiteness
+    /// encountered a non-positive pivot.
+    NotPositiveDefinite {
+        /// Diagonal index (in the original, unpermuted numbering) at
+        /// which the offending pivot appeared.
+        index: usize,
+        /// Value of the offending pivot.
+        pivot: f64,
+    },
     /// An argument was outside its legal range.
     InvalidArgument {
         /// Human-readable description of the violated precondition.
@@ -72,6 +81,10 @@ impl fmt::Display for Error {
             Error::SingularMatrix { index } => {
                 write!(f, "matrix is singular at index {index}")
             }
+            Error::NotPositiveDefinite { index, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:.3e} at index {index}"
+            ),
             Error::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
             Error::EmptyDomain => write!(f, "empty interpolation or lookup domain"),
         }

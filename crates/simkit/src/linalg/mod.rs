@@ -17,6 +17,19 @@
 //! holding a multicolor (red-black on grid stencils) row ordering plus the
 //! cached inverse diagonal. Build the workspaces once per matrix, then
 //! solve thousands of times with zero heap traffic.
+//!
+//! For systems that are solved many times with a fixed sparsity pattern —
+//! transient thermal stepping, per-domain PDN IR drop, steady-state
+//! feedback loops — the [`direct`] submodule adds a dependency-free sparse
+//! LDLᵀ factorization ([`LdltFactor`]) with a fill-reducing minimum-degree
+//! ordering, a values-only [`LdltFactor::refactor`] fast path, and
+//! allocation-free triangular solves. [`SolverBackend`] names the solver
+//! families so higher layers (thermal, PDN, engine configs) can select one
+//! or defer to the break-even [`SolverBackend::Auto`] policy.
+
+pub mod direct;
+
+pub use direct::{LdltFactor, LdltWorkspace, SolverBackend, DIRECT_BREAK_EVEN};
 
 use crate::error::{Error, Result};
 
@@ -264,11 +277,51 @@ impl CsrMatrix {
             .flat_map(move |row| self.row_entries(row).map(move |(col, val)| (row, col, val)))
     }
 
-    /// Extracts the diagonal.
+    /// Extracts the diagonal in one pass over the stored entries (no
+    /// per-row `get` scan).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols))
-            .map(|i| self.get(i, i))
-            .collect()
+        let n = self.rows.min(self.cols);
+        let mut diag = vec![0.0; n];
+        for (i, d) in diag.iter_mut().enumerate() {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.col_idx[k] == i {
+                    *d = self.values[k];
+                    break;
+                }
+            }
+        }
+        diag
+    }
+
+    /// Index into [`CsrMatrix::values`] of each diagonal entry, computed
+    /// in one pass; `None` where the pattern stores no diagonal.
+    ///
+    /// Callers that repeatedly need the diagonal of a matrix whose values
+    /// change but whose pattern is fixed (the Jacobi preconditioner, the
+    /// LDLᵀ pivot check) cache these indices once and gather in O(n)
+    /// afterwards.
+    pub fn diag_indices(&self) -> Vec<Option<usize>> {
+        let n = self.rows.min(self.cols);
+        let mut idx = vec![None; n];
+        for (i, slot) in idx.iter_mut().enumerate() {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.col_idx[k] == i {
+                    *slot = Some(k);
+                    break;
+                }
+            }
+        }
+        idx
+    }
+
+    /// Whether `cached` are valid diagonal entry indices for this matrix:
+    /// `cached[i]` must point at a stored entry `(i, i)`. O(n).
+    fn diag_indices_valid(&self, cached: &[usize]) -> bool {
+        let n = self.rows.min(self.cols);
+        cached.len() == n
+            && cached.iter().enumerate().all(|(i, &k)| {
+                k >= self.row_ptr[i] && k < self.row_ptr[i + 1] && self.col_idx[k] == i
+            })
     }
 
     /// The stored values, in row-major CSR order.
@@ -570,6 +623,11 @@ impl CsrMatrix {
 #[derive(Debug, Clone, Default)]
 pub struct JacobiPreconditioner {
     inv_diag: Vec<f64>,
+    /// Cached indices into the matrix value array of the diagonal
+    /// entries, so repeated [`update`](JacobiPreconditioner::update)s
+    /// against a fixed-pattern matrix gather in O(n) instead of
+    /// re-scanning every row.
+    diag_idx: Vec<usize>,
 }
 
 impl JacobiPreconditioner {
@@ -585,16 +643,31 @@ impl JacobiPreconditioner {
     }
 
     /// Recomputes the inverse diagonal from `matrix`, reusing the buffer
-    /// (no allocation once sized).
+    /// (no allocation once sized). The first call against a pattern scans
+    /// the rows once to cache the diagonal entry indices; later calls
+    /// against the same pattern (the common case: a cached matrix whose
+    /// values are patched between solves) validate the cache and gather
+    /// in O(n).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SingularMatrix`] on a zero diagonal entry.
+    /// Returns [`Error::SingularMatrix`] on a missing or zero diagonal
+    /// entry.
     pub fn update(&mut self, matrix: &CsrMatrix) -> Result<()> {
         let n = matrix.rows().min(matrix.cols());
+        if !matrix.diag_indices_valid(&self.diag_idx) {
+            self.diag_idx.clear();
+            self.diag_idx.reserve(n);
+            for (i, slot) in matrix.diag_indices().into_iter().enumerate() {
+                match slot {
+                    Some(k) => self.diag_idx.push(k),
+                    None => return Err(Error::SingularMatrix { index: i }),
+                }
+            }
+        }
         self.inv_diag.resize(n, 0.0);
         for i in 0..n {
-            let d = matrix.get(i, i);
+            let d = matrix.values[self.diag_idx[i]];
             if d == 0.0 {
                 return Err(Error::SingularMatrix { index: i });
             }

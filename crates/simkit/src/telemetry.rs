@@ -586,6 +586,38 @@ impl Telemetry {
         }
     }
 
+    /// Emits a solver-convergence event annotated with the backend that
+    /// produced it and the factor/solve wall-time split — the direct
+    /// solver reports its (possibly zero, when cached) factorization time
+    /// separately from the triangular solves; iterative backends report
+    /// `factor_s = 0`.
+    pub fn solve_timed(
+        &self,
+        name: &'static str,
+        iterations: usize,
+        residual: f64,
+        backend: &'static str,
+        factor_s: f64,
+        solve_s: f64,
+    ) {
+        if self.is_enabled() {
+            self.send(
+                EventKind::Solve,
+                Cow::Borrowed(name),
+                vec![
+                    (Cow::Borrowed("iters"), FieldValue::U64(iterations as u64)),
+                    (Cow::Borrowed("residual"), FieldValue::F64(residual)),
+                    (
+                        Cow::Borrowed("backend"),
+                        FieldValue::Str(backend.to_string()),
+                    ),
+                    (Cow::Borrowed("factor_s"), FieldValue::F64(factor_s)),
+                    (Cow::Borrowed("solve_s"), FieldValue::F64(solve_s)),
+                ],
+            );
+        }
+    }
+
     /// Starts building an event of arbitrary kind; finish with
     /// [`EventBuilder::emit`]. No-op (and allocation-free) when the
     /// handle is disabled.

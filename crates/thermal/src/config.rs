@@ -1,5 +1,6 @@
 //! Thermal model configuration.
 
+use simkit::linalg::SolverBackend;
 use simkit::units::Celsius;
 
 /// Physical parameters of the die and cooling package.
@@ -92,6 +93,17 @@ pub struct ThermalConfig {
     /// a small residual sub-cell bump; raise it to study
     /// self-heating-dominated designs.
     pub vr_self_resistance: f64,
+    /// Solver family for the steady-state and transient systems.
+    ///
+    /// Constructors default this to [`SolverBackend::env_default`]
+    /// (`SIMKIT_SOLVER` override, else [`SolverBackend::Auto`]): under
+    /// `Auto`, steady scratches switch to the cached-LDLᵀ direct path
+    /// after the break-even solve count, while transient steppers keep
+    /// warm-started CG (the `C/Δt`-dominated system makes an iterative
+    /// step cheaper than a triangular solve — BENCH.md). `Direct` pins
+    /// the factored path everywhere, `Cg`/`GaussSeidel` the iterative
+    /// solvers.
+    pub solver: SolverBackend,
 }
 
 impl ThermalConfig {
@@ -103,6 +115,7 @@ impl ThermalConfig {
             ny: 64,
             package: PackageParams::default(),
             vr_self_resistance: 3.0,
+            solver: SolverBackend::env_default(),
         }
     }
 

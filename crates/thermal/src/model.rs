@@ -5,12 +5,14 @@ use crate::map::PowerMap;
 use crate::state::ThermalState;
 use floorplan::{BlockId, Floorplan, VrId};
 use simkit::linalg::{
-    CgWorkspace, CsrMatrix, GsWorkspace, JacobiPreconditioner, SolveStats, TripletBuilder,
+    CgWorkspace, CsrMatrix, GsWorkspace, JacobiPreconditioner, LdltFactor, LdltWorkspace,
+    SolveStats, SolverBackend, TripletBuilder, DIRECT_BREAK_EVEN,
 };
 use simkit::perf::SolverAgg;
 use simkit::telemetry::Telemetry;
 use simkit::units::{Celsius, Seconds, Watts};
 use simkit::{Error, Result};
+use std::time::Instant;
 
 /// The assembled compact thermal model of one chip.
 ///
@@ -204,6 +206,13 @@ impl ThermalModel {
         self.cell_area
     }
 
+    /// The assembled steady-state conductance matrix `G` (SPD, one row
+    /// per node) — exposed for differential solver verification and
+    /// benchmarking on real thermal systems.
+    pub fn conductance_matrix(&self) -> &CsrMatrix {
+        &self.conductance
+    }
+
     /// Ambient temperature of the package.
     pub fn ambient(&self) -> Celsius {
         self.config.package.ambient
@@ -319,17 +328,66 @@ impl ThermalModel {
         debug_assert_eq!(state.raw().len(), self.n_nodes);
         scratch.rhs.resize(self.n_nodes, 0.0);
         self.rhs_into(power, &mut scratch.rhs);
-        let stats = self.conductance.solve_cg_with(
-            &scratch.rhs,
-            state.raw_mut(),
-            &self.conductance_pre,
-            &mut scratch.cg,
-            1e-10,
-            20_000,
-        )?;
-        self.telemetry
-            .solve("thermal.steady_cg", stats.iterations, stats.residual);
-        Ok(stats)
+        let solves_so_far = scratch.solves;
+        scratch.solves += 1;
+        // Break-even policy: the conductance matrix is fixed for the
+        // model's lifetime, so once a scratch has carried enough
+        // iterative solves to prove the system is solved repeatedly
+        // (leakage feedback, per-decision previews), one factorization
+        // amortises over every remaining solve.
+        let use_direct = match self.config.solver {
+            SolverBackend::Direct => true,
+            SolverBackend::Auto => solves_so_far >= DIRECT_BREAK_EVEN,
+            SolverBackend::Cg | SolverBackend::GaussSeidel => false,
+        };
+        if use_direct {
+            let factor_started = Instant::now();
+            let mut factor_s = 0.0;
+            let cached = scratch.ldlt.as_ref().is_some_and(|f| {
+                f.order() == self.n_nodes && scratch.ldlt_values == self.conductance.values()
+            });
+            if !cached {
+                let factor = LdltFactor::new(&self.conductance)?;
+                scratch.ldlt_values.clear();
+                scratch
+                    .ldlt_values
+                    .extend_from_slice(self.conductance.values());
+                scratch.ldlt = Some(factor);
+                factor_s = factor_started.elapsed().as_secs_f64();
+            }
+            let solve_started = Instant::now();
+            let factor = scratch.ldlt.as_ref().expect("factor built above");
+            factor.solve_into(&scratch.rhs, state.raw_mut(), &mut scratch.ldlt_ws)?;
+            let stats = LdltFactor::stats_for(&self.conductance, &scratch.rhs, state.raw());
+            self.telemetry.solve_timed(
+                "thermal.steady_direct",
+                stats.iterations,
+                stats.residual,
+                "direct",
+                factor_s,
+                solve_started.elapsed().as_secs_f64(),
+            );
+            Ok(stats)
+        } else {
+            let solve_started = Instant::now();
+            let stats = self.conductance.solve_cg_with(
+                &scratch.rhs,
+                state.raw_mut(),
+                &self.conductance_pre,
+                &mut scratch.cg,
+                1e-10,
+                20_000,
+            )?;
+            self.telemetry.solve_timed(
+                "thermal.steady_cg",
+                stats.iterations,
+                stats.residual,
+                "cg",
+                0.0,
+                solve_started.elapsed().as_secs_f64(),
+            );
+            Ok(stats)
+        }
     }
 
     /// Iterates steady-state solves against a temperature-dependent power
@@ -388,6 +446,15 @@ impl ThermalModel {
 
     /// Prepares a backward-Euler stepper for a fixed time step.
     ///
+    /// The system `G + C/Δt` is fixed for the stepper's lifetime and
+    /// solved once per thermal step. At simulation time steps the `C/Δt`
+    /// diagonal dominates the stencil couplings, so a warm-started
+    /// iterative step converges in a handful of iterations and beats
+    /// streaming the LDLᵀ factor through a triangular solve (measured
+    /// ≈16 µs vs ≈120 µs per step at 32×32 — see BENCH.md);
+    /// [`SolverBackend::Auto`] therefore pins warm-started CG, and the
+    /// direct stepper is an explicit `Direct` opt-in.
+    ///
     /// # Panics
     ///
     /// Panics when `dt` is not positive.
@@ -399,12 +466,27 @@ impl ThermalModel {
             b.add(row, row, self.capacitance[row] / dt.get());
         }
         let a = add_matrices(&self.conductance, b.build());
-        let gs = GsWorkspace::new(&a).expect("backward-Euler system has a full diagonal");
+        let factor_started = Instant::now();
+        let solver = match self.config.solver {
+            SolverBackend::Direct => TransientSolver::Direct {
+                factor: LdltFactor::new(&a).expect("backward-Euler system is SPD"),
+                ws: LdltWorkspace::new(),
+            },
+            SolverBackend::GaussSeidel => TransientSolver::Gs {
+                ws: GsWorkspace::new(&a).expect("backward-Euler system has a full diagonal"),
+            },
+            SolverBackend::Auto | SolverBackend::Cg => TransientSolver::Cg {
+                pre: JacobiPreconditioner::new(&a)
+                    .expect("backward-Euler system has a full diagonal"),
+                ws: CgWorkspace::new(),
+            },
+        };
         TransientStepper {
             model: self,
             dt,
             system: a,
-            gs,
+            solver,
+            pending_factor_s: factor_started.elapsed().as_secs_f64(),
             rhs: vec![0.0; self.n_nodes],
             telemetry: self.telemetry.clone(),
         }
@@ -421,13 +503,28 @@ pub struct FeedbackStats {
     pub cg: SolverAgg,
 }
 
-/// Reusable scratch buffers for repeated steady-state solves:
-/// the right-hand side plus the CG workspace. Default-constructed empty;
-/// sized on first use and stable afterwards.
+/// Reusable scratch buffers for repeated steady-state solves: the
+/// right-hand side, the CG workspace, and — once the
+/// [`SolverBackend::Auto`] break-even count is cleared or the backend is
+/// pinned to direct — the cached LDLᵀ factor of the conductance matrix
+/// with its solve workspace. Default-constructed empty; sized on first
+/// use and stable afterwards.
+///
+/// The factor cache is keyed by value comparison against the matrix it
+/// was built from, so a scratch accidentally reused across models
+/// rebuilds instead of solving the wrong system. Factor-cache lifetime
+/// equals the scratch lifetime: per engine in simulation runs, which is
+/// what keeps the parallel sweep executor's legs independent.
 #[derive(Debug, Clone, Default)]
 pub struct SteadyScratch {
     rhs: Vec<f64>,
     cg: CgWorkspace,
+    /// Solves carried so far — the [`SolverBackend::Auto`] break-even counter.
+    solves: usize,
+    ldlt: Option<LdltFactor>,
+    /// Values of the matrix `ldlt` was factored from (cache key).
+    ldlt_values: Vec<f64>,
+    ldlt_ws: LdltWorkspace,
 }
 
 impl SteadyScratch {
@@ -436,10 +533,15 @@ impl SteadyScratch {
         SteadyScratch::default()
     }
 
-    /// Smallest capacity across the scratch buffers (allocation-stability
-    /// probe for tests).
+    /// Smallest capacity across the always-used scratch buffers
+    /// (allocation-stability probe for tests).
     pub fn min_capacity(&self) -> usize {
         self.rhs.capacity().min(self.cg.min_capacity())
+    }
+
+    /// Whether the scratch currently holds a cached LDLᵀ factor.
+    pub fn has_factor(&self) -> bool {
+        self.ldlt.is_some()
     }
 }
 
@@ -453,19 +555,62 @@ fn add_matrices(a: &CsrMatrix, b: CsrMatrix) -> CsrMatrix {
     out.build()
 }
 
+/// Per-backend solver state of a [`TransientStepper`]: the factor or
+/// workspace is built once at [`ThermalModel::stepper`] time and reused
+/// allocation-free by every step.
+#[derive(Debug, Clone)]
+enum TransientSolver {
+    /// Cached LDLᵀ factor of `G + C/Δt` plus its solve workspace.
+    Direct {
+        factor: LdltFactor,
+        ws: LdltWorkspace,
+    },
+    /// Multicolor Gauss–Seidel ordering and cached diagonal.
+    Gs { ws: GsWorkspace },
+    /// Jacobi preconditioner and CG scratch, warm-started per step.
+    Cg {
+        pre: JacobiPreconditioner,
+        ws: CgWorkspace,
+    },
+}
+
+impl TransientSolver {
+    /// Telemetry event name of the per-step solve.
+    fn event_name(&self) -> &'static str {
+        match self {
+            TransientSolver::Direct { .. } => "thermal.transient_direct",
+            TransientSolver::Gs { .. } => "thermal.gs",
+            TransientSolver::Cg { .. } => "thermal.transient_cg",
+        }
+    }
+
+    /// Stable backend name for the telemetry `backend` field.
+    fn backend_name(&self) -> &'static str {
+        match self {
+            TransientSolver::Direct { .. } => SolverBackend::Direct.name(),
+            TransientSolver::Gs { .. } => SolverBackend::GaussSeidel.name(),
+            TransientSolver::Cg { .. } => SolverBackend::Cg.name(),
+        }
+    }
+}
+
 /// A prepared backward-Euler integrator bound to one [`ThermalModel`] and
 /// a fixed step size.
 ///
-/// The system matrix `G + C/Δt`, its multicolor Gauss–Seidel ordering,
-/// and the right-hand-side buffer are all built once here, so
-/// [`TransientStepper::step`] performs no heap allocation — the inner
-/// loop of every simulation run.
+/// The system matrix `G + C/Δt`, its per-backend solver state (LDLᵀ
+/// factor, Gauss–Seidel ordering, or CG preconditioner — see
+/// [`ThermalConfig::solver`]), and the right-hand-side buffer are all
+/// built once here, so [`TransientStepper::step`] performs no heap
+/// allocation — the inner loop of every simulation run.
 #[derive(Debug, Clone)]
 pub struct TransientStepper<'m> {
     model: &'m ThermalModel,
     dt: Seconds,
     system: CsrMatrix,
-    gs: GsWorkspace,
+    solver: TransientSolver,
+    /// Factorization time not yet reported: attributed to the first
+    /// step's solve event, zero afterwards.
+    pending_factor_s: f64,
     rhs: Vec<f64>,
     telemetry: Telemetry,
 }
@@ -476,8 +621,16 @@ impl TransientStepper<'_> {
         self.dt
     }
 
+    /// Telemetry event name this stepper's solves are reported under
+    /// (`thermal.transient_direct`, `thermal.gs`, or
+    /// `thermal.transient_cg`).
+    pub fn solve_event_name(&self) -> &'static str {
+        self.solver.event_name()
+    }
+
     /// Advances `state` by one step under the given power map and
-    /// returns the Gauss–Seidel convergence statistics.
+    /// returns the solver's convergence statistics (one "iteration" and
+    /// the true relative residual for the direct backend).
     ///
     /// Solves in place: the state's own buffer is the warm start and the
     /// solution, and the right-hand side lives in the stepper.
@@ -497,20 +650,45 @@ impl TransientStepper<'_> {
         {
             *r += c * inv_dt * t;
         }
-        let stats = self.system.solve_gauss_seidel_colored(
-            &self.rhs,
-            state.raw_mut(),
-            &self.gs,
-            1.1,
-            1e-7,
-            2_000,
-        )?;
+        let solve_started = Instant::now();
+        let stats = match &mut self.solver {
+            TransientSolver::Direct { factor, ws } => {
+                factor.solve_into(&self.rhs, state.raw_mut(), ws)?;
+                LdltFactor::stats_for(&self.system, &self.rhs, state.raw())
+            }
+            TransientSolver::Gs { ws } => self.system.solve_gauss_seidel_colored(
+                &self.rhs,
+                state.raw_mut(),
+                ws,
+                1.1,
+                1e-7,
+                2_000,
+            )?,
+            // The sink node's C/Δt term dominates ‖b‖, so the relative
+            // tolerance must be far below the steady 1e-10 to bound the
+            // *absolute* temperature error on silicon nodes.
+            TransientSolver::Cg { pre, ws } => self.system.solve_cg_with(
+                &self.rhs,
+                state.raw_mut(),
+                pre,
+                ws,
+                1e-13,
+                10 * n.max(1),
+            )?,
+        };
         if self.telemetry.is_enabled() {
-            self.telemetry
-                .solve("thermal.gs", stats.iterations, stats.residual);
+            self.telemetry.solve_timed(
+                self.solver.event_name(),
+                stats.iterations,
+                stats.residual,
+                self.solver.backend_name(),
+                self.pending_factor_s,
+                solve_started.elapsed().as_secs_f64(),
+            );
             self.telemetry
                 .gauge("thermal.max_silicon_c", state.max_silicon().get());
         }
+        self.pending_factor_s = 0.0;
         Ok(stats)
     }
 
@@ -682,7 +860,8 @@ mod tests {
         assert_eq!(sink.count_kind(EventKind::Solve), 3);
         assert_eq!(sink.count_kind(EventKind::Gauge), 3);
         let events = sink.events();
-        assert!(events.iter().any(|e| e.name == "thermal.gs"));
+        let step_event = stepper.solve_event_name();
+        assert!(events.iter().any(|e| e.name == step_event));
         assert!(events.iter().any(|e| e.name == "thermal.max_silicon_c"));
         // Steady solves report through the same handle.
         let mut scratch = SteadyScratch::new();
@@ -690,6 +869,75 @@ mod tests {
             .steady_state_with_scratch(&power, &mut state, &mut scratch)
             .unwrap();
         assert!(sink.events().iter().any(|e| e.name == "thermal.steady_cg"));
+    }
+
+    #[test]
+    fn transient_backends_agree() {
+        let chip = power8_like();
+        let mut power = None;
+        let mut states = Vec::new();
+        for backend in [
+            SolverBackend::Direct,
+            SolverBackend::GaussSeidel,
+            SolverBackend::Cg,
+        ] {
+            let config = ThermalConfig {
+                solver: backend,
+                ..ThermalConfig::coarse()
+            };
+            let model = ThermalModel::new(&chip, config);
+            let pm = power.get_or_insert_with(|| {
+                let mut pm = std::collections::BTreeMap::new();
+                for (i, block) in chip.blocks().iter().enumerate() {
+                    pm.insert(block.id(), 0.5 + (i % 7) as f64 * 0.4);
+                }
+                pm
+            });
+            let mut map = PowerMap::new(&model);
+            for (&b, &w) in pm.iter() {
+                map.add_block(b, Watts::new(w)).unwrap();
+            }
+            let mut stepper = model.stepper(Seconds::from_micros(50.0));
+            let mut state = model.ambient_state();
+            for _ in 0..50 {
+                stepper.step(&mut state, &map).unwrap();
+            }
+            states.push(state);
+        }
+        let direct = &states[0];
+        for (other, name) in states[1..].iter().zip(["gs", "cg"]) {
+            let gap = direct.max_abs_difference(other);
+            assert!(gap < 1e-4, "direct vs {name} diverged by {gap} °C");
+        }
+    }
+
+    #[test]
+    fn steady_auto_switches_to_direct_at_break_even() {
+        use simkit::linalg::DIRECT_BREAK_EVEN;
+        let chip = power8_like();
+        let config = ThermalConfig {
+            solver: SolverBackend::Auto,
+            ..ThermalConfig::coarse()
+        };
+        let model = ThermalModel::new(&chip, config);
+        let mut power = PowerMap::new(&model);
+        for block in chip.blocks() {
+            power.add_block(block.id(), Watts::new(1.0)).unwrap();
+        }
+        let reference = model.steady_state(&power).unwrap();
+        let mut scratch = SteadyScratch::new();
+        let mut state = model.ambient_state();
+        for solve in 1..=(DIRECT_BREAK_EVEN + 3) {
+            model
+                .steady_state_with_scratch(&power, &mut state, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                scratch.has_factor(),
+                solve > DIRECT_BREAK_EVEN,
+                "factor presence wrong after solve {solve}"
+            );
+            assert!(reference.max_abs_difference(&state) < 1e-5);
+        }
     }
 
     #[test]
