@@ -37,9 +37,12 @@ test -s "$TELEMETRY_DIR/series.csv"
 cargo run --release -q -p experiments --bin tg-obs -- diff "$TELEMETRY_DIR" "$TELEMETRY_DIR"
 
 echo "== tg-obs: perf snapshot (CI artifact at target/ci/BENCH_ci.json) =="
+# --grids adds the steady-solve grid-scaling axis (cg/mgcg/direct per
+# grid edge) to the snapshot; the self-diff covers its regression gate.
 mkdir -p target/ci
 cargo run --release -q -p experiments --bin tg-obs -- bench-snapshot \
-    --label ci --policies allon,oract,pracvt --out target/ci
+    --label ci --policies allon,oract,pracvt --out target/ci \
+    --grids 64,128 --scaling-solves 2
 cargo run --release -q -p experiments --bin tg-obs -- \
     diff target/ci/BENCH_ci.json target/ci/BENCH_ci.json
 
@@ -50,28 +53,40 @@ cargo run --release -q -p experiments --bin tg-verify -- \
     --fast --seed=0xC1 --threads=2 --report=target/ci/verify_b.txt
 cmp target/ci/verify_a.txt target/ci/verify_b.txt
 
-echo "== tg-verify: pinned solver backends (direct and cg must both pass) =="
-# The default leg above runs under Auto; these two pin the direct LDLT
-# path and the CG path end-to-end, so every oracle (including the
-# serial-vs-parallel sweep with per-engine factor caches) is exercised
-# against both solver families.
+echo "== tg-verify: pinned solver backends (direct, cg, mgcg must all pass) =="
+# The default leg above runs under Auto; these pin the direct LDLT path,
+# the Jacobi-CG path, and the multigrid-CG path end-to-end, so every
+# oracle (including the serial-vs-parallel sweep with per-engine factor
+# caches) is exercised against each solver family.
 SIMKIT_SOLVER=direct cargo run --release -q -p experiments --bin tg-verify -- \
     --fast --seed=0xC1 --threads=2 --report=target/ci/verify_direct.txt
 SIMKIT_SOLVER=cg cargo run --release -q -p experiments --bin tg-verify -- \
     --fast --seed=0xC1 --threads=2 --report=target/ci/verify_cg.txt
+SIMKIT_SOLVER=mgcg cargo run --release -q -p experiments --bin tg-verify -- \
+    --fast --seed=0xC1 --threads=2 --report=target/ci/verify_mgcg.txt
 
-echo "== cross-backend run diff: cg vs direct must agree on the physics =="
-# Same trace, same policy, opposite solver families: the solver-agnostic
+echo "== engine equivalence under mgcg (the pinned backend test leg) =="
+# run_emits_telemetry_and_solver_profile asserts the solve events carry
+# the backend SIMKIT_SOLVER resolves to (thermal.transient_mgcg /
+# pdn.ir_mgcg here); solver_backends_agree_over_a_full_run re-checks the
+# cross-backend physics equality from a process whose default is mgcg.
+SIMKIT_SOLVER=mgcg cargo test --release -q -p thermogater -- \
+    run_emits_telemetry_and_solver_profile solver_backends_agree_over_a_full_run
+
+echo "== cross-backend run diff: cg vs direct vs mgcg must agree on the physics =="
+# Same trace, same policy, different solver families: the solver-agnostic
 # diff gates on identical event structure, gating decisions, emergency
 # behaviour, and per-system solve counts, with simulation metrics within
 # 1e-6 relative (measured agreement is ~6e-9 — see BENCH.md).
-mkdir -p "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/direct"
-for backend in cg direct; do
+mkdir -p "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/direct" "$TELEMETRY_DIR/mgcg"
+for backend in cg direct mgcg; do
     SIMKIT_SOLVER=$backend cargo run --release -q -p experiments --bin simulate -- \
         --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
         --quiet --telemetry="$TELEMETRY_DIR/$backend"
 done
 cargo run --release -q -p experiments --bin tg-obs -- diff --solver-agnostic \
     "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/direct"
+cargo run --release -q -p experiments --bin tg-obs -- diff --solver-agnostic \
+    "$TELEMETRY_DIR/cg" "$TELEMETRY_DIR/mgcg"
 
 echo "CI OK"

@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the numerical kernels every experiment leans on:
-//! the thermal steady-state CG solve, the backward-Euler transient step
-//! per solver backend, the sparse LDLᵀ factor/refactor/solve kernels,
-//! the PDN IR-drop solve per backend, the transient-noise convolution,
-//! and workload trace generation.
+//! the blocked-CSR SpMV kernel, the thermal steady-state solve per
+//! backend (Jacobi-CG vs multigrid-CG vs direct), the backward-Euler
+//! transient step per solver backend, the sparse LDLᵀ
+//! factor/refactor/solve kernels, the PDN IR-drop solve per backend,
+//! the transient-noise convolution, and workload trace generation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use floorplan::reference::power8_like;
@@ -16,6 +17,21 @@ use thermal::{PowerMap, ThermalConfig, ThermalModel};
 use vreg::GatingState;
 use workload::microtrace::generate_window;
 use workload::{Benchmark, TraceGenerator};
+
+fn spmv_kernel(c: &mut Criterion) {
+    // The 4-wide blocked SpMV on the real 64×64 conductance matrix
+    // (n = 8193, ~5 nnz/row plus the dense sink row): the inner kernel
+    // of every CG iteration and multigrid smoothing sweep.
+    let chip = power8_like();
+    let model = ThermalModel::new(&chip, ThermalConfig::standard());
+    let a = model.conductance_matrix();
+    let n = a.rows();
+    let x: Vec<f64> = (0..n).map(|i| 0.5 + (i % 13) as f64 * 0.1).collect();
+    let mut y = vec![0.0; n];
+    c.bench_function("spmv/thermal_64x64", |b| {
+        b.iter(|| a.mul_vec_into(black_box(&x), &mut y))
+    });
+}
 
 fn thermal_solvers(c: &mut Criterion) {
     let chip = power8_like();
@@ -34,12 +50,43 @@ fn thermal_solvers(c: &mut Criterion) {
         b.iter(|| stepper.step(black_box(&mut state), &pm).unwrap())
     });
 
+    // Steady solves from a cold state under each pinned backend on the
+    // production 64×64 grid, against a warm cache (factor / hierarchy
+    // built before the measured region): BENCH.md's grid-scaling story
+    // in microbench form.
+    for backend in [SolverBackend::Cg, SolverBackend::Mgcg, SolverBackend::Direct] {
+        let config = ThermalConfig {
+            solver: backend,
+            ..ThermalConfig::standard()
+        };
+        let model = ThermalModel::new(&chip, config);
+        let mut pm = PowerMap::new(&model);
+        for block in chip.blocks() {
+            pm.add_block(block.id(), Watts::new(2.0)).unwrap();
+        }
+        let mut scratch = thermal::SteadyScratch::new();
+        let mut state = model.ambient_state();
+        model
+            .steady_state_with_scratch(&pm, &mut state, &mut scratch)
+            .unwrap();
+        let name = format!("thermal/steady_state_64x64_{}", backend.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                state = model.ambient_state();
+                model
+                    .steady_state_with_scratch(black_box(&pm), &mut state, &mut scratch)
+                    .unwrap()
+            })
+        });
+    }
+
     // The same step under each pinned backend: BENCH.md's honest
     // direct-vs-iterative transient comparison comes from these rows.
     for backend in [
         SolverBackend::Direct,
         SolverBackend::GaussSeidel,
         SolverBackend::Cg,
+        SolverBackend::Mgcg,
     ] {
         let config = ThermalConfig {
             solver: backend,
@@ -93,9 +140,12 @@ fn pdn_solvers(c: &mut Criterion) {
         b.iter(|| model.ir_drop(black_box(&all_on), &powers).unwrap())
     });
 
-    // Per-backend IR solve: the cached-factor direct path vs cold CG
-    // (the ungated domain systems need ~2k CG iterations per solve).
-    for backend in [SolverBackend::Direct, SolverBackend::Cg] {
+    // Per-backend IR solve: the cached-factor direct path vs CG vs
+    // multigrid-CG. With the warm-start carry the repeat solves below
+    // converge almost instantly; the measured cost is residual checking
+    // plus the preconditioner apply, which is the steady-state regime of
+    // an engine run with stable gating.
+    for backend in [SolverBackend::Direct, SolverBackend::Cg, SolverBackend::Mgcg] {
         let config = PdnConfig {
             solver: backend,
             ..PdnConfig::reference()
@@ -139,6 +189,7 @@ fn workload_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    spmv_kernel,
     thermal_solvers,
     direct_factorization,
     pdn_solvers,

@@ -1427,6 +1427,7 @@ mod tests {
         let (transient_event, ir_event) = match engine.config().solver {
             SolverBackend::GaussSeidel => ("thermal.gs", "pdn.ir_cg"),
             SolverBackend::Cg => ("thermal.transient_cg", "pdn.ir_cg"),
+            SolverBackend::Mgcg => ("thermal.transient_mgcg", "pdn.ir_mgcg"),
             SolverBackend::Auto => ("thermal.transient_cg", "pdn.ir_direct"),
             SolverBackend::Direct => ("thermal.transient_direct", "pdn.ir_direct"),
         };
@@ -1458,7 +1459,8 @@ mod tests {
         let direct = run_with(SolverBackend::Direct);
         let gs = run_with(SolverBackend::GaussSeidel);
         let cg = run_with(SolverBackend::Cg);
-        for (name, other) in [("gs", &gs), ("cg", &cg)] {
+        let mgcg = run_with(SolverBackend::Mgcg);
+        for (name, other) in [("gs", &gs), ("cg", &cg), ("mgcg", &mgcg)] {
             let dt = (direct.max_temperature().get() - other.max_temperature().get()).abs();
             assert!(dt < 1e-2, "direct vs {name} T_max gap {dt} °C");
             let dn =

@@ -49,10 +49,14 @@ USAGE:
         on solve counts only, simulation metrics gate at 1e-6 relative.
 
     tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies <t,t>]
+                          [--grids <n,n>] [--scaling-solves <k>]
         Run the pinned fast-config workload per policy and write
         BENCH_<label>.json (schema thermogater.bench/v1). Default
         label `local`, directory `.`, policies allon,oract,pracvt;
-        `--policies all` measures all eight.
+        `--policies all` measures all eight. `--grids 64,128` also
+        measures the steady-solve grid-scaling axis (cg/mgcg/direct
+        per grid edge, `--scaling-solves` cache-warm solves each,
+        default 3) into the snapshot's `scaling` member.
 
 A <run-dir> is a directory holding trace.jsonl (and usually
 manifest.json), as written by any experiment binary under
@@ -293,9 +297,36 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
     let mut label = "local".to_string();
     let mut out_dir = PathBuf::from(".");
     let mut policies = vec![PolicyKind::AllOn, PolicyKind::OracT, PolicyKind::PracVT];
+    let mut grids: Vec<usize> = Vec::new();
+    let mut scaling_solves = 3usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--grids" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| "--grids needs a comma-separated list".to_string())?;
+                grids = spec
+                    .split(',')
+                    .map(|g| {
+                        g.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| format!("bad grid edge `{g}`"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--scaling-solves" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| "--scaling-solves needs a count".to_string())?;
+                scaling_solves = spec
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("bad --scaling-solves `{spec}`"))?;
+            }
             "--label" => {
                 label = iter
                     .next()
@@ -336,7 +367,14 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
         policies.len(),
         if policies.len() == 1 { "y" } else { "ies" }
     );
-    let snap = snapshot::capture(&label, &policies)?;
+    let mut snap = snapshot::capture(&label, &policies)?;
+    if !grids.is_empty() {
+        eprintln!(
+            "measuring the grid-scaling axis at {} grid edge(s)…",
+            grids.len()
+        );
+        snap.scaling = snapshot::capture_scaling(&grids, scaling_solves)?;
+    }
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = snap
@@ -353,6 +391,22 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
         ]);
     }
     print!("{}", t.render());
+    if !snap.scaling.is_empty() {
+        let mut t = experiments::report::TextTable::new(&[
+            "grid", "nodes", "backend", "iters", "setup s", "wall s",
+        ]);
+        for s in &snap.scaling {
+            t.add_row(vec![
+                format!("{0}x{0}", s.grid),
+                s.nodes.to_string(),
+                s.backend.clone(),
+                format!("{:.1}", s.iters_mean),
+                format!("{:.3}", s.setup_s),
+                format!("{:.3}", s.wall_s),
+            ]);
+        }
+        print!("{}", t.render());
+    }
     if let Some(rss) = snap.peak_rss_bytes {
         println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
     }

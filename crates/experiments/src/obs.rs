@@ -214,16 +214,19 @@ impl DiffReport {
 /// physics change is far outside it.
 pub const PHYS_TOL: f64 = 1e-6;
 
-/// Backend-stripped canonical solver-site name: `thermal.steady_cg` and
-/// `thermal.steady_direct` both solve the steady conductance system, and
-/// `thermal.gs` / `thermal.transient_cg` / `thermal.transient_direct`
-/// all solve the backward-Euler step — a cross-backend diff matches
-/// sites by *what* they solve, not how.
+/// Backend-stripped canonical solver-site name: `thermal.steady_cg`,
+/// `thermal.steady_mgcg`, and `thermal.steady_direct` all solve the
+/// steady conductance system, and `thermal.gs` / `thermal.transient_cg`
+/// / `thermal.transient_mgcg` / `thermal.transient_direct` all solve
+/// the backward-Euler step — a cross-backend diff matches sites by
+/// *what* they solve, not how. (`_mgcg` strips before `_cg`: the
+/// suffixes overlap.)
 fn canonical_site(name: &str) -> &str {
     match name {
         "thermal.gs" => "thermal.transient",
         _ => name
-            .strip_suffix("_cg")
+            .strip_suffix("_mgcg")
+            .or_else(|| name.strip_suffix("_cg"))
             .or_else(|| name.strip_suffix("_direct"))
             .unwrap_or(name),
     }
@@ -618,6 +621,69 @@ pub fn diff_snapshots(a: &BenchSnapshot, b: &BenchSnapshot, config: &DiffConfig)
             );
         }
     }
+    // Grid-scaling axis: (grid, backend) cells are matched pairwise.
+    // Iteration counts are deterministic and gate tightly; setup and
+    // wall seconds are env-sensitive and stay informational. A cell
+    // present on one side only gates via the solves metric, so dropping
+    // a grid or backend from the axis cannot pass silently.
+    for sa in &a.scaling {
+        let cell = format!("snap.scaling.{}.{}", sa.grid, sa.backend);
+        let Some(sb) = b
+            .scaling
+            .iter()
+            .find(|s| s.grid == sa.grid && s.backend == sa.backend)
+        else {
+            report.push(
+                config,
+                format!("{cell}.solves"),
+                sa.solves as f64,
+                0.0,
+                0.0,
+                Direction::BothWays,
+            );
+            continue;
+        };
+        report.push(
+            config,
+            format!("{cell}.iters_mean"),
+            sa.iters_mean,
+            sb.iters_mean,
+            snapshot_tolerances::SOLVER_ITERS,
+            Direction::HigherIsWorse,
+        );
+        report.push(
+            config,
+            format!("{cell}.setup_s"),
+            sa.setup_s,
+            sb.setup_s,
+            0.0,
+            Direction::Informational,
+        );
+        report.push(
+            config,
+            format!("{cell}.wall_s"),
+            sa.wall_s,
+            sb.wall_s,
+            0.0,
+            Direction::Informational,
+        );
+    }
+    for sb in &b.scaling {
+        if !a
+            .scaling
+            .iter()
+            .any(|s| s.grid == sb.grid && s.backend == sb.backend)
+        {
+            report.push(
+                config,
+                format!("snap.scaling.{}.{}.solves", sb.grid, sb.backend),
+                0.0,
+                sb.solves as f64,
+                0.0,
+                Direction::BothWays,
+            );
+        }
+    }
     report
 }
 
@@ -769,6 +835,46 @@ mod tests {
         // not a failure.
         let better = diff_snapshots(&worse, &base, &DiffConfig::new());
         assert!(!better.has_regression(), "{}", better.render(true));
+    }
+
+    #[test]
+    fn scaling_axis_gates_on_iterations_and_missing_cells() {
+        let base = crate::snapshot::tests::sample("a", 4.0);
+
+        // Multigrid losing its iteration advantage at a grid gates.
+        let mut worse = base.clone();
+        worse
+            .scaling
+            .iter_mut()
+            .find(|s| s.backend == "mgcg")
+            .unwrap()
+            .iters_mean *= 3.0;
+        let report = diff_snapshots(&base, &worse, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.scaling.64.mgcg.iters_mean"));
+
+        // Wall-clock drift alone stays informational.
+        let mut slower = base.clone();
+        for s in &mut slower.scaling {
+            s.wall_s *= 5.0;
+            s.setup_s *= 5.0;
+        }
+        let report = diff_snapshots(&base, &slower, &DiffConfig::new());
+        assert!(!report.has_regression(), "{}", report.render(true));
+
+        // Dropping a (grid, backend) cell cannot pass silently — in
+        // either direction.
+        let mut missing = base.clone();
+        missing.scaling.retain(|s| s.backend != "mgcg");
+        let report = diff_snapshots(&base, &missing, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.scaling.64.mgcg.solves"));
+        let report = diff_snapshots(&missing, &base, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.scaling.64.mgcg.solves"));
     }
 
     #[test]

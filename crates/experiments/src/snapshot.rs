@@ -14,14 +14,17 @@
 //! loose, directional tolerances (see [`crate::obs`]); solver iteration
 //! counts are deterministic and gate tightly.
 
+use simkit::linalg::SolverBackend;
 use simkit::telemetry::analyze::{ParsedEvent, TraceAnalysis};
 use simkit::telemetry::json::{self, JsonValue};
 use simkit::telemetry::Telemetry;
+use simkit::units::Watts;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
+use thermal::{PowerMap, SteadyScratch, ThermalConfig, ThermalModel};
 use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
 use workload::Benchmark;
 
@@ -54,6 +57,9 @@ pub struct SolverSnapshot {
 pub struct PolicyEntry {
     /// Policy tag, e.g. `"oracvt"`.
     pub policy: String,
+    /// Thermal grid edge (`nx`) the run solved on (0 in snapshots
+    /// written before the grid-scaling axis existed).
+    pub grid_n: u64,
     /// Wall-clock seconds for the run.
     pub wall_s: f64,
     /// Thermal steps simulated.
@@ -64,6 +70,29 @@ pub struct PolicyEntry {
     pub phases: Vec<(String, f64)>,
     /// Per-site solver percentiles.
     pub solver: Vec<SolverSnapshot>,
+}
+
+/// One (grid, backend) cell of the steady-solve grid-scaling axis: the
+/// cost of cold-starting the backend's cache (factor / hierarchy) and
+/// the amortised cost and iteration count of repeated cold-state solves
+/// against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingEntry {
+    /// Grid edge: the thermal model ran `grid × grid` cells.
+    pub grid: u64,
+    /// Total solver unknowns (`2·grid² + 1` for the two-layer stack).
+    pub nodes: u64,
+    /// Backend tag: `"cg"`, `"mgcg"`, or `"direct"`.
+    pub backend: String,
+    /// Number of measured (cache-warm) solves behind the means.
+    pub solves: u64,
+    /// Mean solver iterations per measured solve.
+    pub iters_mean: f64,
+    /// Wall-clock of the first solve, which builds the backend's cached
+    /// factor / multigrid hierarchy, seconds.
+    pub setup_s: f64,
+    /// Total wall-clock of the measured solves (setup excluded), seconds.
+    pub wall_s: f64,
 }
 
 /// A schema-tagged performance snapshot (one `BENCH_<label>.json`).
@@ -79,6 +108,8 @@ pub struct BenchSnapshot {
     pub peak_rss_bytes: Option<u64>,
     /// One entry per measured policy.
     pub entries: Vec<PolicyEntry>,
+    /// Steady-solve grid-scaling axis (empty when not captured).
+    pub scaling: Vec<ScalingEntry>,
 }
 
 /// Peak resident set size of this process (`VmHWM` from
@@ -103,6 +134,7 @@ pub fn measure_policy(policy: PolicyKind) -> Result<PolicyEntry, String> {
     let chip = floorplan::reference::power8_like();
     let config = EngineConfig::fast();
     let steps = (config.duration.get() / config.thermal_step.get()).round() as u64;
+    let grid_n = config.thermal.nx as u64;
     let mut engine = SimulationEngine::new(&chip, config);
     let (telemetry, sink) = Telemetry::recorder();
     engine.set_telemetry(telemetry);
@@ -133,6 +165,7 @@ pub fn measure_policy(policy: PolicyKind) -> Result<PolicyEntry, String> {
         .collect();
     Ok(PolicyEntry {
         policy: crate::sweep::policy_tag(policy).to_string(),
+        grid_n,
         wall_s,
         steps,
         steps_per_sec: steps as f64 / wall_s.max(f64::MIN_POSITIVE),
@@ -162,7 +195,77 @@ pub fn capture(label: &str, policies: &[PolicyKind]) -> Result<BenchSnapshot, St
         bench: SNAPSHOT_BENCH.label().to_string(),
         peak_rss_bytes: peak_rss_bytes(),
         entries,
+        scaling: Vec::new(),
     })
+}
+
+/// Backends the grid-scaling axis measures. Gauss–Seidel is absent
+/// because the steady path has no distinct GS solver: a pinned
+/// `GaussSeidel` backend routes steady solves through Jacobi-CG (GS is a
+/// transient-stepper backend — see `thermal::model`).
+pub const SCALING_BACKENDS: [SolverBackend; 3] = [
+    SolverBackend::Cg,
+    SolverBackend::Mgcg,
+    SolverBackend::Direct,
+];
+
+/// Measures the steady-solve grid-scaling axis: for each `grid` edge and
+/// each backend in [`SCALING_BACKENDS`], one cold solve (which builds
+/// the backend's cached factor / multigrid hierarchy — its wall-clock is
+/// `setup_s`) followed by `warm_solves` solves from a freshly reset
+/// ambient state against the warm cache. Resetting the state each solve
+/// keeps every measured solve doing full work (a warm-started repeat of
+/// an identical system would converge instantly and measure nothing).
+///
+/// # Errors
+///
+/// Propagates solver failures as a rendered message.
+pub fn capture_scaling(grids: &[usize], warm_solves: usize) -> Result<Vec<ScalingEntry>, String> {
+    let chip = floorplan::reference::power8_like();
+    let mut out = Vec::new();
+    for &grid in grids {
+        for backend in SCALING_BACKENDS {
+            let config = ThermalConfig {
+                nx: grid,
+                ny: grid,
+                solver: backend,
+                ..ThermalConfig::standard()
+            };
+            let model = ThermalModel::new(&chip, config);
+            let mut pm = PowerMap::new(&model);
+            for block in chip.blocks() {
+                pm.add_block(block.id(), Watts::new(2.0))
+                    .map_err(|e| format!("power map: {e}"))?;
+            }
+            let mut scratch = SteadyScratch::new();
+            let mut state = model.ambient_state();
+            let err = |e| format!("steady {grid}x{grid} {}: {e}", backend.name());
+            let started = Instant::now();
+            model
+                .steady_state_with_scratch(&pm, &mut state, &mut scratch)
+                .map_err(err)?;
+            let setup_s = started.elapsed().as_secs_f64();
+            let mut iters = 0u64;
+            let started = Instant::now();
+            for _ in 0..warm_solves {
+                state = model.ambient_state();
+                let stats = model
+                    .steady_state_with_scratch(&pm, &mut state, &mut scratch)
+                    .map_err(err)?;
+                iters += stats.iterations as u64;
+            }
+            out.push(ScalingEntry {
+                grid: grid as u64,
+                nodes: model.node_count() as u64,
+                backend: backend.name().to_string(),
+                solves: warm_solves as u64,
+                iters_mean: iters as f64 / (warm_solves.max(1)) as f64,
+                setup_s,
+                wall_s: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    Ok(out)
 }
 
 impl BenchSnapshot {
@@ -196,6 +299,7 @@ impl BenchSnapshot {
             }
             out.push_str("\n  {\"policy\":");
             json::write_str(&mut out, &entry.policy);
+            let _ = write!(out, ",\"grid_n\":{}", entry.grid_n);
             out.push_str(",\"wall_s\":");
             json::write_f64(&mut out, entry.wall_s);
             let _ = write!(out, ",\"steps\":{}", entry.steps);
@@ -229,6 +333,23 @@ impl BenchSnapshot {
                 out.push('}');
             }
             out.push_str("]}");
+        }
+        out.push_str("\n],\"scaling\":[");
+        for (i, s) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  {{\"grid\":{},\"nodes\":{}", s.grid, s.nodes);
+            out.push_str(",\"backend\":");
+            json::write_str(&mut out, &s.backend);
+            let _ = write!(out, ",\"solves\":{}", s.solves);
+            out.push_str(",\"iters_mean\":");
+            json::write_f64(&mut out, s.iters_mean);
+            out.push_str(",\"setup_s\":");
+            json::write_f64(&mut out, s.setup_s);
+            out.push_str(",\"wall_s\":");
+            json::write_f64(&mut out, s.wall_s);
+            out.push('}');
         }
         out.push_str("\n]}\n");
         out
@@ -334,6 +455,12 @@ impl BenchSnapshot {
                     .and_then(JsonValue::as_str)
                     .ok_or_else(|| format!("entry {index} missing \"policy\""))?
                     .to_string(),
+                // Absent in snapshots written before the grid-scaling
+                // axis; tolerate so perf history stays diffable.
+                grid_n: entry
+                    .get("grid_n")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64,
                 wall_s: num("wall_s")?,
                 steps: num("steps")? as u64,
                 steps_per_sec: num("steps_per_sec")?,
@@ -341,12 +468,37 @@ impl BenchSnapshot {
                 solver,
             });
         }
+        // Also optional for pre-axis snapshots: missing ⇒ empty.
+        let mut scaling = Vec::new();
+        if let Some(rows) = doc.get("scaling").and_then(JsonValue::as_array) {
+            for (index, row) in rows.iter().enumerate() {
+                let num = |key: &str| {
+                    row.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("scaling {index} missing number \"{key}\""))
+                };
+                scaling.push(ScalingEntry {
+                    grid: num("grid")? as u64,
+                    nodes: num("nodes")? as u64,
+                    backend: row
+                        .get("backend")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("scaling {index} missing \"backend\""))?
+                        .to_string(),
+                    solves: num("solves")? as u64,
+                    iters_mean: num("iters_mean")?,
+                    setup_s: num("setup_s")?,
+                    wall_s: num("wall_s")?,
+                });
+            }
+        }
         Ok(BenchSnapshot {
             label: str_member("label")?,
             config: str_member("config")?,
             bench: str_member("bench")?,
             peak_rss_bytes,
             entries,
+            scaling,
         })
     }
 }
@@ -364,6 +516,7 @@ pub(crate) mod tests {
             peak_rss_bytes: Some(64 * 1024 * 1024),
             entries: vec![PolicyEntry {
                 policy: "oract".to_string(),
+                grid_n: 32,
                 wall_s: 0.5,
                 steps: 300,
                 steps_per_sec: 600.0,
@@ -377,6 +530,26 @@ pub(crate) mod tests {
                     residual_max: 1e-9,
                 }],
             }],
+            scaling: vec![
+                ScalingEntry {
+                    grid: 64,
+                    nodes: 8193,
+                    backend: "cg".to_string(),
+                    solves: 3,
+                    iters_mean: 210.0,
+                    setup_s: 0.0,
+                    wall_s: 0.09,
+                },
+                ScalingEntry {
+                    grid: 64,
+                    nodes: 8193,
+                    backend: "mgcg".to_string(),
+                    solves: 3,
+                    iters_mean: 14.0,
+                    setup_s: 0.01,
+                    wall_s: 0.03,
+                },
+            ],
         }
     }
 
@@ -417,6 +590,39 @@ pub(crate) mod tests {
         assert!(!entry.phases.is_empty());
         // The transient stepper always solves; its site must be rolled up.
         assert!(entry.solver.iter().any(|s| s.solves > 0));
+    }
+
+    #[test]
+    fn pre_scaling_documents_still_parse() {
+        // Snapshots written before grid_n / scaling existed must keep
+        // loading so committed perf history stays diffable.
+        let snap = sample("old", 4.0);
+        let mut text = snap.to_json();
+        let cut = text.find(",\"scaling\"").expect("scaling member present");
+        text.truncate(cut);
+        text.push_str("}\n");
+        let text = text.replace(",\"grid_n\":32", "");
+        let back = BenchSnapshot::from_json(&text).expect("old document parses");
+        assert!(back.scaling.is_empty());
+        assert_eq!(back.entries[0].grid_n, 0);
+    }
+
+    #[test]
+    fn capture_scaling_measures_each_grid_and_backend() {
+        let rows = capture_scaling(&[12], 2).expect("tiny scaling run");
+        assert_eq!(rows.len(), SCALING_BACKENDS.len());
+        for row in &rows {
+            assert_eq!(row.grid, 12);
+            assert_eq!(row.nodes, 2 * 12 * 12 + 1);
+            assert_eq!(row.solves, 2);
+            assert!(row.iters_mean >= 1.0, "{} did no work", row.backend);
+            assert!(row.wall_s > 0.0);
+        }
+        // Same system, same tolerance: multigrid must not need more
+        // iterations than Jacobi-CG even on a tiny grid.
+        let by = |tag: &str| rows.iter().find(|r| r.backend == tag).unwrap();
+        assert!(by("mgcg").iters_mean <= by("cg").iters_mean);
+        assert_eq!(by("direct").iters_mean, 1.0);
     }
 
     #[test]

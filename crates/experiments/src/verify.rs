@@ -11,10 +11,10 @@
 //!    emergency overlay, steady-state thermal energy balance
 //!    (heat in ≈ heat out), PDN KCL residual bounds, and PDN linearity.
 //! 2. **Differential checks** — CG vs Gauss–Seidel agreement on the same
-//!    SPD system, direct LDLᵀ vs CG agreement on random SPD grids and on
-//!    the real thermal / PDN matrices, and serial vs parallel sweep
-//!    bit-equality (the cache is cleared between legs so both actually
-//!    recompute).
+//!    SPD system, direct LDLᵀ vs CG and multigrid-CG vs Jacobi-CG
+//!    agreement on random SPD grids and on the real thermal / PDN
+//!    matrices, and serial vs parallel sweep bit-equality (the cache is
+//!    cleared between legs so both actually recompute).
 //! 3. **Golden-run comparison** — a committed fixture of tiny-sweep
 //!    records, compared field-by-field at relative tolerance; regenerate
 //!    with `tg-verify --bless` after an intentional physics change.
@@ -723,6 +723,155 @@ pub fn diff_direct_vs_cg(opts: &VerifyOptions) -> CheckReport {
     to_report("diff.direct_vs_cg", cases, outcome, opts)
 }
 
+/// Solves `A x = b` with multigrid-preconditioned CG and with plain
+/// Jacobi-CG and insists the solutions agree to `1e-8` relative — a
+/// wrong transfer operator or Galerkin product still converges
+/// somewhere, just not to the same place.
+fn mgcg_matches_cg(
+    tag: &str,
+    a: &simkit::linalg::CsrMatrix,
+    geometry: simkit::linalg::multigrid::GridGeometry,
+    b: &[f64],
+) -> Result<(), String> {
+    use simkit::linalg::{multigrid::MultigridPreconditioner, CgWorkspace, Preconditioner};
+    let n = a.rows();
+    let x_cg = a
+        .solve_cg(b, None, 1e-12, 40 * n.max(1))
+        .map_err(|e| format!("{tag}: CG failed: {e}"))?;
+    let mg = MultigridPreconditioner::new(a, geometry)
+        .map_err(|e| format!("{tag}: hierarchy setup failed: {e}"))?;
+    debug_assert_eq!(mg.dim(), n);
+    let mut x = vec![0.0; n];
+    let mut ws = CgWorkspace::new();
+    a.solve_cg_with(b, &mut x, &mg, &mut ws, 1e-12, 40 * n.max(1))
+        .map_err(|e| format!("{tag}: mgcg solve failed: {e}"))?;
+    let diff = vec_ops::max_abs_diff(&x_cg, &x);
+    let scale = x_cg.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    if diff > 1e-8 * scale {
+        return Err(format!(
+            "{tag}: mgcg and CG solutions differ by {diff:e} (scale {scale:e})"
+        ));
+    }
+    Ok(())
+}
+
+/// Multigrid-CG agrees with Jacobi-CG on the *real* model matrices: the
+/// two-layer-plus-sink thermal conductance system and every PDN domain
+/// sheet under a partially gated configuration.
+fn mgcg_vs_cg_real_matrices() -> Result<(), String> {
+    use simkit::linalg::multigrid::GridGeometry;
+    let chip = power8_like();
+    let model = ThermalModel::new(
+        &chip,
+        ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::coarse()
+        },
+    );
+    let n = model.node_count();
+    let b: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * (i % 7) as f64).collect();
+    mgcg_matches_cg(
+        "thermal conductance",
+        model.conductance_matrix(),
+        model.grid_geometry(),
+        &b,
+    )?;
+
+    let pdn_model = pdn::PdnModel::new(&chip, pdn::PdnConfig::reference());
+    let mut gating = GatingState::all_on(chip.vr_sites().len());
+    for &v in chip.domains()[0].vrs().iter().skip(3) {
+        gating.set(v, false).map_err(err_str)?;
+    }
+    for domain in chip.domains() {
+        let a = pdn_model
+            .domain_system(domain.id(), &gating)
+            .map_err(err_str)?;
+        let (nx, ny) = pdn_model.domain_grid_size(domain.id());
+        let b: Vec<f64> = (0..a.rows()).map(|i| 0.3 * (i % 5) as f64).collect();
+        mgcg_matches_cg(
+            &format!("pdn domain D{}", domain.id().0),
+            &a,
+            GridGeometry::new(nx, ny, 1, 0),
+            &b,
+        )?;
+    }
+    Ok(())
+}
+
+/// Multigrid-preconditioned CG matches Jacobi-CG on random SPD grid
+/// Laplacians (with an optional sink-style extra node, exercising the
+/// uncoarsened-extra path) and on the real thermal / PDN matrices.
+pub fn diff_mgcg_vs_cg(opts: &VerifyOptions) -> CheckReport {
+    use simkit::linalg::multigrid::GridGeometry;
+    let cases = if opts.fast { 3 } else { 8 };
+    if let Err(detail) = mgcg_vs_cg_real_matrices() {
+        return CheckReport {
+            name: "diff.mgcg_vs_cg".to_string(),
+            cases: 0,
+            corpus_cases: 0,
+            failure: Some(detail),
+            note: None,
+        };
+    }
+    let gen = (
+        check::usize_in(1, 12),
+        check::vec_of(check::f64_in(0.05, 3.0), 1, 16),
+        check::vec_of(check::f64_in(-1.0, 1.0), 1, 16),
+        check::bool_any(),
+    );
+    let outcome = checker(opts, cases).run(
+        "diff.mgcg_vs_cg",
+        &gen,
+        |(side, loading, rhs, with_sink)| {
+            let side = *side;
+            let cells = side * side;
+            let extra = usize::from(*with_sink);
+            let n = cells + extra;
+            // A side×side grid Laplacian with positive diagonal loading;
+            // `with_sink` appends one off-grid node coupled to every
+            // cell — the shape of the thermal sink, which multigrid must
+            // carry uncoarsened through every level.
+            let mut builder = TripletBuilder::new(n, n);
+            for j in 0..side {
+                for i in 0..side {
+                    let cell = j * side + i;
+                    let mut degree = 0.0;
+                    for (di, dj) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                        let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                        if (0..side as i64).contains(&ni) && (0..side as i64).contains(&nj) {
+                            builder.add(cell, (nj * side as i64 + ni) as usize, -1.0);
+                            degree += 1.0;
+                        }
+                    }
+                    if extra == 1 {
+                        builder.add(cell, cells, -0.25);
+                        builder.add(cells, cell, -0.25);
+                        degree += 0.25;
+                    }
+                    builder.add(cell, cell, degree + loading[cell % loading.len()]);
+                }
+            }
+            if extra == 1 {
+                builder.add(
+                    cells,
+                    cells,
+                    0.25 * cells as f64 + loading[cells % loading.len()],
+                );
+            }
+            let a = builder.build();
+            let b: Vec<f64> = (0..n).map(|c| rhs[c % rhs.len()]).collect();
+            mgcg_matches_cg(
+                "random grid",
+                &a,
+                GridGeometry::new(side, side, 1, extra),
+                &b,
+            )
+        },
+    );
+    to_report("diff.mgcg_vs_cg", cases, outcome, opts)
+}
+
 /// The benchmark × policy cells of the sweep differential / golden runs.
 pub fn verify_grid() -> ([Benchmark; 2], [PolicyKind; 2]) {
     (
@@ -988,6 +1137,7 @@ pub fn run_all(opts: &VerifyOptions) -> VerifyRun {
         oracle_pdn_linearity(opts),
         diff_cg_vs_gs(opts),
         diff_direct_vs_cg(opts),
+        diff_mgcg_vs_cg(opts),
     ];
     if !opts.skip_sweep {
         let (sweep_report, records) = diff_sweep_parallel(opts);

@@ -3,7 +3,7 @@
 //! gating with non-zero exits and named metrics, snapshot capture, and
 //! the extended trace validation (span pairing, timestamp ordering).
 
-use experiments::snapshot::{BenchSnapshot, PolicyEntry, SolverSnapshot};
+use experiments::snapshot::{BenchSnapshot, PolicyEntry, ScalingEntry, SolverSnapshot};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
@@ -152,6 +152,7 @@ fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
         peak_rss_bytes: Some(32 * 1024 * 1024),
         entries: vec![PolicyEntry {
             policy: "oract".to_string(),
+            grid_n: 32,
             wall_s: 0.5,
             steps: 300,
             steps_per_sec: 600.0,
@@ -164,6 +165,15 @@ fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
                 iters_p95,
                 residual_max: 1e-12,
             }],
+        }],
+        scaling: vec![ScalingEntry {
+            grid: 64,
+            nodes: 8193,
+            backend: "mgcg".to_string(),
+            solves: 3,
+            iters_mean: 14.0,
+            setup_s: 0.01,
+            wall_s: 0.03,
         }],
     }
 }

@@ -3,8 +3,8 @@
 use crate::config::PdnConfig;
 use floorplan::{DomainId, Floorplan, VrId};
 use simkit::linalg::{
-    CgWorkspace, CsrMatrix, JacobiPreconditioner, LdltFactor, LdltWorkspace, SolveStats,
-    SolverBackend, TripletBuilder,
+    CgWorkspace, CsrMatrix, GridGeometry, JacobiPreconditioner, LdltFactor, LdltWorkspace,
+    MultigridPreconditioner, SolveStats, SolverBackend, TripletBuilder,
 };
 use simkit::perf::SolverAgg;
 use simkit::units::Watts;
@@ -142,6 +142,15 @@ struct DomainScratch {
     /// Matrix values `ldlt` was factored from — the cache key.
     ldlt_values: Vec<f64>,
     ldlt_ws: LdltWorkspace,
+    /// Multigrid hierarchy for the mgcg backend (values-only `update`
+    /// across gating changes).
+    mg: Option<MultigridPreconditioner>,
+    /// Matrix values the iterative preconditioner (Jacobi or multigrid)
+    /// was last refreshed from. Doubles as the warm-start key: while the
+    /// gating set — and therefore the patched values — is unchanged,
+    /// `volts` carries the previous IR solution into the next solve
+    /// instead of restarting CG from zero.
+    warm_values: Vec<f64>,
 }
 
 /// Totals accumulated by [`PdnModel::solve_domains`] across the domains.
@@ -328,6 +337,8 @@ impl PdnModel {
                     ldlt: None,
                     ldlt_values: Vec::new(),
                     ldlt_ws: LdltWorkspace::new(),
+                    mg: None,
+                    warm_values: Vec::new(),
                 }
             })
             .collect();
@@ -426,8 +437,11 @@ impl PdnModel {
         // The IR systems are solved cold at every gating state, so `Auto`
         // resolves to the direct path immediately: the symbolic analysis
         // is shared across all gating states of a domain and a repeated
-        // state skips even the numeric refactor. `GaussSeidel` maps to CG
-        // because the PDN grids have no Gauss–Seidel path.
+        // state skips even the numeric refactor (the per-domain grids sit
+        // far below the multigrid crossover, so `Auto` never picks mgcg
+        // here). `GaussSeidel` maps to CG because the PDN grids have no
+        // Gauss–Seidel path.
+        let use_mgcg = matches!(self.config.solver, SolverBackend::Mgcg);
         let use_direct = matches!(
             self.config.solver,
             SolverBackend::Auto | SolverBackend::Direct
@@ -441,7 +455,13 @@ impl PdnModel {
             total_current: 0.0,
             factor_seconds: 0.0,
             solve_seconds: 0.0,
-            backend: if use_direct { "direct" } else { "cg" },
+            backend: if use_direct {
+                "direct"
+            } else if use_mgcg {
+                "mgcg"
+            } else {
+                "cg"
+            },
         };
         for (d, (grid, scratch)) in self.grids.iter().zip(scratches.iter_mut()).enumerate() {
             let n = grid.nx * grid.ny;
@@ -454,6 +474,8 @@ impl PdnModel {
                 ldlt,
                 ldlt_values,
                 ldlt_ws,
+                mg,
+                warm_values,
             } = scratch;
             // Load currents.
             i_load.iter_mut().for_each(|v| *v = 0.0);
@@ -502,10 +524,40 @@ impl PdnModel {
                 totals.solve_seconds += t.elapsed().as_secs_f64();
                 LdltFactor::stats_for(matrix, i_load, volts)
             } else {
-                pre.update(matrix)?;
-                volts.iter_mut().for_each(|v| *v = 0.0);
+                // Warm start: while the gating set (and therefore the
+                // patched matrix values) is unchanged, the previous IR
+                // solution is an excellent initial guess — consecutive
+                // decision windows mostly re-solve the same configuration
+                // with similar loads, which cuts the cold ~2050-iteration
+                // solves to a handful (BENCH.md). A gating change resets
+                // both the preconditioner and the start vector.
+                if warm_values.as_slice() != matrix.values() {
+                    let t = Instant::now();
+                    if use_mgcg {
+                        match mg {
+                            Some(m) => m.update(matrix)?,
+                            None => {
+                                *mg = Some(MultigridPreconditioner::new(
+                                    matrix,
+                                    GridGeometry::new(grid.nx, grid.ny, 1, 0),
+                                )?)
+                            }
+                        }
+                    } else {
+                        pre.update(matrix)?;
+                    }
+                    totals.factor_seconds += t.elapsed().as_secs_f64();
+                    warm_values.clear();
+                    warm_values.extend_from_slice(matrix.values());
+                    volts.iter_mut().for_each(|v| *v = 0.0);
+                }
                 let t = Instant::now();
-                let stats = matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?;
+                let stats = if use_mgcg {
+                    let mg = mg.as_ref().expect("hierarchy built above");
+                    matrix.solve_cg_with(i_load, volts, mg, cg, 1e-9, 10 * n)?
+                } else {
+                    matrix.solve_cg_with(i_load, volts, pre, cg, 1e-9, 10 * n)?
+                };
                 totals.solve_seconds += t.elapsed().as_secs_f64();
                 stats
             };
@@ -553,6 +605,18 @@ impl PdnModel {
             )));
         }
         Ok(matrix)
+    }
+
+    /// Sheet-grid resolution `(nx, ny)` of one domain — the geometry of
+    /// the [`PdnModel::domain_system`] matrix (one layer, no extra
+    /// nodes), for mesh-aware solvers and verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain id is out of range.
+    pub fn domain_grid_size(&self, domain: DomainId) -> (usize, usize) {
+        let grid = &self.grids[domain.0];
+        (grid.nx, grid.ny)
     }
 
     /// Proximity of each regulator of `domain` to the domain's current
@@ -862,6 +926,86 @@ mod tests {
             assert!(gap < 1e-8, "domain {} direct vs cg gap {gap}", d.name());
         }
         assert_eq!(a.global_volts(), b.global_volts());
+    }
+
+    #[test]
+    fn mgcg_backend_agrees_with_direct() {
+        let chip = power8_like();
+        let direct = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Direct,
+                ..PdnConfig::default()
+            },
+        );
+        let mgcg = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Mgcg,
+                ..PdnConfig::default()
+            },
+        );
+        let powers = uniform_powers(&chip, 1.5);
+        let mut gating = GatingState::all_on(chip.vr_sites().len());
+        for &v in chip.domains()[0].vrs().iter().skip(4) {
+            gating.set(v, false).unwrap();
+        }
+        let a = direct.ir_drop(&gating, &powers).unwrap();
+        let b = mgcg.ir_drop(&gating, &powers).unwrap();
+        assert_eq!(b.backend(), "mgcg");
+        for d in chip.domains() {
+            let gap = (a.domain_volts(d.id()) - b.domain_volts(d.id())).abs();
+            assert!(gap < 1e-8, "domain {} direct vs mgcg gap {gap}", d.name());
+        }
+    }
+
+    #[test]
+    fn repeated_gating_state_warm_starts_iterative_solves() {
+        let chip = power8_like();
+        let model = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Cg,
+                ..PdnConfig::default()
+            },
+        );
+        let powers = uniform_powers(&chip, 1.5);
+        let all_on = GatingState::all_on(chip.vr_sites().len());
+        let cold = model.ir_drop(&all_on, &powers).unwrap();
+        // Same gating, same loads: the previous solution already solves
+        // the system, so warm-started CG exits in ~0 iterations …
+        let warm = model.ir_drop(&all_on, &powers).unwrap();
+        assert!(
+            warm.solve_stats().iterations * 10 <= cold.solve_stats().iterations.max(10),
+            "warm {} vs cold {} iterations",
+            warm.solve_stats().iterations,
+            cold.solve_stats().iterations
+        );
+        // … and the voltages agree with the cold solve to solver tolerance.
+        for d in chip.domains() {
+            let gap = (cold.domain_volts(d.id()) - warm.domain_volts(d.id())).abs();
+            assert!(gap < 1e-8, "domain {} cold vs warm gap {gap}", d.name());
+        }
+        // A gating change must reset the warm start (cold restart, fresh
+        // preconditioner) and still produce the right answer.
+        let mut half = all_on.clone();
+        for &v in chip.domains()[0].vrs().iter().skip(3) {
+            half.set(v, false).unwrap();
+        }
+        let other = model.ir_drop(&half, &powers).unwrap();
+        let reference = PdnModel::new(
+            &chip,
+            PdnConfig {
+                solver: simkit::linalg::SolverBackend::Cg,
+                ..PdnConfig::default()
+            },
+        )
+        .ir_drop(&half, &powers)
+        .unwrap();
+        for d in chip.domains() {
+            let gap = (other.domain_volts(d.id()) - reference.domain_volts(d.id())).abs();
+            assert!(gap < 1e-8, "domain {} stale-warm gap {gap}", d.name());
+        }
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl NoiseAnalyzer {
     }
 
     /// Installs a telemetry handle; each analysis then emits a
-    /// `pdn.ir_direct` or `pdn.ir_cg` solve event (aggregated over the
+    /// `pdn.ir_direct`, `pdn.ir_cg`, or `pdn.ir_mgcg` solve event (aggregated over the
     /// per-domain solves, named after the configured solver backend,
     /// carrying the factor/solve wall-clock split) and a
     /// `pdn.noise_max_pct` gauge.
@@ -190,10 +190,10 @@ impl NoiseAnalyzer {
         };
         if self.telemetry.is_enabled() {
             let solve = report.ir_solve;
-            let event = if ir.backend() == "direct" {
-                "pdn.ir_direct"
-            } else {
-                "pdn.ir_cg"
+            let event = match ir.backend() {
+                "direct" => "pdn.ir_direct",
+                "mgcg" => "pdn.ir_mgcg",
+                _ => "pdn.ir_cg",
             };
             self.telemetry.solve_timed(
                 event,

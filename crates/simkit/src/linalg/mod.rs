@@ -23,13 +23,22 @@
 //! feedback loops — the [`direct`] submodule adds a dependency-free sparse
 //! LDLᵀ factorization ([`LdltFactor`]) with a fill-reducing minimum-degree
 //! ordering, a values-only [`LdltFactor::refactor`] fast path, and
-//! allocation-free triangular solves. [`SolverBackend`] names the solver
-//! families so higher layers (thermal, PDN, engine configs) can select one
-//! or defer to the break-even [`SolverBackend::Auto`] policy.
+//! allocation-free triangular solves. For grids one to two orders of
+//! magnitude finer — where Jacobi-CG iteration counts grow with the grid
+//! diameter and LDLᵀ fill-in grows superlinearly — the [`multigrid`]
+//! submodule adds a geometric multigrid V-cycle preconditioner
+//! ([`MultigridPreconditioner`]) whose iteration counts are essentially
+//! grid-size independent; CG is generic over the [`Preconditioner`]
+//! trait, so both preconditioners share one solver. [`SolverBackend`]
+//! names the solver families so higher layers (thermal, PDN, engine
+//! configs) can select one or defer to the break-even
+//! [`SolverBackend::Auto`] policy.
 
 pub mod direct;
+pub mod multigrid;
 
 pub use direct::{LdltFactor, LdltWorkspace, SolverBackend, DIRECT_BREAK_EVEN};
+pub use multigrid::{GridGeometry, MultigridPreconditioner};
 
 use crate::error::{Error, Result};
 
@@ -245,6 +254,13 @@ impl CsrMatrix {
     /// Matrix-vector product writing into a caller-provided buffer
     /// (avoids allocation inside solver loops).
     ///
+    /// Each row's gather runs in four independent accumulator lanes
+    /// (4-wide blocking over the row's entries) so the autovectorizer can
+    /// keep the multiply-adds in SIMD registers instead of serialising
+    /// them through one scalar dependency chain; the remainder entries
+    /// (< 4) fall back to a scalar tail. Summation order therefore
+    /// differs from the naive loop by round-off only.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds when dimensions do not match.
@@ -252,11 +268,111 @@ impl CsrMatrix {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
         for (row, out) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
+            let lo = self.row_ptr[row];
+            let hi = self.row_ptr[row + 1];
+            let vals = &self.values[lo..hi];
+            let cols = &self.col_idx[lo..hi];
+            let mut vc = vals.chunks_exact(4);
+            let mut cc = cols.chunks_exact(4);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (v, c) in vc.by_ref().zip(cc.by_ref()) {
+                a0 += v[0] * x[c[0]];
+                a1 += v[1] * x[c[1]];
+                a2 += v[2] * x[c[2]];
+                a3 += v[3] * x[c[3]];
+            }
+            let mut acc = (a0 + a2) + (a1 + a3);
+            for (v, &c) in vc.remainder().iter().zip(cc.remainder()) {
+                acc += v * x[c];
             }
             *out = acc;
+        }
+    }
+
+    /// Matrix product `self · other`, assembled row-by-row with a dense
+    /// accumulator (classic CSR SpGEMM). Used to form the Galerkin coarse
+    /// operators `R·A·P` of the [`multigrid`] hierarchy; exact zeros that
+    /// arise from cancellation are kept so the product's pattern is
+    /// reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `self.cols != other.rows`.
+    pub fn multiply(&self, other: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != other.rows {
+            return Err(Error::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let m = other.cols;
+        let mut acc = vec![0.0f64; m];
+        // Per-row membership marker: `mark[col] == row` iff `col` is
+        // already in `touched` for the current row. O(1) insert test.
+        let mut mark = vec![usize::MAX; m];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in 0..self.rows {
+            touched.clear();
+            for ka in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let a = self.values[ka];
+                let mid = self.col_idx[ka];
+                for kb in other.row_ptr[mid]..other.row_ptr[mid + 1] {
+                    let col = other.col_idx[kb];
+                    if mark[col] != row {
+                        mark[col] = row;
+                        touched.push(col);
+                    }
+                    acc[col] += a * other.values[kb];
+                }
+            }
+            touched.sort_unstable();
+            for &col in &touched {
+                col_idx.push(col);
+                values.push(acc[col]);
+                acc[col] = 0.0;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: m,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// The transpose, as a new CSR matrix (one counting pass plus one
+    /// scatter pass; entries stay sorted per row).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for row in 0..self.rows {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let c = self.col_idx[k];
+                col_idx[cursor[c]] = row;
+                values[cursor[c]] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
         }
     }
 
@@ -395,17 +511,17 @@ impl CsrMatrix {
     /// * [`Error::DimensionMismatch`] — `b`, `x`, or the preconditioner
     ///   does not match `rows`;
     /// * [`Error::NonConverged`] — tolerance not met in `max_iter`.
-    pub fn solve_cg_with(
+    pub fn solve_cg_with<P: Preconditioner + ?Sized>(
         &self,
         b: &[f64],
         x: &mut [f64],
-        pre: &JacobiPreconditioner,
+        pre: &P,
         ws: &mut CgWorkspace,
         tolerance: f64,
         max_iter: usize,
     ) -> Result<SolveStats> {
         let n = self.rows;
-        for len in [b.len(), x.len(), pre.len()] {
+        for len in [b.len(), x.len(), pre.dim()] {
             if len != n {
                 return Err(Error::DimensionMismatch {
                     expected: n,
@@ -611,6 +727,38 @@ impl CsrMatrix {
             iterations: max_sweeps,
             residual: self.relative_residual(b, x),
         })
+    }
+}
+
+/// A symmetric-positive-definite preconditioner `M ≈ A` applied as
+/// `z ← M⁻¹·r` inside [`CsrMatrix::solve_cg_with`].
+///
+/// CG is generic over this trait: [`JacobiPreconditioner`] (diagonal
+/// scaling) and [`multigrid::MultigridPreconditioner`] (one geometric
+/// V-cycle) both implement it, so every CG call site picks its
+/// preconditioner without touching the solver. Implementations must be
+/// linear, symmetric, and positive definite in exact arithmetic or CG's
+/// convergence theory (and in practice its monotone residual) breaks.
+pub trait Preconditioner {
+    /// Dimension of the system the preconditioner was built for.
+    fn dim(&self) -> usize;
+
+    /// `z ← M⁻¹·r`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (at least in debug builds) when `r` or `z` length
+    /// differs from [`Preconditioner::dim`].
+    fn apply_into(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn dim(&self) -> usize {
+        self.len()
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        JacobiPreconditioner::apply_into(self, r, z);
     }
 }
 

@@ -164,3 +164,47 @@ fn committed_bench_snapshots_validate_and_gate() {
     }
     assert!(found > 0, "no committed BENCH_*.json snapshot at repo root");
 }
+
+/// The committed reference snapshot's grid-scaling axis must keep
+/// proving the multigrid win: at its finest grid (≥10× the cells of the
+/// production 64×64), mgcg needs ≤⅕ the iterations of Jacobi-CG and
+/// ≤½ the total wall (hierarchy setup included) of the best PR-5
+/// backend. These are committed numbers, so the gate is deterministic —
+/// it fails when someone regenerates the snapshot from a build where
+/// multigrid lost its advantage.
+#[test]
+fn committed_scaling_axis_proves_the_multigrid_win() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_ref.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_ref.json readable");
+    let snap = BenchSnapshot::from_json(&text).expect("reference snapshot parses");
+    assert!(
+        !snap.scaling.is_empty(),
+        "BENCH_ref.json lacks the grid-scaling axis"
+    );
+    let finest = snap.scaling.iter().map(|s| s.grid).max().unwrap();
+    assert!(
+        finest * finest >= 10 * 64 * 64,
+        "finest committed grid {finest}² is under 10× the production cell count"
+    );
+    let cell = |backend: &str| {
+        snap.scaling
+            .iter()
+            .find(|s| s.grid == finest && s.backend == backend)
+            .unwrap_or_else(|| panic!("no {backend} cell at {finest}×{finest}"))
+    };
+    let (cg, mgcg, direct) = (cell("cg"), cell("mgcg"), cell("direct"));
+    assert!(
+        mgcg.iters_mean * 5.0 <= cg.iters_mean,
+        "mgcg {} vs cg {} iterations at {finest}×{finest}: advantage under 5×",
+        mgcg.iters_mean,
+        cg.iters_mean
+    );
+    let total = |s: &experiments::snapshot::ScalingEntry| s.setup_s + s.wall_s;
+    let best_other = total(cg).min(total(direct));
+    assert!(
+        total(mgcg) * 2.0 <= best_other,
+        "mgcg total {:.3}s vs best alternative {best_other:.3}s at {finest}×{finest}: \
+         advantage under 2×",
+        total(mgcg)
+    );
+}
