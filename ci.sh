@@ -23,11 +23,11 @@ TELEMETRY_DIR="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_DIR"' EXIT
 cargo run --release -q -p experiments --bin simulate -- \
     --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
-    --quiet --telemetry="$TELEMETRY_DIR"
+    --frames 25 --quiet --telemetry="$TELEMETRY_DIR"
 test -s "$TELEMETRY_DIR/trace.jsonl"
 test -s "$TELEMETRY_DIR/manifest.json"
 cargo run --release -q -p experiments --bin telemetry_check -- "$TELEMETRY_DIR" \
-    --require span_start,span_end,counter,gauge,histogram,gating,emergency,solve,progress
+    --require span_start,span_end,counter,gauge,histogram,gating,emergency,solve,progress,frame
 
 echo "== tg-obs: summarize, export, self-diff (must be zero-drift) =="
 cargo run --release -q -p experiments --bin tg-obs -- summarize "$TELEMETRY_DIR"
@@ -35,6 +35,27 @@ cargo run --release -q -p experiments --bin tg-obs -- export "$TELEMETRY_DIR" \
     --out "$TELEMETRY_DIR/series.csv"
 test -s "$TELEMETRY_DIR/series.csv"
 cargo run --release -q -p experiments --bin tg-obs -- diff "$TELEMETRY_DIR" "$TELEMETRY_DIR"
+
+echo "== tg-obs: timeline/flame/top (Perfetto export + deterministic profiler) =="
+# timeline must emit Chrome Trace JSON (validated internally before it
+# is written; the grep is a belt-and-braces shape check), flame must
+# emit non-empty collapsed stacks, and the structural `top` report must
+# be byte-identical across two identical seeded runs.
+cargo run --release -q -p experiments --bin tg-obs -- timeline "$TELEMETRY_DIR" \
+    --out "$TELEMETRY_DIR/timeline.json"
+grep -q '"traceEvents"' "$TELEMETRY_DIR/timeline.json"
+cargo run --release -q -p experiments --bin tg-obs -- flame "$TELEMETRY_DIR" \
+    --out "$TELEMETRY_DIR/profile.folded"
+test -s "$TELEMETRY_DIR/profile.folded"
+mkdir -p "$TELEMETRY_DIR/rerun"
+cargo run --release -q -p experiments --bin simulate -- \
+    --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
+    --frames 25 --quiet --telemetry="$TELEMETRY_DIR/rerun"
+cargo run --release -q -p experiments --bin tg-obs -- top "$TELEMETRY_DIR" \
+    --out "$TELEMETRY_DIR/top_a.txt"
+cargo run --release -q -p experiments --bin tg-obs -- top "$TELEMETRY_DIR/rerun" \
+    --out "$TELEMETRY_DIR/top_b.txt"
+cmp "$TELEMETRY_DIR/top_a.txt" "$TELEMETRY_DIR/top_b.txt"
 
 echo "== tg-obs: perf snapshot (CI artifact at target/ci/BENCH_ci.json) =="
 # --grids adds the steady-solve grid-scaling axis (cg/mgcg/direct per

@@ -1,7 +1,9 @@
 //! Telemetry overhead: the acceptance bar is that a run with the no-op
 //! sink installed stays within 1 % of a run with telemetry disabled
 //! (the default), while the full JSONL + metrics pipeline is measured
-//! separately to quantify the cost of actually recording.
+//! separately to quantify the cost of actually recording, and the
+//! spatial frame recorder's extra cost on top of that pipeline is
+//! measured as its own row.
 
 use bench::bench_config;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -12,15 +14,25 @@ use simkit::telemetry::{
 };
 use std::hint::black_box;
 use std::sync::Arc;
-use thermogater::{PolicyKind, SimulationEngine};
+use thermogater::{EngineConfig, PolicyKind, SimulationEngine};
 use workload::Benchmark;
+
+/// One engine run with the given telemetry handle installed, capturing
+/// a spatial frame every `frame_every` thermal steps (0 = off).
+fn traced_run_with_frames(telemetry: Telemetry, frame_every: usize) {
+    let chip = power8_like();
+    let config = EngineConfig {
+        frame_every,
+        ..bench_config()
+    };
+    let mut engine = SimulationEngine::new(&chip, config);
+    engine.set_telemetry(telemetry);
+    black_box(engine.run(Benchmark::LuNcb, PolicyKind::OracVT).unwrap());
+}
 
 /// One engine run with the given telemetry handle installed.
 fn traced_run(telemetry: Telemetry) {
-    let chip = power8_like();
-    let mut engine = SimulationEngine::new(&chip, bench_config());
-    engine.set_telemetry(telemetry);
-    black_box(engine.run(Benchmark::LuNcb, PolicyKind::OracVT).unwrap());
+    traced_run_with_frames(telemetry, 0);
 }
 
 fn telemetry_overhead(c: &mut Criterion) {
@@ -52,6 +64,27 @@ fn telemetry_overhead(c: &mut Criterion) {
             ]));
             let counter = Arc::new(CountingSink::new(fanout as Arc<dyn TelemetrySink>));
             traced_run(Telemetry::with_sink(counter));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Frames on top of the full pipeline: the spatial frame recorder
+    // sampling every 50 steps. The delta against `jsonl_metrics` is the
+    // recorder's cost; the gated BENCH axis tracks the same quantity
+    // from the recorder's own `telemetry.overhead` counter.
+    group.bench_function("jsonl_metrics_frames", |b| {
+        let dir =
+            std::env::temp_dir().join(format!("tg-bench-telemetry-fr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        b.iter(|| {
+            let jsonl = Arc::new(JsonlSink::create(&dir.join("trace.jsonl")).unwrap());
+            let registry = Arc::new(MetricsRegistry::new());
+            let fanout = Arc::new(FanoutSink::new(vec![
+                jsonl as Arc<dyn TelemetrySink>,
+                Arc::new(MetricsSink::new(registry)),
+            ]));
+            let counter = Arc::new(CountingSink::new(fanout as Arc<dyn TelemetrySink>));
+            traced_run_with_frames(Telemetry::with_sink(counter), 50);
         });
         let _ = std::fs::remove_dir_all(&dir);
     });

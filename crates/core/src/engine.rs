@@ -81,6 +81,14 @@ pub struct EngineConfig {
     pub solver: SolverBackend,
     /// Decision intervals simulated by the θ-calibration profiling pass.
     pub profiling_decisions: usize,
+    /// Thermal steps between spatial frames captured into the
+    /// telemetry trace by the [`FrameRecorder`](crate::FrameRecorder)
+    /// (downsampled heat map, voltage lanes, gating mask, hotspot
+    /// track). 0 — the default — disables frame capture entirely: no
+    /// recorder is constructed and the event stream is unchanged.
+    pub frame_every: usize,
+    /// Maximum edge of the downsampled thermal frame (cells per axis).
+    pub frame_grid: usize,
     /// Master seed for every stochastic element.
     pub seed: u64,
 }
@@ -102,6 +110,8 @@ impl EngineConfig {
             noise_window_count: 200,
             solver: SolverBackend::env_default(),
             profiling_decisions: 10,
+            frame_every: 0,
+            frame_grid: 16,
             seed: 0x7468_6572_6D6F,
         }
     }
@@ -720,6 +730,23 @@ impl<'c> SimulationEngine<'c> {
         // phase hosted it so the report attributes time where it is spent.
         let mut noise_secs = 0.0f64;
 
+        // Spatial frame capture (heat-map / lane / hotspot Frame
+        // events): only built when telemetry is live AND frames were
+        // requested, so the disabled path costs one `is_none` branch.
+        let mut frame_recorder = if self.telemetry.is_enabled() && cfg.frame_every > 0 {
+            Some(crate::FrameRecorder::new(
+                self.telemetry.clone(),
+                cfg.frame_every,
+                cfg.frame_grid,
+                cfg.thermal_step,
+            ))
+        } else {
+            None
+        };
+        // Per-domain supply lanes: Vdd scaled by the most recent
+        // measured droop fraction, held between noise windows.
+        let mut lane_voltages = vec![vdd.get(); n_domains];
+
         for k in 0..self.n_decisions {
             let noise_at_decide = noise_secs;
             let t_decide = Timer::start();
@@ -1021,6 +1048,9 @@ impl<'c> SimulationEngine<'c> {
                                 }
                             })
                             .collect();
+                        for (lane, fraction) in lane_voltages.iter_mut().zip(&fractions) {
+                            *lane = vdd.get() * (1.0 - fraction);
+                        }
                         let pct = fractions.iter().copied().fold(0.0f64, f64::max) * 100.0;
                         window_noise.push(pct);
                         self.telemetry.histogram("engine.window_noise_pct", pct);
@@ -1079,6 +1109,10 @@ impl<'c> SimulationEngine<'c> {
                         }
                         noise_secs += t_noise.elapsed_seconds();
                     }
+
+                    if let Some(recorder) = frame_recorder.as_mut() {
+                        recorder.observe(view.step, view.state, view.gating, &lane_voltages);
+                    }
                     Ok(())
                 },
             )?;
@@ -1107,6 +1141,9 @@ impl<'c> SimulationEngine<'c> {
 
         if noise_secs > 0.0 {
             perf.add("noise", noise_secs);
+        }
+        if let Some(recorder) = frame_recorder {
+            recorder.finish();
         }
         run_span.finish();
 
@@ -1485,6 +1522,83 @@ mod tests {
         assert_eq!(a.max_temperature(), b.max_temperature());
         assert_eq!(a.max_noise_percent(), b.max_noise_percent());
         assert_eq!(a.emergency_cycle_fraction(), b.emergency_cycle_fraction());
+    }
+
+    #[test]
+    fn frame_recorder_emits_frames_without_perturbing_physics() {
+        let chip = power8_like();
+        let framed_config = EngineConfig {
+            frame_every: 25,
+            frame_grid: 8,
+            ..tiny_config()
+        };
+        let mut framed = SimulationEngine::new(&chip, framed_config.clone());
+        let (tel, sink) = Telemetry::recorder();
+        framed.set_telemetry(tel);
+        let with_frames = framed.run(Benchmark::Fft, PolicyKind::OracVT).unwrap();
+
+        // 3 ms ROI at 20 µs steps = 150 steps; every 25th is sampled.
+        let expected_frames = 150 / 25;
+        let events = sink.events();
+        let count_name = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count_name("thermal.frame"), expected_frames);
+        assert_eq!(count_name("engine.lanes"), expected_frames);
+        assert_eq!(count_name("thermal.hotspot"), expected_frames);
+        assert_eq!(sink.count_kind(EventKind::Frame), 3 * expected_frames);
+
+        // Self-accounting counters land at end of run.
+        let counter_total = |name: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Counter && e.name == name)
+                .filter_map(|e| {
+                    e.fields.iter().find_map(|(k, v)| match (k.as_ref(), v) {
+                        ("delta", simkit::telemetry::FieldValue::U64(d)) => Some(*d),
+                        _ => None,
+                    })
+                })
+                .sum()
+        };
+        assert_eq!(counter_total("telemetry.frames"), expected_frames as u64);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Counter && e.name == "telemetry.overhead"),
+            "telemetry.overhead counter missing"
+        );
+
+        // The hotspot track is a running maximum.
+        let hotspots: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name == "thermal.hotspot")
+            .filter_map(|e| {
+                e.fields.iter().find_map(|(k, v)| match (k.as_ref(), v) {
+                    ("value", simkit::telemetry::FieldValue::F64(t)) => Some(*t),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(hotspots.len(), expected_frames);
+        assert!(hotspots.windows(2).all(|w| w[1] >= w[0]));
+
+        // Frame capture reads state only: physics identical to a
+        // frames-off run.
+        let plain = SimulationEngine::new(&chip, tiny_config());
+        let without = plain.run(Benchmark::Fft, PolicyKind::OracVT).unwrap();
+        assert_eq!(with_frames.max_temperature(), without.max_temperature());
+        assert_eq!(with_frames.max_noise_percent(), without.max_noise_percent());
+
+        // frame_every == 0 with telemetry on adds no frame events.
+        let mut unframed = SimulationEngine::new(&chip, tiny_config());
+        let (tel2, sink2) = Telemetry::recorder();
+        unframed.set_telemetry(tel2);
+        unframed.run(Benchmark::Fft, PolicyKind::OracVT).unwrap();
+        assert_eq!(sink2.count_kind(EventKind::Frame), 0);
+        let no_overhead = sink2
+            .events()
+            .iter()
+            .all(|e| e.name != "telemetry.overhead" && e.name != "telemetry.frames");
+        assert!(no_overhead, "frames-off run must not self-account");
     }
 
     #[test]

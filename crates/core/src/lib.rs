@@ -55,6 +55,7 @@
 
 mod aging;
 mod engine;
+mod frames;
 mod policy;
 mod predictor;
 mod result;
@@ -62,6 +63,7 @@ mod sensor;
 
 pub use aging::{AgingModel, AgingReport};
 pub use engine::{EngineConfig, SimulationEngine};
+pub use frames::FrameRecorder;
 pub use policy::{gating_from_rankings, rank_regulators, select_gating, PolicyInputs, PolicyKind};
 pub use predictor::{DomainPowerForecaster, ThermalPredictor};
 pub use result::{DecisionRecord, SimulationResult};

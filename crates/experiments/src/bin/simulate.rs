@@ -42,18 +42,21 @@ struct Args {
     heatmap: bool,
     quiet: bool,
     telemetry: Option<PathBuf>,
+    frames: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: simulate [--bench <label> | --mix <a,b,..>] [--policy <tag>]\n\
      \u{20}       [--duration-ms <f64>] [--windows <n>] [--grid <n>]\n\
      \u{20}       [--design fivr|ldo] [--trace <csv>] [--export-trace <csv>]\n\
-     \u{20}       [--heatmap] [--quiet|-q] [--telemetry=<dir>]\n\
+     \u{20}       [--heatmap] [--quiet|-q] [--telemetry=<dir>] [--frames <n>]\n\
      benchmarks: barnes chol fft fmm lu_cb lu_ncb oc_cp oc_ncp radio\n\
      \u{20}           radix rayt volr water_n water_s\n\
      policies:   allon offchip naive oract oracv oracvt pract pracvt\n\
      telemetry:  --telemetry=<dir> (or SIMKIT_TELEMETRY=<dir>) writes a\n\
-     \u{20}           structured trace.jsonl + manifest.json into <dir>"
+     \u{20}           structured trace.jsonl + manifest.json into <dir>;\n\
+     \u{20}           --frames <n> records a spatial thermal frame every\n\
+     \u{20}           n thermal steps into the trace (0 = off)"
 }
 
 fn parse_benchmark(label: &str) -> Result<Benchmark, String> {
@@ -90,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         heatmap: false,
         quiet: false,
         telemetry: std::env::var("SIMKIT_TELEMETRY").ok().map(PathBuf::from),
+        frames: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
                     "ldo" => RegulatorDesign::power8_ldo(),
                     other => return Err(format!("unknown design {other:?}")),
                 })
+            }
+            "--frames" => {
+                args.frames = Some(value()?.parse().map_err(|e| format!("bad frames: {e}"))?)
             }
             "--trace" => args.trace_path = Some(value()?),
             "--export-trace" => args.export_path = Some(value()?),
@@ -166,6 +173,9 @@ fn main() -> ExitCode {
     }
     if let Some(design) = args.design {
         config.design = design;
+    }
+    if let Some(every) = args.frames {
+        config.frame_every = every;
     }
     let duration = config.duration;
     let noise_windows = config.noise_window_count;

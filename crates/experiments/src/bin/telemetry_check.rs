@@ -5,7 +5,9 @@
 //! well-formed JSON with a known `kind`, a numeric `t`, and a string
 //! `name`, that the trace's line count equals the manifest's
 //! `events_total`, that every `span_end` closes a previously opened
-//! span of the same name (and none stay open at end of trace), and
+//! span of the same name *on the same track* — cell handles stamp a
+//! `track` field, so a worker's end can never consume another
+//! worker's start — (and none stay open at end of trace), and
 //! that timestamps never step backwards by more than `--mono-slack`
 //! seconds (run-level and cell-level handles have separate epochs a
 //! few milliseconds apart, so exact monotonicity would be a false
@@ -32,7 +34,7 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: telemetry_check <dir> [--require kind1,kind2,..] [--mono-slack <s>]\n\
      kinds: span_start span_end counter gauge histogram gating\n\
-     \u{20}      emergency solve progress"
+     \u{20}      emergency solve progress frame"
 }
 
 struct Args {
@@ -84,9 +86,9 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Validates one trace line; returns its event kind, timestamp, and
-/// name.
-fn check_line(line: &str) -> Result<(EventKind, f64, String), String> {
+/// Validates one trace line; returns its event kind, timestamp, name,
+/// and track id (0 for the run-level handle, which omits the field).
+fn check_line(line: &str) -> Result<(EventKind, f64, String, u64), String> {
     let value = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     let obj = match &value {
         JsonValue::Obj(_) => &value,
@@ -109,7 +111,14 @@ fn check_line(line: &str) -> Result<(EventKind, f64, String), String> {
     if name.is_empty() {
         return Err("empty \"name\"".into());
     }
-    Ok((kind, t, name.to_string()))
+    let track = match obj.get("track") {
+        None => 0,
+        Some(v) => v
+            .as_f64()
+            .filter(|t| t.is_finite() && *t >= 0.0 && t.fract() == 0.0)
+            .ok_or("field \"track\" is not a non-negative integer")? as u64,
+    };
+    Ok((kind, t, name.to_string(), track))
 }
 
 fn run(args: &Args) -> Result<(u64, usize), String> {
@@ -128,20 +137,22 @@ fn run(args: &Args) -> Result<(u64, usize), String> {
     let check_mono = manifest.cells.len() <= 1;
     let mut seen = BTreeSet::new();
     let mut lines = 0u64;
-    let mut open_spans: BTreeMap<String, u64> = BTreeMap::new();
+    // Keyed by (track, name): parallel workers pair independently.
+    let mut open_spans: BTreeMap<(u64, String), u64> = BTreeMap::new();
     let mut prev_t = f64::NEG_INFINITY;
     for (i, line) in trace.lines().enumerate() {
-        let (kind, t, name) =
+        let (kind, t, name, track) =
             check_line(line).map_err(|e| format!("{}:{}: {e}", TRACE_FILE, i + 1))?;
         match kind {
-            EventKind::SpanStart => *open_spans.entry(name).or_insert(0) += 1,
+            EventKind::SpanStart => *open_spans.entry((track, name)).or_insert(0) += 1,
             EventKind::SpanEnd => {
                 let depth = open_spans
-                    .get_mut(&name)
+                    .get_mut(&(track, name.clone()))
                     .filter(|d| **d > 0)
                     .ok_or_else(|| {
                         format!(
-                            "{}:{}: span_end {name:?} without a matching span_start",
+                            "{}:{}: span_end {name:?} on track {track} without a \
+                             matching span_start",
                             TRACE_FILE,
                             i + 1
                         )
@@ -163,10 +174,10 @@ fn run(args: &Args) -> Result<(u64, usize), String> {
         seen.insert(kind.as_str());
         lines += 1;
     }
-    let unclosed: Vec<&str> = open_spans
+    let unclosed: Vec<String> = open_spans
         .iter()
         .filter(|(_, depth)| **depth > 0)
-        .map(|(name, _)| name.as_str())
+        .map(|((track, name), _)| format!("{name} (track {track})"))
         .collect();
     if !unclosed.is_empty() {
         return Err(format!(

@@ -9,6 +9,9 @@
 //! ```text
 //! tg-obs summarize <run-dir>                  # human-readable report
 //! tg-obs export <run-dir> [--out <csv>]       # CSV time series
+//! tg-obs timeline <run-dir> [--out <json>]    # Chrome-trace / Perfetto
+//! tg-obs flame <run-dir> [--out <txt>]        # collapsed stacks
+//! tg-obs top <run-dir> [--times] [--tree]     # hottest-site profile
 //! tg-obs diff <a> <b> [--all] [--tol m=rel] [--solver-agnostic]
 //! tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies t,t]
 //! ```
@@ -22,6 +25,8 @@ use experiments::snapshot::{self, BenchSnapshot};
 use experiments::sweep::policy_from_tag;
 use simkit::telemetry::analyze::{series_points, TraceAnalysis, TraceReader};
 use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
+use simkit::telemetry::prof::Profile;
+use simkit::telemetry::timeline;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -39,6 +44,27 @@ USAGE:
         Export the trace as a CSV time series (t_s,metric,value):
         gauges, histograms, solver iterations/residuals, gating
         activity, span durations.
+
+    tg-obs timeline <run-dir> [--out <file.json>]
+        Export the trace in Chrome Trace Event JSON: spans as duration
+        events per worker track, counters/gauges/histograms as counter
+        tracks, gating/emergency/progress as instants, timed solves as
+        complete events. Open the file in Perfetto
+        (https://ui.perfetto.dev) or chrome://tracing. The export is
+        shape-validated before it is written.
+
+    tg-obs flame <run-dir> [--out <file.txt>]
+        Fold the trace's spans into collapsed-stack lines
+        (`track0;a;b <weight-µs>`), ready for flamegraph.pl or
+        inferno-flamegraph. Per-track weights sum exactly to that
+        track's root inclusive time.
+
+    tg-obs top <run-dir> [--times] [--tree]
+        Hierarchical self-profile of the run: hottest span sites with
+        call counts. The default report is structural (byte-identical
+        across reruns of the same seeded config); --times adds
+        inclusive/exclusive wall time and re-ranks by exclusive time.
+        --tree prints the full per-track call tree instead.
 
     tg-obs diff <a> <b> [--all] [--tol <metric>=<rel>]... [--solver-agnostic]
         Compare two run directories or two BENCH_*.json snapshots.
@@ -78,6 +104,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("flame") => cmd_flame(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench-snapshot") => cmd_bench_snapshot(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -202,6 +231,99 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("stdout: {e}"))?;
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses `<run-dir> [--out <file>]` plus any listed boolean flags;
+/// returns (input, out, flag states in the order given).
+fn parse_io_args<'a>(
+    args: &'a [String],
+    usage: &str,
+    flags: &[&str],
+) -> Result<(&'a str, Option<&'a str>, Vec<bool>), String> {
+    let mut run_dir: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut states = vec![false; flags.len()];
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            out = Some(
+                iter.next()
+                    .ok_or_else(|| "--out needs a file path".to_string())?,
+            );
+        } else if let Some(pos) = flags.iter().position(|f| f == arg) {
+            states[pos] = true;
+        } else if run_dir.is_none() && !arg.starts_with('-') {
+            run_dir = Some(arg);
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    let run_dir = run_dir.ok_or_else(|| format!("usage: {usage}\n\n{USAGE}"))?;
+    Ok((run_dir, out, states))
+}
+
+/// Writes `text` to `out` (reporting the path on stderr) or to stdout.
+fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
+    let (run_dir, out, _) = parse_io_args(args, "tg-obs timeline <run-dir> [--out <file>]", &[])?;
+    let trace = trace_path(Path::new(run_dir));
+    let json = timeline::chrome_trace_from_path(&trace)
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let stats = timeline::validate(&json)
+        .map_err(|e| format!("internal error: export failed validation: {e}"))?;
+    write_output(&json, out)?;
+    eprintln!(
+        "{} events: {} span, {} complete, {} counter, {} instant on {} track(s)",
+        stats.events, stats.spans, stats.complete, stats.counters, stats.instants, stats.tracks,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
+    let (run_dir, out, _) = parse_io_args(args, "tg-obs flame <run-dir> [--out <file>]", &[])?;
+    let trace = trace_path(Path::new(run_dir));
+    let profile =
+        Profile::from_path(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    if profile.pairing_errors() > 0 {
+        eprintln!(
+            "warning: {} span pairing error(s); stacks below them are approximate",
+            profile.pairing_errors()
+        );
+    }
+    write_output(&profile.collapsed(), out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    let (run_dir, out, flags) = parse_io_args(
+        args,
+        "tg-obs top <run-dir> [--times] [--tree]",
+        &["--times", "--tree"],
+    )?;
+    let trace = trace_path(Path::new(run_dir));
+    let profile =
+        Profile::from_path(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let report = if flags[1] {
+        profile.render_tree()
+    } else {
+        profile.render_top(flags[0])
+    };
+    write_output(&report, out)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -409,6 +531,14 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(rss) = snap.peak_rss_bytes {
         println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    if let Some(t) = &snap.telemetry {
+        println!(
+            "frame recorder: {} frames in {} µs ({:.3}% of the run)",
+            t.frames,
+            t.overhead_us,
+            t.overhead_share() * 100.0
+        );
     }
     println!("wrote {}", path.display());
     Ok(ExitCode::SUCCESS)

@@ -23,6 +23,10 @@ pub struct ExpOptions {
     /// Directory to write structured telemetry into (`trace.jsonl` +
     /// `manifest.json`). `None` disables telemetry.
     pub telemetry: Option<PathBuf>,
+    /// Spatial frame-recorder sampling period in thermal steps
+    /// (`--frames=N` / `SIMKIT_FRAMES`). `None` disables frame capture;
+    /// frames are only emitted when telemetry is also enabled.
+    pub frames: Option<usize>,
 }
 
 impl ExpOptions {
@@ -30,8 +34,10 @@ impl ExpOptions {
     /// `--quiet`/`-q`, `--telemetry=<dir>`). `THERMOGATER_QUICK` in the
     /// environment also selects the quick configuration, and
     /// `SIMKIT_TELEMETRY=<dir>` enables telemetry when the flag is
-    /// absent. Also installs the quiet preference into
-    /// [`crate::report`], so tables printed through it honour `--quiet`.
+    /// absent. `--frames=N` / `SIMKIT_FRAMES=N` turns on the spatial
+    /// frame recorder with a capture every N thermal steps. Also
+    /// installs the quiet preference into [`crate::report`], so tables
+    /// printed through it honour `--quiet`.
     pub fn from_args() -> Self {
         let quick =
             std::env::args().any(|a| a == "--quick") || std::env::var("THERMOGATER_QUICK").is_ok();
@@ -42,6 +48,13 @@ impl ExpOptions {
         let telemetry = std::env::args()
             .find_map(|a| a.strip_prefix("--telemetry=").map(PathBuf::from))
             .or_else(|| std::env::var("SIMKIT_TELEMETRY").ok().map(PathBuf::from));
+        let frames = std::env::args()
+            .find_map(|a| a.strip_prefix("--frames=").and_then(|n| n.parse().ok()))
+            .or_else(|| {
+                std::env::var("SIMKIT_FRAMES")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            });
         crate::report::set_quiet(quiet);
         ExpOptions {
             quick,
@@ -49,6 +62,7 @@ impl ExpOptions {
             threads,
             quiet,
             telemetry,
+            frames,
         }
     }
 
@@ -93,6 +107,15 @@ impl ExpOptions {
         }
     }
 
+    /// This configuration with the spatial frame recorder sampling
+    /// every `every` thermal steps.
+    pub fn with_frames(self, every: usize) -> Self {
+        ExpOptions {
+            frames: Some(every),
+            ..self
+        }
+    }
+
     /// The sweep worker-thread count: the explicit option, else the
     /// `SIMKIT_THREADS` environment variable, else the machine's
     /// available parallelism; never zero.
@@ -111,7 +134,7 @@ impl ExpOptions {
 
     /// The engine configuration these options select.
     pub fn engine_config(&self) -> EngineConfig {
-        if self.tiny {
+        let base = if self.tiny {
             EngineConfig {
                 duration: Seconds::from_millis(3.0),
                 thermal: ThermalConfig::coarse(),
@@ -129,6 +152,10 @@ impl ExpOptions {
             }
         } else {
             EngineConfig::standard()
+        };
+        EngineConfig {
+            frame_every: self.frames.unwrap_or(0),
+            ..base
         }
     }
 
@@ -174,6 +201,16 @@ mod tests {
         assert_eq!(ExpOptions::tiny().with_threads(0).resolved_threads(), 1);
         // Without an explicit count the resolution is still nonzero.
         assert!(ExpOptions::tiny().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn frames_option_selects_the_recorder_period() {
+        assert_eq!(ExpOptions::tiny().engine_config().frame_every, 0);
+        let opts = ExpOptions::tiny().with_frames(25);
+        assert_eq!(opts.frames, Some(25));
+        assert_eq!(opts.engine_config().frame_every, 25);
+        // The frame grid stays at the engine default resolution.
+        assert_eq!(opts.engine_config().frame_grid, 16);
     }
 
     #[test]

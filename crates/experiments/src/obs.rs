@@ -519,6 +519,11 @@ pub mod snapshot_tolerances {
     pub const SOLVER_ITERS: f64 = 0.10;
     /// Peak RSS may grow this much before gating.
     pub const PEAK_RSS: f64 = 0.30;
+    /// The frame recorder's share of run wall time may grow this much
+    /// before gating (both the numerator and denominator are
+    /// wall-clock, so the ratio is doubly env-sensitive; an order of
+    /// magnitude means the recorder's cost model actually changed).
+    pub const TELEMETRY_OVERHEAD: f64 = 9.0;
 }
 
 /// Compares two performance snapshots (`BENCH_*.json`).
@@ -545,6 +550,43 @@ pub fn diff_snapshots(a: &BenchSnapshot, b: &BenchSnapshot, config: &DiffConfig)
             rb as f64,
             snapshot_tolerances::PEAK_RSS,
             Direction::HigherIsWorse,
+        );
+    }
+    // Frame-recorder overhead axis: the frame count is deterministic
+    // for the pinned config and gates exactly; the recorder's share of
+    // wall time gates loosely upward; raw wall seconds are for eyes.
+    if let (Some(ta), Some(tb)) = (&a.telemetry, &b.telemetry) {
+        report.push(
+            config,
+            "snap.telemetry.frames".into(),
+            ta.frames as f64,
+            tb.frames as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.telemetry.overhead_share".into(),
+            ta.overhead_share(),
+            tb.overhead_share(),
+            snapshot_tolerances::TELEMETRY_OVERHEAD,
+            Direction::HigherIsWorse,
+        );
+        report.push(
+            config,
+            "snap.telemetry.frames_wall_s".into(),
+            ta.frames_wall_s,
+            tb.frames_wall_s,
+            0.0,
+            Direction::Informational,
+        );
+        report.push(
+            config,
+            "snap.telemetry.base_wall_s".into(),
+            ta.base_wall_s,
+            tb.base_wall_s,
+            0.0,
+            Direction::Informational,
         );
     }
     for ea in &a.entries {
@@ -875,6 +917,41 @@ mod tests {
         assert!(report
             .regressions()
             .any(|d| d.metric == "snap.scaling.64.mgcg.solves"));
+    }
+
+    #[test]
+    fn telemetry_overhead_axis_gates_on_frames_and_share() {
+        let base = crate::snapshot::tests::sample("a", 4.0);
+
+        // A changed frame count means the sampling schedule changed.
+        let mut fewer = base.clone();
+        fewer.telemetry.as_mut().unwrap().frames -= 1;
+        let report = diff_snapshots(&base, &fewer, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.telemetry.frames"));
+
+        // An order-of-magnitude overhead-share blowup gates; wall-clock
+        // wobble inside the loose tolerance does not.
+        let mut costly = base.clone();
+        costly.telemetry.as_mut().unwrap().overhead_us *= 20;
+        let report = diff_snapshots(&base, &costly, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.telemetry.overhead_share"));
+        let mut wobble = base.clone();
+        wobble.telemetry.as_mut().unwrap().overhead_us *= 2;
+        let report = diff_snapshots(&base, &wobble, &DiffConfig::new());
+        assert!(!report.has_regression(), "{}", report.render(true));
+
+        // A side without the axis skips it instead of failing.
+        let mut absent = base.clone();
+        absent.telemetry = None;
+        let report = diff_snapshots(&base, &absent, &DiffConfig::new());
+        assert!(report
+            .deltas
+            .iter()
+            .all(|d| !d.metric.starts_with("snap.telemetry")));
     }
 
     #[test]

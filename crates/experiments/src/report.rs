@@ -275,7 +275,8 @@ pub fn analysis_report(analysis: &TraceAnalysis) -> String {
         out.push_str(&t.render());
     }
 
-    if !analysis.spans.is_empty() {
+    let completed_spans: u64 = analysis.spans.iter().map(|(_, s)| s.completed()).sum();
+    if completed_spans > 0 {
         out.push('\n');
         let mut t = TextTable::new(&["span", "completed", "open", "total s", "p50 s", "max s"]);
         for (name, s) in &analysis.spans {
@@ -289,6 +290,13 @@ pub fn analysis_report(analysis: &TraceAnalysis) -> String {
             ]);
         }
         out.push_str(&t.render());
+    } else {
+        let open: u64 = analysis.spans.iter().map(|(_, s)| s.open).sum();
+        out.push_str("\nspans: no paired spans in this trace");
+        if open > 0 {
+            out.push_str(&format!(" ({open} span start(s) never ended)"));
+        }
+        out.push('\n');
     }
 
     if !analysis.solvers.is_empty() {
@@ -449,6 +457,37 @@ mod tests {
         assert!(s.contains("20"));
         assert!(s.contains("engine.window_noise_pct"));
         assert!(s.contains("10.0000"), "mean missing from:\n{s}");
+    }
+
+    #[test]
+    fn analysis_report_notes_traces_with_no_paired_spans() {
+        use simkit::telemetry::analyze::TraceAnalysis;
+        use std::io::Cursor;
+
+        // No span events at all.
+        let trace = r#"{"t":0.0,"kind":"counter","name":"engine.steps","delta":5}"#.to_string();
+        let a = TraceAnalysis::from_reader(Cursor::new(trace)).unwrap();
+        let text = analysis_report(&a);
+        assert!(text.contains("no paired spans"), "missing note in:\n{text}");
+
+        // A start that never ended is called out explicitly.
+        let trace = r#"{"t":0.0,"kind":"span_start","name":"engine.run"}"#.to_string();
+        let a = TraceAnalysis::from_reader(Cursor::new(trace)).unwrap();
+        let text = analysis_report(&a);
+        assert!(text.contains("no paired spans"), "{text}");
+        assert!(text.contains("1 span start(s) never ended"), "{text}");
+
+        // A completed span still renders the table, not the note.
+        let trace = concat!(
+            r#"{"t":0.0,"kind":"span_start","name":"engine.run"}"#,
+            "\n",
+            r#"{"t":1.0,"kind":"span_end","name":"engine.run","dur_s":1.0}"#,
+        )
+        .to_string();
+        let a = TraceAnalysis::from_reader(Cursor::new(trace)).unwrap();
+        let text = analysis_report(&a);
+        assert!(!text.contains("no paired spans"), "{text}");
+        assert!(text.contains("engine.run"), "{text}");
     }
 
     #[test]

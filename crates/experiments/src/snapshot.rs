@@ -95,6 +95,30 @@ pub struct ScalingEntry {
     pub wall_s: f64,
 }
 
+/// The telemetry/frame-recorder overhead axis: one pinned fast-config
+/// run with the spatial frame recorder on, against one with telemetry
+/// on but frames off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Frames the recorder captured (deterministic for the pinned
+    /// config and sampling period).
+    pub frames: u64,
+    /// Recorder self-reported capture + serialisation time, whole µs
+    /// (the run's `telemetry.overhead` counter).
+    pub overhead_us: u64,
+    /// Wall seconds of the frames-on run.
+    pub frames_wall_s: f64,
+    /// Wall seconds of the frames-off (telemetry still on) run.
+    pub base_wall_s: f64,
+}
+
+impl TelemetryOverhead {
+    /// Recorder overhead as a share of the frames-on run's wall time.
+    pub fn overhead_share(&self) -> f64 {
+        (self.overhead_us as f64 / 1e6) / self.frames_wall_s.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// A schema-tagged performance snapshot (one `BENCH_<label>.json`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchSnapshot {
@@ -106,6 +130,9 @@ pub struct BenchSnapshot {
     pub bench: String,
     /// Peak resident set size, when the platform exposes it.
     pub peak_rss_bytes: Option<u64>,
+    /// Frame-recorder overhead axis (`None` in snapshots written
+    /// before it existed or captured without it).
+    pub telemetry: Option<TelemetryOverhead>,
     /// One entry per measured policy.
     pub entries: Vec<PolicyEntry>,
     /// Steady-solve grid-scaling axis (empty when not captured).
@@ -178,8 +205,55 @@ pub fn measure_policy(policy: PolicyKind) -> Result<PolicyEntry, String> {
     })
 }
 
+/// Frame-recorder sampling period (thermal steps) for the pinned
+/// overhead measurement — ~6 frames over the fast config's 300 steps.
+pub const SNAPSHOT_FRAME_EVERY: usize = 50;
+
+/// Measures the frame-recorder overhead axis: the pinned fast-config
+/// workload once with the spatial frame recorder sampling every
+/// [`SNAPSHOT_FRAME_EVERY`] steps, once with telemetry on but frames
+/// off. The frames-on run's `telemetry.frames` / `telemetry.overhead`
+/// counters provide the deterministic frame count and the recorder's
+/// self-reported cost.
+///
+/// # Errors
+///
+/// Propagates engine failures as a rendered message.
+pub fn measure_telemetry_overhead() -> Result<TelemetryOverhead, String> {
+    let chip = floorplan::reference::power8_like();
+    let run = |frame_every: usize| -> Result<(f64, TraceAnalysis), String> {
+        let config = EngineConfig {
+            frame_every,
+            ..EngineConfig::fast()
+        };
+        let mut engine = SimulationEngine::new(&chip, config);
+        let (telemetry, sink) = Telemetry::recorder();
+        engine.set_telemetry(telemetry);
+        let started = Instant::now();
+        engine
+            .run(SNAPSHOT_BENCH, PolicyKind::PracVT)
+            .map_err(|e| format!("overhead run failed: {e}"))?;
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut analysis = TraceAnalysis::new();
+        for event in sink.events() {
+            if let Ok(parsed) = ParsedEvent::from_line(&event.to_json()) {
+                analysis.observe(&parsed);
+            }
+        }
+        Ok((wall_s, analysis))
+    };
+    let (frames_wall_s, analysis) = run(SNAPSHOT_FRAME_EVERY)?;
+    let (base_wall_s, _) = run(0)?;
+    Ok(TelemetryOverhead {
+        frames: analysis.counter("telemetry.frames"),
+        overhead_us: analysis.counter("telemetry.overhead"),
+        frames_wall_s,
+        base_wall_s,
+    })
+}
+
 /// Captures a full snapshot: one [`measure_policy`] run per `policies`
-/// entry, plus the process peak RSS.
+/// entry, the frame-recorder overhead axis, plus the process peak RSS.
 ///
 /// # Errors
 ///
@@ -189,11 +263,13 @@ pub fn capture(label: &str, policies: &[PolicyKind]) -> Result<BenchSnapshot, St
         .iter()
         .map(|&p| measure_policy(p))
         .collect::<Result<Vec<_>, _>>()?;
+    let telemetry = Some(measure_telemetry_overhead()?);
     Ok(BenchSnapshot {
         label: label.to_string(),
         config: "fast".to_string(),
         bench: SNAPSHOT_BENCH.label().to_string(),
         peak_rss_bytes: peak_rss_bytes(),
+        telemetry,
         entries,
         scaling: Vec::new(),
     })
@@ -291,6 +367,21 @@ impl BenchSnapshot {
                 let _ = write!(out, ",\"peak_rss_bytes\":{rss}");
             }
             None => out.push_str(",\"peak_rss_bytes\":null"),
+        }
+        match &self.telemetry {
+            Some(t) => {
+                let _ = write!(
+                    out,
+                    ",\"telemetry\":{{\"frames\":{},\"overhead_us\":{}",
+                    t.frames, t.overhead_us
+                );
+                out.push_str(",\"frames_wall_s\":");
+                json::write_f64(&mut out, t.frames_wall_s);
+                out.push_str(",\"base_wall_s\":");
+                json::write_f64(&mut out, t.base_wall_s);
+                out.push('}');
+            }
+            None => out.push_str(",\"telemetry\":null"),
         }
         out.push_str(",\"entries\":[");
         for (i, entry) in self.entries.iter().enumerate() {
@@ -398,6 +489,24 @@ impl BenchSnapshot {
                     .ok_or("\"peak_rss_bytes\" is not a number")? as u64,
             ),
         };
+        // Absent in snapshots written before the overhead axis existed;
+        // tolerate so committed perf history stays diffable.
+        let telemetry = match doc.get("telemetry") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => {
+                let num = |key: &str| {
+                    t.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("\"telemetry\" missing number \"{key}\""))
+                };
+                Some(TelemetryOverhead {
+                    frames: num("frames")? as u64,
+                    overhead_us: num("overhead_us")? as u64,
+                    frames_wall_s: num("frames_wall_s")?,
+                    base_wall_s: num("base_wall_s")?,
+                })
+            }
+        };
         let mut entries = Vec::new();
         for (index, entry) in doc
             .get("entries")
@@ -497,6 +606,7 @@ impl BenchSnapshot {
             config: str_member("config")?,
             bench: str_member("bench")?,
             peak_rss_bytes,
+            telemetry,
             entries,
             scaling,
         })
@@ -514,6 +624,12 @@ pub(crate) mod tests {
             config: "fast".to_string(),
             bench: "lu_ncb".to_string(),
             peak_rss_bytes: Some(64 * 1024 * 1024),
+            telemetry: Some(TelemetryOverhead {
+                frames: 6,
+                overhead_us: 800,
+                frames_wall_s: 0.5,
+                base_wall_s: 0.49,
+            }),
             entries: vec![PolicyEntry {
                 policy: "oract".to_string(),
                 grid_n: 32,
@@ -590,6 +706,48 @@ pub(crate) mod tests {
         assert!(!entry.phases.is_empty());
         // The transient stepper always solves; its site must be rolled up.
         assert!(entry.solver.iter().any(|s| s.solves > 0));
+    }
+
+    #[test]
+    fn pre_telemetry_documents_still_parse() {
+        // Snapshots written before the overhead axis existed must keep
+        // loading, with the axis simply absent.
+        let snap = sample("old", 4.0);
+        let mut text = snap.to_json();
+        let start = text.find(",\"telemetry\"").expect("telemetry member");
+        let end = text[start + 1..].find(",\"entries\"").expect("entries") + start + 1;
+        text.replace_range(start..end, "");
+        let back = BenchSnapshot::from_json(&text).expect("old document parses");
+        assert_eq!(back.telemetry, None);
+        // Explicit null also maps to absent.
+        let null = snap
+            .to_json()
+            .replace(&snap.to_json()[start..end], ",\"telemetry\":null");
+        assert_eq!(BenchSnapshot::from_json(&null).unwrap().telemetry, None);
+    }
+
+    #[test]
+    fn overhead_share_is_well_defined() {
+        let t = TelemetryOverhead {
+            frames: 6,
+            overhead_us: 1000,
+            frames_wall_s: 0.1,
+            base_wall_s: 0.1,
+        };
+        assert!((t.overhead_share() - 0.01).abs() < 1e-12);
+        let zero_wall = TelemetryOverhead {
+            frames_wall_s: 0.0,
+            ..t
+        };
+        assert!(zero_wall.overhead_share().is_finite());
+    }
+
+    #[test]
+    fn measure_telemetry_overhead_counts_frames() {
+        let t = measure_telemetry_overhead().expect("overhead runs succeed");
+        // 300 fast-config steps sampled every 50 (step 0 included).
+        assert!(t.frames >= 5, "too few frames: {}", t.frames);
+        assert!(t.frames_wall_s > 0.0 && t.base_wall_s > 0.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use simkit::telemetry::{
 };
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One run's telemetry outputs: a JSONL trace, an aggregated metrics
@@ -34,6 +35,10 @@ pub struct TelemetryCtx {
     run_counter: Arc<CountingSink>,
     registry: Arc<MetricsRegistry>,
     telemetry: Telemetry,
+    /// Next track id to hand out to a sweep cell. Track 0 is the
+    /// run-level handle; cells get 1, 2, … so the profiler and the
+    /// Chrome-trace export can keep concurrent cells on separate lanes.
+    next_track: AtomicU64,
 }
 
 impl TelemetryCtx {
@@ -62,6 +67,7 @@ impl TelemetryCtx {
             run_counter,
             registry,
             telemetry,
+            next_track: AtomicU64::new(1),
         })
     }
 
@@ -93,13 +99,17 @@ impl TelemetryCtx {
 
     /// A fresh handle for one sweep cell, with its own event counter
     /// (events count toward that cell's manifest entry, not
-    /// `run_events`). Sinks are shared, so the cell's events land in
-    /// the same trace and registry.
+    /// `run_events`) and a unique track id (1, 2, …) stamped onto every
+    /// event, so concurrent cells stay on separate timeline lanes.
+    /// Sinks are shared, so the cell's events land in the same trace
+    /// and registry.
     pub fn cell_handle(&self) -> (Telemetry, Arc<CountingSink>) {
         let counter = Arc::new(CountingSink::new(
             Arc::clone(&self.shared) as Arc<dyn TelemetrySink>
         ));
-        let telemetry = Telemetry::with_sink(Arc::clone(&counter) as Arc<dyn TelemetrySink>);
+        let track = self.next_track.fetch_add(1, Ordering::Relaxed);
+        let telemetry =
+            Telemetry::with_sink_tracked(Arc::clone(&counter) as Arc<dyn TelemetrySink>, track);
         (telemetry, counter)
     }
 
@@ -171,6 +181,29 @@ mod tests {
         // Both handles fed the one registry.
         assert_eq!(ctx.registry().counter("run.level"), 1);
         assert_eq!(ctx.registry().histogram("cell.level").unwrap().count, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_handles_get_distinct_track_ids() {
+        let dir = temp_dir("tracks");
+        let ctx = TelemetryCtx::create(&dir).unwrap();
+        assert_eq!(ctx.telemetry().track(), 0);
+        let (a, _) = ctx.cell_handle();
+        let (b, _) = ctx.cell_handle();
+        assert_eq!(a.track(), 1);
+        assert_eq!(b.track(), 2);
+
+        ctx.telemetry().counter("run.level", 1);
+        a.counter("cell.level", 1);
+        ctx.telemetry().flush().unwrap();
+        let trace = std::fs::read_to_string(dir.join(TRACE_FILE)).unwrap();
+        let mut lines = trace.lines();
+        let run_line = lines.next().unwrap();
+        let cell_line = lines.next().unwrap();
+        // Track 0 stays off the wire; cells stamp theirs on every event.
+        assert!(!run_line.contains("\"track\""));
+        assert!(cell_line.contains("\"track\":1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -98,6 +98,88 @@ fn export_writes_the_expected_csv_series() {
 }
 
 #[test]
+fn timeline_exports_validated_chrome_trace_json() {
+    let run = fixture_run();
+    let dir = temp_dir("timeline");
+    let json_path = dir.join("timeline.json");
+    let out = tg_obs(&[
+        "timeline",
+        run.to_str().unwrap(),
+        "--out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&json_path).expect("timeline written");
+    let stats = simkit::telemetry::timeline::validate(&text).expect("valid Chrome trace");
+    // Fixture: engine.run B+E, the counter/gauge/histogram/gating.active
+    // counter tracks, and gating/emergency/progress/solve instants.
+    assert_eq!(stats.spans, 2);
+    assert!(stats.counters >= 4, "counters: {}", stats.counters);
+    assert!(stats.instants >= 3, "instants: {}", stats.instants);
+    assert_eq!(stats.tracks, 1);
+    assert!(text.contains("\"traceEvents\""));
+    assert!(stderr(&out).contains("track(s)"), "{}", stderr(&out));
+    // Without --out the document goes to stdout.
+    let out = tg_obs(&["timeline", run.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flame_stack_weights_telescope_to_the_root_span() {
+    let run = fixture_run();
+    let out = tg_obs(&["flame", run.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    // engine.run is the only span: 0.13 s = 130000 µs, all exclusive.
+    assert_eq!(text.trim_end(), "track0;engine.run 130000");
+    let total: u64 = text
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 130_000);
+}
+
+#[test]
+fn top_default_report_is_byte_identical_across_invocations() {
+    let run = fixture_run();
+    let a = tg_obs(&["top", run.to_str().unwrap()]);
+    let b = tg_obs(&["top", run.to_str().unwrap()]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "structural top report must not drift");
+    let text = stdout(&a);
+    assert!(text.contains("engine.run"), "{text}");
+    assert!(
+        !text.contains("incl"),
+        "default top must omit wall-time columns:\n{text}"
+    );
+    // --times adds the wall-time columns; --tree renders the call tree.
+    let times = tg_obs(&["top", run.to_str().unwrap(), "--times"]);
+    assert!(stdout(&times).contains("excl"), "{}", stdout(&times));
+    let tree = tg_obs(&["top", run.to_str().unwrap(), "--tree"]);
+    assert!(stdout(&tree).contains("track 0 (run)"), "{}", stdout(&tree));
+}
+
+#[test]
+fn summarize_notes_traces_with_no_paired_spans() {
+    let dir = temp_dir("nospans");
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        "{\"t\":0.01,\"kind\":\"counter\",\"name\":\"engine.steps\",\"delta\":5}\n",
+    )
+    .expect("trace written");
+    let out = tg_obs(&["summarize", dir.join("trace.jsonl").to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("no paired spans"),
+        "missing note in:\n{}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn self_diff_exits_zero_with_zero_drift() {
     let run = fixture_run();
     let out = tg_obs(&["diff", run.to_str().unwrap(), run.to_str().unwrap()]);
@@ -150,6 +232,7 @@ fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
         config: "fast".to_string(),
         bench: "lu_ncb".to_string(),
         peak_rss_bytes: Some(32 * 1024 * 1024),
+        telemetry: None,
         entries: vec![PolicyEntry {
             policy: "oract".to_string(),
             grid_n: 32,
@@ -227,6 +310,10 @@ fn bench_snapshot_captures_a_valid_schema_file() {
     assert_eq!(snap.entries[0].policy, "allon");
     assert!(snap.entries[0].steps > 0);
     assert!(snap.entries[0].steps_per_sec > 0.0);
+    // The frame-recorder overhead axis was captured alongside.
+    let overhead = snap.telemetry.as_ref().expect("overhead axis captured");
+    assert!(overhead.frames >= 5);
+    assert!(overhead.frames_wall_s > 0.0 && overhead.base_wall_s > 0.0);
 
     // The file it just captured self-diffs clean.
     let out = tg_obs(&["diff", path.to_str().unwrap(), path.to_str().unwrap()]);
@@ -308,5 +395,32 @@ fn telemetry_check_accepts_the_fixture_and_rejects_broken_traces() {
     // The default slack (0.1 s) tolerates the same wobble.
     let out = telemetry_check(&[dir.to_str().unwrap()]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_check_pairs_spans_per_track() {
+    // A span_end on track 2 must not be paired with the run-track
+    // (track 0) span_start of the same name: pairing is keyed by
+    // (track, name), not name alone.
+    let run = fixture_run();
+    let dir = temp_dir("check-track");
+    let trace = std::fs::read_to_string(run.join("trace.jsonl")).expect("fixture trace");
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        trace.replace(
+            "{\"t\":0.120,\"kind\":\"progress\",\"name\":\"workload.trace\",\"workload\":\"lu_ncb\"}",
+            "{\"t\":0.120,\"kind\":\"span_end\",\"name\":\"engine.run\",\"dur_s\":0.1,\"track\":2}",
+        ),
+    )
+    .expect("doctored trace written");
+    std::fs::copy(run.join("manifest.json"), dir.join("manifest.json")).expect("manifest copied");
+    let out = telemetry_check(&[dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "cross-track pairing must fail");
+    assert!(
+        stderr(&out).contains("on track 2 without a matching span_start"),
+        "stderr: {}",
+        stderr(&out)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

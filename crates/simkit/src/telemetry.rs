@@ -54,6 +54,8 @@
 pub mod analyze;
 pub mod json;
 pub mod manifest;
+pub mod prof;
+pub mod timeline;
 
 use std::borrow::Cow;
 use std::fmt::Write as _;
@@ -88,11 +90,14 @@ pub enum EventKind {
     Solve,
     /// Coarse progress (sweep cells, run start/end).
     Progress,
+    /// A spatial snapshot (downsampled thermal grid, voltage lanes,
+    /// gating mask, hotspot) captured by the frame recorder.
+    Frame,
 }
 
 impl EventKind {
     /// All kinds, in a stable order (used by validators).
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::SpanStart,
         EventKind::SpanEnd,
         EventKind::Counter,
@@ -102,6 +107,7 @@ impl EventKind {
         EventKind::Emergency,
         EventKind::Solve,
         EventKind::Progress,
+        EventKind::Frame,
     ];
 
     /// The wire name of this kind.
@@ -116,6 +122,7 @@ impl EventKind {
             EventKind::Emergency => "emergency",
             EventKind::Solve => "solve",
             EventKind::Progress => "progress",
+            EventKind::Frame => "frame",
         }
     }
 
@@ -325,6 +332,25 @@ impl TelemetrySink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Flushes the buffered tail so a run that crashes (or simply
+    /// forgets the final flush) still leaves a parseable trace on disk.
+    /// `BufWriter`'s own drop-flush swallows nothing extra here, but it
+    /// never runs at all when the mutex was poisoned by a panicking
+    /// writer thread — recover the guard and flush anyway. Errors are
+    /// deliberately ignored: drop during unwind must not double-panic.
+    fn drop(&mut self) {
+        match self.writer.lock() {
+            Ok(mut writer) => {
+                let _ = writer.flush();
+            }
+            Err(poisoned) => {
+                let _ = poisoned.into_inner().flush();
+            }
+        }
+    }
+}
+
 /// Forwards every event to each of several sinks (e.g. a JSONL file
 /// plus a [`MetricsSink`]).
 #[derive(Debug, Default)]
@@ -446,12 +472,17 @@ struct TelemetryInner {
     sink: Arc<dyn TelemetrySink>,
     epoch: Instant,
     active: bool,
+    /// Track (worker/cell lane) id stamped on every event; 0 is the
+    /// run-level default track and is omitted from the wire format so
+    /// single-track traces stay byte-compatible with older readers.
+    track: u64,
 }
 
 impl std::fmt::Debug for TelemetryInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TelemetryInner")
             .field("active", &self.active)
+            .field("track", &self.track)
             .finish_non_exhaustive()
     }
 }
@@ -478,14 +509,31 @@ impl Telemetry {
     /// (e.g. [`NoopSink`]) the handle behaves like
     /// [`Telemetry::disabled`]: no events are constructed.
     pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        Telemetry::with_sink_tracked(sink, 0)
+    }
+
+    /// Like [`Telemetry::with_sink`], but every event carries a
+    /// `"track"` field identifying the worker/cell lane it came from.
+    /// Track 0 is the run-level default and emits no field, so existing
+    /// single-track traces are unchanged; sweep workers take tracks
+    /// 1.. so trace consumers (the profiler, the Chrome-trace exporter)
+    /// can pair and lay out spans per worker.
+    pub fn with_sink_tracked(sink: Arc<dyn TelemetrySink>, track: u64) -> Self {
         let active = sink.active();
         Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 sink,
                 epoch: Instant::now(),
                 active,
+                track,
             })),
         }
+    }
+
+    /// The track id events from this handle carry (0 when disabled or
+    /// untracked).
+    pub fn track(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.track)
     }
 
     /// A handle plus the in-memory recorder behind it, for tests.
@@ -524,10 +572,13 @@ impl Telemetry {
         &self,
         kind: EventKind,
         name: Cow<'static, str>,
-        fields: Vec<(Cow<'static, str>, FieldValue)>,
+        mut fields: Vec<(Cow<'static, str>, FieldValue)>,
     ) {
         if let Some(inner) = &self.inner {
             if inner.active {
+                if inner.track > 0 {
+                    fields.push((Cow::Borrowed("track"), FieldValue::U64(inner.track)));
+                }
                 let event = Event {
                     t_s: inner.epoch.elapsed().as_secs_f64(),
                     kind,
@@ -1112,6 +1163,76 @@ mod tests {
         tel_b.counter("x", 1);
         assert_eq!(sink_a.len(), 1);
         assert_eq!(sink_b.len(), 2);
+    }
+
+    #[test]
+    fn tracked_handle_stamps_every_event() {
+        let sink = Arc::new(MemorySink::default());
+        let tel = Telemetry::with_sink_tracked(sink.clone(), 3);
+        assert_eq!(tel.track(), 3);
+        tel.counter("x", 1);
+        {
+            let _span = tel.span("work");
+        }
+        for event in sink.events() {
+            let track = event.fields.iter().find(|(k, _)| k == "track");
+            assert!(
+                matches!(track, Some((_, FieldValue::U64(3)))),
+                "event {:?} missing track field",
+                event.name
+            );
+        }
+        // Track 0 (the default) stays off the wire entirely.
+        let (tel0, sink0) = Telemetry::recorder();
+        assert_eq!(tel0.track(), 0);
+        tel0.counter("x", 1);
+        assert!(sink0.events()[0].fields.iter().all(|(k, _)| k != "track"));
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_tail_on_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "tg_jsonl_drop_{}_{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("trace.jsonl");
+        {
+            let tel = Telemetry::with_sink(Arc::new(JsonlSink::create(&path).expect("create")));
+            tel.counter("crash.test", 1);
+            // No explicit flush: the event sits in the BufWriter.
+        }
+        let text = std::fs::read_to_string(&path).expect("trace readable after drop");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("crash.test"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_survives_panic_unwind_with_parseable_trace() {
+        let dir = std::env::temp_dir().join(format!(
+            "tg_jsonl_panic_{}_{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("trace.jsonl");
+        let tel = Telemetry::with_sink(Arc::new(JsonlSink::create(&path).expect("create")));
+        let worker = tel.clone();
+        let crashed = thread::spawn(move || {
+            worker.counter("before.panic", 1);
+            panic!("simulated mid-run crash");
+        })
+        .join();
+        assert!(crashed.is_err(), "worker thread must have panicked");
+        drop(tel); // last handle: the sink's Drop flush runs here
+        let text = std::fs::read_to_string(&path).expect("trace readable after crash");
+        assert!(text.contains("before.panic"));
+        for line in text.lines() {
+            json::parse(line).expect("every flushed line parses");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -528,6 +528,14 @@ impl TraceAnalysis {
                 self.emergency.true_domains += event.field_u64("true_domains").unwrap_or(0);
                 self.emergency.mispredicted += event.field_u64("mispredicted").unwrap_or(0);
             }
+            // Frame payloads (grid data, lanes) are consumed by the
+            // timeline exporter, not the aggregate rollups; hotspot
+            // magnitude rides along as a plain value rollup when present.
+            EventKind::Frame => {
+                if let Some(v) = event.field_f64("value") {
+                    entry::<Rollup>(&mut self.rollups, &event.name).observe(v);
+                }
+            }
             EventKind::Progress => {}
         }
     }
@@ -612,6 +620,11 @@ pub fn series_points(event: &ParsedEvent, out: &mut Vec<(String, f64)>) {
             }
             if let Some(r) = event.field_f64("residual") {
                 out.push((format!("{}.residual", event.name), r));
+            }
+        }
+        EventKind::Frame => {
+            if let Some(v) = event.field_f64("value") {
+                out.push((event.name.clone(), v));
             }
         }
         EventKind::SpanEnd => {

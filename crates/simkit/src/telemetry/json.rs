@@ -286,13 +286,18 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| format!("invalid utf-8 at byte {}", self.pos))?;
-                    let c = s.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the maximal unescaped run in one shot
+                    // (multi-byte UTF-8 continuation bytes are all
+                    // ≥ 0x80, so the bytewise scan can never split a
+                    // character on '"' or '\\'). Validating only the
+                    // run keeps parsing linear in the document size.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                    out.push_str(chunk);
                 }
             }
         }

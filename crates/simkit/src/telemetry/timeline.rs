@@ -1,0 +1,493 @@
+//! Chrome Trace Event export: JSONL telemetry traces → timelines you
+//! can open in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! The mapping, per [`EventKind`]:
+//!
+//! * spans → `"B"`/`"E"` duration events on the thread (`tid`) named
+//!   by the event's `track` field (0 = the run-level handle), so each
+//!   sweep worker gets its own lane;
+//! * counters → `"C"` counter tracks carrying the **running total**;
+//!   gauges/histograms → `"C"` tracks carrying the sampled value, so
+//!   e.g. `thermal.max_silicon_c` renders as a temperature curve next
+//!   to the solver spans;
+//! * gating / emergency / progress → `"i"` instant events with the
+//!   original payload as `args` (gating additionally feeds a
+//!   `<name>.active` counter track when the field is present);
+//! * solves with a wall-time split (`factor_s`/`solve_s` from
+//!   `solve_timed`) → `"X"` complete events whose duration is the
+//!   measured solve time, laid *before* the emit timestamp; plain
+//!   solves → instants;
+//! * frames (the spatial recorder) → `thermal.hotspot` becomes a
+//!   counter track of the running max-temperature magnitude; grid /
+//!   lane frames become instants with their payload in `args`.
+//!
+//! Timestamps are the trace's `t` seconds converted to microseconds
+//! (the Trace Event unit). Multi-track traces interleave per-handle
+//! epochs that differ by a few milliseconds; each lane is internally
+//! consistent, which is what span pairing needs.
+//!
+//! [`validate`] re-parses an export with the in-tree JSON parser and
+//! checks the structural contract (a `traceEvents` array of objects
+//! with `ph`/`ts`/`pid`/`tid`), counting phases so CLI callers and CI
+//! can assert shape without external tooling.
+
+use super::analyze::{ParsedEvent, TraceReader};
+use super::json::{self, JsonValue};
+use super::EventKind;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Field keys lifted out of `args` because they map onto the Trace
+/// Event envelope itself.
+const ENVELOPE_FIELDS: [&str; 1] = ["track"];
+
+/// Streams a JSONL trace into a Chrome Trace Event JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed trace lines are skipped by the
+/// underlying [`TraceReader`].
+pub fn chrome_trace(reader: impl BufRead) -> io::Result<String> {
+    let mut trace = TraceReader::new(reader);
+    let mut exporter = Exporter::default();
+    while let Some(event) = trace.next_event()? {
+        exporter.observe(&event);
+    }
+    Ok(exporter.render())
+}
+
+/// Converts a trace file; see [`chrome_trace`].
+///
+/// # Errors
+///
+/// Propagates open/read failures.
+pub fn chrome_trace_from_path(path: &Path) -> io::Result<String> {
+    chrome_trace(BufReader::new(File::open(path)?))
+}
+
+#[derive(Debug, Default)]
+struct Exporter {
+    /// Rendered trace-event objects, in input order.
+    events: Vec<String>,
+    /// Track ids seen, in first-sight order (drives thread metadata).
+    tracks: Vec<u64>,
+    /// Running totals per counter name.
+    totals: Vec<(String, u64)>,
+}
+
+impl Exporter {
+    fn observe(&mut self, event: &ParsedEvent) {
+        let track = event.field_u64("track").unwrap_or(0);
+        if !self.tracks.contains(&track) {
+            self.tracks.push(track);
+        }
+        let ts_us = event.t_s * 1e6;
+        match event.kind {
+            EventKind::SpanStart => {
+                self.events
+                    .push(envelope(&event.name, "B", ts_us, track, "span", None));
+            }
+            EventKind::SpanEnd => {
+                self.events
+                    .push(envelope(&event.name, "E", ts_us, track, "span", None));
+            }
+            EventKind::Counter => {
+                let delta = event.field_u64("delta").unwrap_or(1);
+                let total = match self.totals.iter_mut().find(|(n, _)| *n == event.name) {
+                    Some(entry) => {
+                        entry.1 += delta;
+                        entry.1
+                    }
+                    None => {
+                        self.totals.push((event.name.clone(), delta));
+                        delta
+                    }
+                };
+                let args = format!("{{\"value\":{total}}}");
+                self.events.push(envelope(
+                    &event.name,
+                    "C",
+                    ts_us,
+                    track,
+                    "counter",
+                    Some(&args),
+                ));
+            }
+            EventKind::Gauge | EventKind::Histogram => {
+                if let Some(v) = event.field_f64("value") {
+                    let mut args = String::from("{\"value\":");
+                    json::write_f64(&mut args, v);
+                    args.push('}');
+                    self.events.push(envelope(
+                        &event.name,
+                        "C",
+                        ts_us,
+                        track,
+                        "metric",
+                        Some(&args),
+                    ));
+                }
+            }
+            EventKind::Gating | EventKind::Emergency | EventKind::Progress => {
+                let cat = match event.kind {
+                    EventKind::Gating => "gating",
+                    EventKind::Emergency => "emergency",
+                    _ => "progress",
+                };
+                let args = args_json(event);
+                self.events
+                    .push(envelope(&event.name, "i", ts_us, track, cat, Some(&args)));
+                if event.kind == EventKind::Gating {
+                    if let Some(active) = event.field_f64("active") {
+                        let name = format!("{}.active", event.name);
+                        let mut args = String::from("{\"value\":");
+                        json::write_f64(&mut args, active);
+                        args.push('}');
+                        self.events
+                            .push(envelope(&name, "C", ts_us, track, "gating", Some(&args)));
+                    }
+                }
+            }
+            EventKind::Solve => {
+                let dur_us = (event.field_f64("factor_s").unwrap_or(0.0)
+                    + event.field_f64("solve_s").unwrap_or(0.0))
+                    * 1e6;
+                let args = args_json(event);
+                if dur_us > 0.0 {
+                    // The emit happens when the solve finishes; lay the
+                    // complete event over the measured interval.
+                    let mut obj = String::from("{\"name\":");
+                    json::write_str(&mut obj, &event.name);
+                    let _ = write!(
+                        obj,
+                        ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\
+                         \"cat\":\"solve\",\"args\":{}}}",
+                        (ts_us - dur_us).max(0.0),
+                        dur_us,
+                        track,
+                        args
+                    );
+                    self.events.push(obj);
+                } else {
+                    self.events.push(envelope(
+                        &event.name,
+                        "i",
+                        ts_us,
+                        track,
+                        "solve",
+                        Some(&args),
+                    ));
+                }
+            }
+            EventKind::Frame => {
+                if let Some(v) = event.field_f64("value") {
+                    // Hotspot magnitude (and any scalar frame summary)
+                    // as a counter track.
+                    let mut args = String::from("{\"value\":");
+                    json::write_f64(&mut args, v);
+                    args.push('}');
+                    self.events.push(envelope(
+                        &event.name,
+                        "C",
+                        ts_us,
+                        track,
+                        "frame",
+                        Some(&args),
+                    ));
+                } else {
+                    let args = args_json(event);
+                    self.events.push(envelope(
+                        &event.name,
+                        "i",
+                        ts_us,
+                        track,
+                        "frame",
+                        Some(&args),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn render(self) -> String {
+        let mut tracks = self.tracks;
+        tracks.sort_unstable();
+        if tracks.is_empty() {
+            tracks.push(0);
+        }
+        let mut out = String::with_capacity(64 + 96 * self.events.len());
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for track in &tracks {
+            let name = if *track == 0 {
+                "run".to_string()
+            } else {
+                format!("worker {track}")
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\
+                 \"args\":{{\"name\":"
+            );
+            json::write_str(&mut out, &name);
+            out.push_str("}}");
+        }
+        for event in &self.events {
+            out.push(',');
+            out.push_str(event);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Renders one trace-event object with the common envelope.
+fn envelope(name: &str, ph: &str, ts_us: f64, tid: u64, cat: &str, args: Option<&str>) -> String {
+    let mut obj = String::from("{\"name\":");
+    json::write_str(&mut obj, name);
+    let _ = write!(
+        obj,
+        ",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{tid}"
+    );
+    let _ = write!(obj, ",\"cat\":\"{cat}\"");
+    if let Some(args) = args {
+        let _ = write!(obj, ",\"args\":{args}");
+    }
+    obj.push('}');
+    obj
+}
+
+/// Serialises every payload field (minus envelope fields) as an args
+/// object.
+fn args_json(event: &ParsedEvent) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for (key, value) in &event.fields {
+        if ENVELOPE_FIELDS.contains(&key.as_str()) {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        json::write_str(&mut out, key);
+        out.push(':');
+        write_json_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+fn write_json_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => json::write_f64(out, *n),
+        JsonValue::Str(s) => json::write_str(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_value(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(out, k);
+                out.push(':');
+                write_json_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Phase counts of a validated Chrome-trace export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total objects in `traceEvents`.
+    pub events: usize,
+    /// `"B"`/`"E"` span begin/end events.
+    pub spans: usize,
+    /// `"X"` complete (duration) events.
+    pub complete: usize,
+    /// `"C"` counter samples.
+    pub counters: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"M"` metadata records.
+    pub metadata: usize,
+    /// Distinct `tid` lanes.
+    pub tracks: usize,
+}
+
+/// Validates the structural contract of a Chrome Trace Event document
+/// produced by [`chrome_trace`] (or any conforming tool): top-level
+/// `traceEvents` array whose members are objects with a known `ph`, a
+/// finite `ts` (metadata excepted), and `pid`/`tid`.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation.
+pub fn validate(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = ChromeTraceStats::default();
+    let mut tids: Vec<f64> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let fail = |what: &str| format!("traceEvents[{i}]: {what}");
+        if !matches!(event, JsonValue::Obj(_)) {
+            return Err(fail("not an object"));
+        }
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| fail("missing ph"))?;
+        match ph {
+            "B" | "E" => stats.spans += 1,
+            "X" => stats.complete += 1,
+            "C" => stats.counters += 1,
+            "i" => stats.instants += 1,
+            "M" => stats.metadata += 1,
+            other => return Err(fail(&format!("unknown ph {other:?}"))),
+        }
+        if ph != "M" {
+            event
+                .get("ts")
+                .and_then(JsonValue::as_f64)
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| fail("missing finite ts"))?;
+        }
+        let tid = event
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| fail("missing tid"))?;
+        if event.get("pid").and_then(JsonValue::as_f64).is_none() {
+            return Err(fail("missing pid"));
+        }
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+        stats.events += 1;
+    }
+    stats.tracks = tids.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{EventKind, Telemetry};
+
+    fn sample_trace() -> String {
+        let (tel, sink) = Telemetry::recorder();
+        {
+            let _run = tel.span("engine.run");
+            tel.counter("engine.steps", 5);
+            tel.counter("engine.steps", 3);
+            tel.gauge("thermal.max_silicon_c", 82.5);
+            tel.event(EventKind::Gating, "engine.gating")
+                .field_u64("decision", 0)
+                .field_u64("active", 12)
+                .emit();
+            tel.event(EventKind::Emergency, "engine.emergency_check")
+                .field_u64("flagged_domains", 1)
+                .emit();
+            tel.solve_timed("thermal.steady_mgcg", 9, 1e-10, "mgcg", 0.001, 0.002);
+            tel.solve("pdn.ir_cg", 7, 1e-9);
+            tel.event(EventKind::Frame, "thermal.hotspot")
+                .field_f64("value", 91.25)
+                .field_u64("i", 3)
+                .field_u64("j", 4)
+                .emit();
+            tel.event(EventKind::Frame, "thermal.frame")
+                .field_u64("step", 10)
+                .field_str("data", "1.0,2.0;3.0,4.0")
+                .emit();
+        }
+        sink.events().iter().map(|e| e.to_json() + "\n").collect()
+    }
+
+    #[test]
+    fn export_is_valid_and_covers_all_shapes() {
+        let text = sample_trace();
+        let out = chrome_trace(text.as_bytes()).unwrap();
+        let stats = validate(&out).expect("export validates");
+        assert_eq!(stats.spans, 2); // engine.run B + E
+        assert_eq!(stats.complete, 1); // timed mgcg solve
+        assert!(stats.counters >= 5); // steps ×2, gauge, gating.active, hotspot
+        assert!(stats.instants >= 3); // gating, emergency, plain solve, frame
+        assert_eq!(stats.metadata, 1); // single track
+        assert_eq!(stats.tracks, 1);
+        // Counter tracks carry running totals.
+        assert!(out.contains("{\"value\":8}"), "running counter total");
+        // The timed solve's interval ends at its emit timestamp.
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"dur\":3000.000"));
+    }
+
+    #[test]
+    fn tracked_events_land_on_their_own_lane() {
+        let sink = std::sync::Arc::new(crate::telemetry::MemorySink::default());
+        let run = Telemetry::with_sink(sink.clone());
+        let worker = Telemetry::with_sink_tracked(sink.clone(), 2);
+        {
+            let _a = run.span("engine.run");
+            let _b = worker.span("sweep.cell");
+        }
+        let text: String = sink.events().iter().map(|e| e.to_json() + "\n").collect();
+        let out = chrome_trace(text.as_bytes()).unwrap();
+        let stats = validate(&out).unwrap();
+        assert_eq!(stats.tracks, 2);
+        assert_eq!(stats.metadata, 2);
+        assert!(out.contains("\"worker 2\""));
+        assert!(out.contains("\"run\""));
+        // The worker's span sits on tid 2 and its track field does not
+        // leak into args.
+        assert!(out.contains("\"tid\":2"));
+        assert!(!out.contains("\"track\""));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(
+            validate("{\"traceEvents\":[{\"ph\":\"Q\",\"ts\":0,\"pid\":1,\"tid\":0}]}").is_err()
+        );
+        assert!(
+            validate("{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"B\",\"pid\":1,\"tid\":0}]}")
+                .is_err()
+        );
+        let ok = validate(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"B\",\"ts\":1.5,\"pid\":1,\"tid\":0}]}",
+        )
+        .unwrap();
+        assert_eq!(ok.spans, 1);
+    }
+
+    #[test]
+    fn empty_trace_still_renders_a_valid_document() {
+        let out = chrome_trace(&b""[..]).unwrap();
+        let stats = validate(&out).expect("empty export validates");
+        assert_eq!(stats.metadata, 1); // default run lane
+        assert_eq!(stats.spans + stats.counters + stats.instants, 0);
+    }
+}

@@ -139,6 +139,53 @@ impl ThermalState {
             .collect()
     }
 
+    /// Location and temperature of the hottest silicon cell,
+    /// `(i, j, temperature)` — the hotspot the frame recorder tracks.
+    /// Ties resolve to the lowest linear index, so the answer is
+    /// deterministic for a deterministic state.
+    pub fn hottest_cell(&self) -> (usize, usize, Celsius) {
+        let silicon = self.silicon();
+        let mut best = 0usize;
+        for (idx, &t) in silicon.iter().enumerate() {
+            if t > silicon[best] {
+                best = idx;
+            }
+        }
+        (best % self.nx, best / self.nx, Celsius::new(silicon[best]))
+    }
+
+    /// The silicon heat map averaged down to at most `max_edge` cells
+    /// per axis (row-major, bottom row first, like [`heatmap`]).
+    /// Each coarse cell is the arithmetic mean of the fine cells it
+    /// covers, so the downsampled frame conserves the mean temperature;
+    /// a `max_edge` at or above the grid edge returns the full
+    /// resolution. Returns the coarse dimensions and the flattened
+    /// frame.
+    ///
+    /// [`heatmap`]: ThermalState::heatmap
+    pub fn downsampled(&self, max_edge: usize) -> (usize, usize, Vec<f64>) {
+        let max_edge = max_edge.max(1);
+        let cx = self.nx.min(max_edge);
+        let cy = self.ny.min(max_edge);
+        let silicon = self.silicon();
+        let mut frame = vec![0.0; cx * cy];
+        let mut counts = vec![0u32; cx * cy];
+        for j in 0..self.ny {
+            // Integer bin mapping: fine row j lands in coarse row
+            // j·cy/ny (exact partition, no fine cell dropped).
+            let jc = j * cy / self.ny;
+            for i in 0..self.nx {
+                let ic = i * cx / self.nx;
+                frame[jc * cx + ic] += silicon[j * self.nx + i];
+                counts[jc * cx + ic] += 1;
+            }
+        }
+        for (cell, count) in frame.iter_mut().zip(&counts) {
+            *cell /= f64::from(*count);
+        }
+        (cx, cy, frame)
+    }
+
     /// Grid dimensions `(nx, ny)` of the heat map.
     pub fn grid_size(&self) -> (usize, usize) {
         (self.nx, self.ny)
@@ -226,6 +273,52 @@ mod tests {
             "sink {} vs analytic {expected}",
             state.sink_temperature()
         );
+    }
+
+    #[test]
+    fn hottest_cell_finds_the_hotspot() {
+        let (chip, model) = setup();
+        let mut pm = PowerMap::new(&model);
+        pm.add_block(chip.blocks()[0].id(), Watts::new(15.0))
+            .unwrap();
+        let state = model.steady_state(&pm).unwrap();
+        let (i, j, t) = state.hottest_cell();
+        assert_eq!(t, state.max_silicon());
+        assert_eq!(state.cell(i, j), t);
+        // Uniform state: ties resolve to the origin cell.
+        let ambient = model.ambient_state();
+        assert_eq!(ambient.hottest_cell(), (0, 0, Celsius::new(45.0)));
+    }
+
+    #[test]
+    fn downsampled_conserves_mean_and_covers_every_cell() {
+        let (chip, model) = setup();
+        let mut pm = PowerMap::new(&model);
+        pm.add_block(chip.blocks()[0].id(), Watts::new(15.0))
+            .unwrap();
+        let state = model.steady_state(&pm).unwrap();
+
+        // Full resolution passes through untouched.
+        let (nx, ny, full) = state.downsampled(64);
+        assert_eq!((nx, ny), state.grid_size());
+        assert_eq!(full, state.heatmap().concat());
+
+        // 32×32 → 8×8: every coarse cell averages a 4×4 block; the
+        // grand mean is conserved exactly up to float rounding.
+        let (cx, cy, coarse) = state.downsampled(8);
+        assert_eq!((cx, cy), (8, 8));
+        let fine_mean = state.mean_silicon().get();
+        let coarse_mean = coarse.iter().sum::<f64>() / coarse.len() as f64;
+        assert!((fine_mean - coarse_mean).abs() < 1e-9);
+        // The hotspot survives downsampling as the warmest coarse cell.
+        let (hi, hj, _) = state.hottest_cell();
+        let hottest_coarse = coarse
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(idx, _)| idx)
+            .unwrap();
+        assert_eq!(hottest_coarse, (hj * cy / 32) * cx + (hi * cx / 32));
     }
 
     #[test]

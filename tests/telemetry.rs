@@ -149,3 +149,51 @@ fn sweep_grid_writes_manifest_covering_every_cell() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn parallel_sweep_produces_per_worker_tracks_with_paired_spans() {
+    let dir = temp_dir("tracks");
+    let _ = std::fs::remove_dir_all(&dir);
+    let benchmarks = [Benchmark::LuNcb];
+    let policies = [PolicyKind::OracV, PolicyKind::PracT];
+    let opts = ExpOptions::tiny().with_threads(2).with_telemetry(&dir);
+    // Cached cells replay results without tracing, so force both cells
+    // to run live: drop any cache left behind by earlier test runs.
+    for policy in policies {
+        let cache = experiments::sweep::cache_dir(&opts).join(format!(
+            "{}-{}.csv",
+            Benchmark::LuNcb.label(),
+            experiments::sweep::policy_tag(policy)
+        ));
+        let _ = std::fs::remove_file(cache);
+    }
+    let records = experiments::sweep::grid(&opts, &benchmarks, &policies);
+    assert_eq!(records.len(), 2);
+
+    // Folding the cross-thread trace into call trees must find every
+    // span paired on its own track, with one track per sweep cell.
+    let profile = simkit::telemetry::prof::Profile::from_path(&dir.join(TRACE_FILE))
+        .expect("trace folds into a profile");
+    assert_eq!(
+        profile.pairing_errors(),
+        0,
+        "cross-thread spans must pair cleanly per track"
+    );
+    assert_eq!(profile.open_spans(), 0, "all spans must close");
+    let track_ids: BTreeSet<u64> = profile.tracks().iter().map(|t| t.track).collect();
+    assert!(
+        track_ids.contains(&1) && track_ids.contains(&2),
+        "each worker cell must trace on its own track (saw {track_ids:?})"
+    );
+    for track in profile.tracks() {
+        if track.track == 0 {
+            continue; // run-level handle carries only instants
+        }
+        assert!(
+            track.root_inclusive_s() > 0.0,
+            "track {} recorded no span time",
+            track.track
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
