@@ -36,6 +36,55 @@ cargo run --release -q -p experiments --bin tg-obs -- export "$TELEMETRY_DIR" \
 test -s "$TELEMETRY_DIR/series.csv"
 cargo run --release -q -p experiments --bin tg-obs -- diff "$TELEMETRY_DIR" "$TELEMETRY_DIR"
 
+echo "== tg-obs: live leg (watch determinism, rules gating, --json) =="
+TG_OBS="$PWD/target/release/tg-obs"
+RULES_SMOKE="$PWD/crates/experiments/tests/fixtures/rules_smoke.json"
+RULES_FAILING="$PWD/crates/experiments/tests/fixtures/rules_failing.json"
+# Two identical --live smoke runs in separate parent dirs: watch is
+# invoked from each parent with the same relative path so the rendered
+# `run:` header matches between them.
+mkdir -p "$TELEMETRY_DIR/wa" "$TELEMETRY_DIR/wb"
+for w in wa wb; do
+    cargo run --release -q -p experiments --bin simulate -- \
+        --bench lu_ncb --policy oracvt --duration-ms 3 --grid 32 --windows 4 \
+        --frames 25 --quiet --live --telemetry="$TELEMETRY_DIR/$w/run"
+    # The live sink self-reports its cost into the trace it audits.
+    grep -q '"telemetry.live.events"' "$TELEMETRY_DIR/$w/run/trace.jsonl"
+    grep -q '"telemetry.live.overhead"' "$TELEMETRY_DIR/$w/run/trace.jsonl"
+done
+for w in wa wb; do
+    (cd "$TELEMETRY_DIR/$w" && "$TG_OBS" watch run --once \
+        --rules "$RULES_SMOKE" --status-every 100 > watch.txt)
+    # The final summary below the marker is byte-identical to batch
+    # summarize on the same finished trace.
+    sed '1,/^--- summary ---$/d' "$TELEMETRY_DIR/$w/watch.txt" > "$TELEMETRY_DIR/$w/watch_tail.txt"
+    (cd "$TELEMETRY_DIR/$w" && "$TG_OBS" summarize run > summarize.txt)
+    cmp "$TELEMETRY_DIR/$w/watch_tail.txt" "$TELEMETRY_DIR/$w/summarize.txt"
+done
+# The streaming section (status lines + rule tallies) contains only
+# deterministic aggregates — never wall-clock — so it must render
+# byte-identically across the two independent runs.
+sed -n '1,/^--- summary ---$/p' "$TELEMETRY_DIR/wa/watch.txt" > "$TELEMETRY_DIR/head_a.txt"
+sed -n '1,/^--- summary ---$/p' "$TELEMETRY_DIR/wb/watch.txt" > "$TELEMETRY_DIR/head_b.txt"
+cmp "$TELEMETRY_DIR/head_a.txt" "$TELEMETRY_DIR/head_b.txt"
+# check: the committed smoke rules pass the live run (exit 0)…
+"$TG_OBS" check "$TELEMETRY_DIR/wa/run" --rules "$RULES_SMOKE"
+# …and the deliberately-failing rules file must exit exactly 1 (a rule
+# violation, not a usage error) naming the failed rules on stderr.
+set +e
+"$TG_OBS" check "$TELEMETRY_DIR/wa/run" --rules "$RULES_FAILING" \
+    > "$TELEMETRY_DIR/check_fail.txt" 2> "$TELEMETRY_DIR/check_fail.err"
+rc=$?
+set -e
+test "$rc" -eq 1
+grep -q '^failed: unreachable-event-count$' "$TELEMETRY_DIR/check_fail.err"
+# summarize --json: stable machine-readable summary, identical across
+# invocations of the same trace.
+"$TG_OBS" summarize "$TELEMETRY_DIR/wa/run" --json --out "$TELEMETRY_DIR/sum_a.json"
+"$TG_OBS" summarize "$TELEMETRY_DIR/wa/run" --json --out "$TELEMETRY_DIR/sum_b.json"
+cmp "$TELEMETRY_DIR/sum_a.json" "$TELEMETRY_DIR/sum_b.json"
+grep -q '"schema":"thermogater.summary/v1"' "$TELEMETRY_DIR/sum_a.json"
+
 echo "== tg-obs: timeline/flame/top (Perfetto export + deterministic profiler) =="
 # timeline must emit Chrome Trace JSON (validated internally before it
 # is written; the grep is a belt-and-braces shape check), flame must

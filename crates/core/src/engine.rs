@@ -933,6 +933,17 @@ impl<'c> SimulationEngine<'c> {
                 self.telemetry.counter("engine.decisions", 1);
                 self.telemetry
                     .counter("engine.steps", self.steps_per_decision as u64);
+                // Progress heartbeat: lets a live watcher (`tg-obs
+                // watch`) see how far along the run is. Every field is
+                // a pure function of the decision index, so heartbeats
+                // never perturb cross-run trace determinism.
+                self.telemetry
+                    .event(EventKind::Progress, "engine.heartbeat")
+                    .field_u64("decision", k as u64)
+                    .field_u64("decisions", self.n_decisions as u64)
+                    .field_u64("steps_done", ((k + 1) * self.steps_per_decision) as u64)
+                    .field_f64("frac", (k + 1) as f64 / self.n_decisions as f64)
+                    .emit();
             }
             decisions.push(DecisionRecord {
                 time_s: k as f64 * cfg.decision_interval.get(),

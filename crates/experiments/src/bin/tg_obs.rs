@@ -20,25 +20,46 @@
 //! tolerance, so it can guard CI.
 
 use experiments::obs::{diff_analyses, diff_manifests, diff_snapshots, DiffConfig, DiffReport};
-use experiments::report::analysis_report;
+use experiments::report::{analysis_json, analysis_report};
 use experiments::snapshot::{self, BenchSnapshot};
 use experiments::sweep::policy_from_tag;
-use simkit::telemetry::analyze::{series_points, TraceAnalysis, TraceReader};
+use simkit::telemetry::analyze::{series_points, TraceAnalysis, TraceReader, TraceTailer};
+use simkit::telemetry::live::LiveStats;
 use simkit::telemetry::manifest::{RunManifest, MANIFEST_FILE, TRACE_FILE};
 use simkit::telemetry::prof::Profile;
+use simkit::telemetry::rules::{RuleSet, Severity};
 use simkit::telemetry::timeline;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 use thermogater::PolicyKind;
 
 const USAGE: &str = "\
 tg-obs — trace analytics over ThermoGater telemetry
 
 USAGE:
-    tg-obs summarize <run-dir>
+    tg-obs summarize <run-dir> [--json] [--out <file>]
         Summarise a run: event counts, metric percentiles, span
         durations, solver convergence, gating churn, emergency rates.
+        --json writes one stable-key-order JSON document (schema
+        thermogater.summary/v1) instead of the human tables.
+
+    tg-obs watch <run-dir> [--once] [--rules <file.json>]
+                 [--status-every <n>] [--interval-ms <n>] [--timeout-s <n>]
+        Follow a live trace as it is written: streaming aggregation
+        with a deterministic status line every n events (default 1000),
+        rules re-evaluated as events arrive, and — once the run
+        completes (manifest written), goes idle for timeout-s (default
+        30), or --once drains the current file — a final summary that
+        is byte-identical to `summarize` on the finished trace, below a
+        `--- summary ---` marker. Exits 1 when a rule fails.
+
+    tg-obs check <run-dir> --rules <file.json> [--strict]
+        Batch-evaluate a rules file against a finished trace. Prints
+        the deterministic rule report and exits 1 when any rule fails
+        (with `failed: <rule>` on stderr, mirroring diff's contract);
+        --strict also gates warnings. Usage errors exit 2.
 
     tg-obs export <run-dir> [--out <file.csv>]
         Export the trace as a CSV time series (t_s,metric,value):
@@ -103,6 +124,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("summarize") => cmd_summarize(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("flame") => cmd_flame(&args[1..]),
@@ -152,31 +175,264 @@ fn load_analysis(input: &Path) -> Result<TraceAnalysis, String> {
 }
 
 fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
-    let [run_dir] = args else {
-        return Err(format!("usage: tg-obs summarize <run-dir>\n\n{USAGE}"));
-    };
+    let (run_dir, out, flags) = parse_io_args(
+        args,
+        "usage: tg-obs summarize <run-dir> [--json] [--out <file>]",
+        &["--json"],
+    )?;
     let input = Path::new(run_dir);
+    let text = if flags[0] {
+        let analysis = load_analysis(input)?;
+        let manifest = load_manifest(input)?;
+        analysis_json(&analysis, manifest.as_ref())
+    } else {
+        render_summarize(input)?
+    };
+    write_output(&text, out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds the complete `summarize` text for a run directory. `watch`
+/// prints this same string as its final summary, so the two are
+/// byte-identical by construction.
+fn render_summarize(input: &Path) -> Result<String, String> {
     let analysis = load_analysis(input)?;
-    println!("run: {}", input.display());
+    let mut text = format!("run: {}\n", input.display());
     if let Some(manifest) = load_manifest(input)? {
-        println!(
-            "created by {} · config hash {:016x} · {} thread(s) · {} cell(s)",
+        text.push_str(&format!(
+            "created by {} · config hash {:016x} · {} thread(s) · {} cell(s)\n",
             manifest.created_by,
             manifest.config_hash(),
             manifest.threads,
             manifest.cells.len(),
-        );
+        ));
         if manifest.total_events() != analysis.events {
-            println!(
-                "warning: manifest claims {} events but the trace holds {}",
+            text.push_str(&format!(
+                "warning: manifest claims {} events but the trace holds {}\n",
                 manifest.total_events(),
                 analysis.events
-            );
+            ));
         }
     }
-    println!();
-    print!("{}", analysis_report(&analysis));
-    Ok(ExitCode::SUCCESS)
+    text.push('\n');
+    text.push_str(&analysis_report(&analysis));
+    Ok(text)
+}
+
+fn load_rules(path: &str) -> Result<RuleSet, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read rules file {path}: {e}"))?;
+    RuleSet::from_json(&text).map_err(|e| format!("invalid rules file {path}: {e}"))
+}
+
+/// Folds a finished trace into the same streaming aggregates `watch`
+/// maintains incrementally.
+fn live_stats_from_trace(input: &Path) -> Result<LiveStats, String> {
+    let trace = trace_path(input);
+    let mut reader =
+        TraceReader::open(&trace).map_err(|e| format!("cannot open {}: {e}", trace.display()))?;
+    let mut stats = LiveStats::new();
+    while let Some(event) = reader
+        .next_event()
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?
+    {
+        stats.observe(&event);
+    }
+    stats.malformed_lines = reader.malformed_lines();
+    stats.truncated = reader.truncated();
+    Ok(stats)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: tg-obs check <run-dir> --rules <file.json> [--strict]";
+    let mut run_dir: Option<&str> = None;
+    let mut rules_path: Option<&str> = None;
+    let mut strict = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--rules" => {
+                rules_path = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("--rules needs a file path\n\n{usage}"))?,
+                );
+            }
+            "--strict" => strict = true,
+            _ if run_dir.is_none() && !arg.starts_with('-') => run_dir = Some(arg),
+            other => return Err(format!("unexpected argument `{other}`\n\n{usage}")),
+        }
+    }
+    let (Some(run_dir), Some(rules_path)) = (run_dir, rules_path) else {
+        return Err(format!("{usage}\n\n{USAGE}"));
+    };
+    let rules = load_rules(rules_path)?;
+    let stats = live_stats_from_trace(Path::new(run_dir))?;
+    let report = rules.evaluate(&stats);
+    print!("{}", report.render());
+    let gate = if strict {
+        Severity::Warn
+    } else {
+        Severity::Fail
+    };
+    if report.worst() >= gate {
+        for outcome in report.outcomes.iter().filter(|o| o.severity >= gate) {
+            eprintln!("failed: {}", outcome.rule);
+        }
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// One deterministic status line: every field is a pure function of
+/// the trace prefix folded so far — counts and aggregates only, never
+/// wall-clock times — so two watches of identical runs render
+/// identical lines.
+fn watch_status(stats: &LiveStats, rules: Option<&RuleSet>) -> String {
+    use simkit::telemetry::EventKind;
+    let mut line = format!(
+        "[watch] events={} decisions={} churn={} solves={} emergencies={} progress={}",
+        stats.events,
+        stats.counter("engine.decisions"),
+        stats.gating.churn(),
+        stats.total_solves(),
+        stats.emergency.with_emergency,
+        stats.kind_count(EventKind::Progress),
+    );
+    if let Some(rules) = rules {
+        let report = rules.evaluate(stats);
+        line.push_str(&format!(
+            " rules={}ok/{}warn/{}fail",
+            report.count(Severity::Ok),
+            report.count(Severity::Warn),
+            report.count(Severity::Fail),
+        ));
+    }
+    line
+}
+
+/// The run is complete once the manifest has landed and the trace has
+/// yielded every event it claims (malformed lines count toward the
+/// total — they occupy trace lines) with no partial line pending.
+fn watch_complete(input: &Path, stats: &LiveStats, tailer: &TraceTailer) -> Result<bool, String> {
+    if tailer.partial_tail() {
+        return Ok(false);
+    }
+    Ok(load_manifest(input)?
+        .is_some_and(|m| stats.events + tailer.malformed_lines() >= m.total_events()))
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: tg-obs watch <run-dir> [--once] [--rules <file.json>] \
+                 [--status-every <n>] [--interval-ms <n>] [--timeout-s <n>]";
+    let mut run_dir: Option<&str> = None;
+    let mut once = false;
+    let mut rules_path: Option<&str> = None;
+    let mut status_every: u64 = 1000;
+    let mut interval_ms: u64 = 200;
+    let mut timeout_s: f64 = 30.0;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value\n\n{usage}"))
+        };
+        match arg.as_str() {
+            "--once" => once = true,
+            "--rules" => rules_path = Some(value("--rules")?),
+            "--status-every" => {
+                status_every = value("--status-every")?
+                    .parse()
+                    .map_err(|_| format!("--status-every needs a positive integer\n\n{usage}"))?;
+                if status_every == 0 {
+                    return Err(format!(
+                        "--status-every needs a positive integer\n\n{usage}"
+                    ));
+                }
+            }
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| format!("--interval-ms needs an integer\n\n{usage}"))?;
+            }
+            "--timeout-s" => {
+                timeout_s = value("--timeout-s")?
+                    .parse()
+                    .map_err(|_| format!("--timeout-s needs a number\n\n{usage}"))?;
+            }
+            _ if run_dir.is_none() && !arg.starts_with('-') => run_dir = Some(arg),
+            other => return Err(format!("unexpected argument `{other}`\n\n{usage}")),
+        }
+    }
+    let Some(run_dir) = run_dir else {
+        return Err(format!("{usage}\n\n{USAGE}"));
+    };
+    let input = Path::new(run_dir);
+    let rules = rules_path.map(load_rules).transpose()?;
+    let trace = trace_path(input);
+
+    // Wait for the trace to appear (the writer may not have started yet).
+    let opened = Instant::now();
+    let mut tailer = loop {
+        match TraceTailer::follow(&trace) {
+            Ok(tailer) => break tailer,
+            Err(e) => {
+                if once || opened.elapsed().as_secs_f64() >= timeout_s {
+                    return Err(format!("cannot open {}: {e}", trace.display()));
+                }
+                std::thread::sleep(Duration::from_millis(interval_ms.max(1)));
+            }
+        }
+    };
+
+    let mut stats = LiveStats::new();
+    let mut last_event = Instant::now();
+    loop {
+        let events = tailer
+            .poll()
+            .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+        if events.is_empty() {
+            if once || watch_complete(input, &stats, &tailer)? {
+                break;
+            }
+            if last_event.elapsed().as_secs_f64() >= timeout_s {
+                eprintln!("watch: no new events for {timeout_s}s, stopping");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(interval_ms.max(1)));
+            continue;
+        }
+        last_event = Instant::now();
+        for event in &events {
+            stats.observe(event);
+            // Status fires at exact event counts, not poll boundaries,
+            // so the rendered sequence is independent of I/O timing.
+            if stats.events.is_multiple_of(status_every) {
+                println!("{}", watch_status(&stats, rules.as_ref()));
+            }
+        }
+    }
+    stats.malformed_lines = tailer.malformed_lines();
+    stats.truncated = tailer.partial_tail();
+    if !stats.events.is_multiple_of(status_every) || stats.events == 0 {
+        println!("{}", watch_status(&stats, rules.as_ref()));
+    }
+    let mut failed: Vec<String> = Vec::new();
+    if let Some(rules) = &rules {
+        let report = rules.evaluate(&stats);
+        print!("{}", report.render());
+        failed = report.failures().map(|o| o.rule.clone()).collect();
+    }
+    println!("--- summary ---");
+    print!("{}", render_summarize(input)?);
+    if failed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for rule in &failed {
+            eprintln!("failed: {rule}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
@@ -538,6 +794,14 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
             t.frames,
             t.overhead_us,
             t.overhead_share() * 100.0
+        );
+    }
+    if let Some(l) = &snap.live {
+        println!(
+            "live aggregation: {} events folded in {} µs ({:.3}% of the run)",
+            l.events,
+            l.overhead_us,
+            l.overhead_share() * 100.0
         );
     }
     println!("wrote {}", path.display());

@@ -27,6 +27,10 @@ pub struct ExpOptions {
     /// (`--frames=N` / `SIMKIT_FRAMES`). `None` disables frame capture;
     /// frames are only emitted when telemetry is also enabled.
     pub frames: Option<usize>,
+    /// Fold events into an in-process live aggregate (`--live` /
+    /// `SIMKIT_LIVE`), self-reporting the aggregation cost through
+    /// `telemetry.live.*` counters. Only meaningful with telemetry on.
+    pub live: bool,
 }
 
 impl ExpOptions {
@@ -35,9 +39,11 @@ impl ExpOptions {
     /// environment also selects the quick configuration, and
     /// `SIMKIT_TELEMETRY=<dir>` enables telemetry when the flag is
     /// absent. `--frames=N` / `SIMKIT_FRAMES=N` turns on the spatial
-    /// frame recorder with a capture every N thermal steps. Also
-    /// installs the quiet preference into [`crate::report`], so tables
-    /// printed through it honour `--quiet`.
+    /// frame recorder with a capture every N thermal steps; `--live` /
+    /// `SIMKIT_LIVE` folds events into an in-process live aggregate
+    /// with self-reported overhead counters. Also installs the quiet
+    /// preference into [`crate::report`], so tables printed through it
+    /// honour `--quiet`.
     pub fn from_args() -> Self {
         let quick =
             std::env::args().any(|a| a == "--quick") || std::env::var("THERMOGATER_QUICK").is_ok();
@@ -55,6 +61,7 @@ impl ExpOptions {
                     .ok()
                     .and_then(|v| v.trim().parse().ok())
             });
+        let live = std::env::args().any(|a| a == "--live") || std::env::var("SIMKIT_LIVE").is_ok();
         crate::report::set_quiet(quiet);
         ExpOptions {
             quick,
@@ -63,6 +70,7 @@ impl ExpOptions {
             quiet,
             telemetry,
             frames,
+            live,
         }
     }
 
@@ -114,6 +122,11 @@ impl ExpOptions {
             frames: Some(every),
             ..self
         }
+    }
+
+    /// This configuration with in-process live aggregation enabled.
+    pub fn with_live(self) -> Self {
+        ExpOptions { live: true, ..self }
     }
 
     /// The sweep worker-thread count: the explicit option, else the
@@ -223,5 +236,7 @@ mod tests {
         );
         assert!(ExpOptions::tiny().telemetry.is_none());
         assert!(!ExpOptions::tiny().quiet);
+        assert!(!ExpOptions::tiny().live);
+        assert!(ExpOptions::tiny().with_live().live);
     }
 }

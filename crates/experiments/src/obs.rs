@@ -589,6 +589,43 @@ pub fn diff_snapshots(a: &BenchSnapshot, b: &BenchSnapshot, config: &DiffConfig)
             Direction::Informational,
         );
     }
+    // Live-aggregation overhead axis: mirrors the frame-recorder axis —
+    // folded-event count is deterministic and gates exactly, the fold's
+    // share of wall time gates loosely upward, raw walls are for eyes.
+    if let (Some(la), Some(lb)) = (&a.live, &b.live) {
+        report.push(
+            config,
+            "snap.live.events".into(),
+            la.events as f64,
+            lb.events as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.live.overhead_share".into(),
+            la.overhead_share(),
+            lb.overhead_share(),
+            snapshot_tolerances::TELEMETRY_OVERHEAD,
+            Direction::HigherIsWorse,
+        );
+        report.push(
+            config,
+            "snap.live.live_wall_s".into(),
+            la.live_wall_s,
+            lb.live_wall_s,
+            0.0,
+            Direction::Informational,
+        );
+        report.push(
+            config,
+            "snap.live.base_wall_s".into(),
+            la.base_wall_s,
+            lb.base_wall_s,
+            0.0,
+            Direction::Informational,
+        );
+    }
     for ea in &a.entries {
         let Some(eb) = b.entries.iter().find(|e| e.policy == ea.policy) else {
             continue;

@@ -349,6 +349,188 @@ pub fn analysis_report(analysis: &TraceAnalysis) -> String {
     out
 }
 
+/// Schema identifier of `tg-obs summarize --json` documents.
+pub const SUMMARY_SCHEMA: &str = "thermogater.summary/v1";
+
+/// The machine-readable twin of [`analysis_report`]: one JSON document
+/// (schema [`SUMMARY_SCHEMA`]) with a fixed member order — members in
+/// the order written here, collections in trace first-appearance order
+/// — so identical runs serialise byte-identically and scripts stop
+/// scraping the human table.
+pub fn analysis_json(
+    analysis: &TraceAnalysis,
+    manifest: Option<&simkit::telemetry::manifest::RunManifest>,
+) -> String {
+    use simkit::telemetry::json::{write_f64, write_str};
+    use simkit::telemetry::EventKind;
+
+    fn opt(out: &mut String, v: Option<f64>) {
+        match v {
+            Some(x) => write_f64(out, x),
+            None => out.push_str("null"),
+        }
+    }
+
+    let mut out = String::from("{\"schema\":");
+    write_str(&mut out, SUMMARY_SCHEMA);
+    out.push_str(&format!(",\"events\":{}", analysis.events));
+    out.push_str(",\"duration_s\":");
+    write_f64(&mut out, analysis.duration_s());
+    out.push_str(&format!(
+        ",\"malformed_lines\":{},\"truncated\":{}",
+        analysis.malformed_lines, analysis.truncated
+    ));
+
+    out.push_str(",\"kinds\":{");
+    let mut first = true;
+    for kind in EventKind::ALL {
+        let n = analysis.kind_count(kind);
+        if n > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_str(&mut out, kind.as_str());
+            out.push_str(&format!(":{n}"));
+        }
+    }
+    out.push('}');
+
+    out.push_str(",\"counters\":[");
+    for (i, (name, total)) in analysis.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(",\"total\":{total}}}"));
+    }
+    out.push(']');
+
+    out.push_str(",\"rollups\":[");
+    for (i, (name, r)) in analysis.rollups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"metric\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(
+            ",\"samples\":{},\"non_finite\":{}",
+            r.count(),
+            r.non_finite()
+        ));
+        for (key, value) in [
+            ("min", r.min()),
+            ("mean", r.mean()),
+            ("p50", r.percentile(50.0)),
+            ("p95", r.percentile(95.0)),
+            ("p99", r.percentile(99.0)),
+            ("max", r.max()),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            opt(&mut out, value);
+        }
+        out.push('}');
+    }
+    out.push(']');
+
+    out.push_str(",\"spans\":[");
+    for (i, (name, s)) in analysis.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(
+            ",\"completed\":{},\"open\":{}",
+            s.completed(),
+            s.open
+        ));
+        for (key, value) in [
+            ("total_s", Some(s.durations.sum())),
+            ("p50_s", s.durations.percentile(50.0)),
+            ("max_s", s.durations.max()),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            opt(&mut out, value);
+        }
+        out.push('}');
+    }
+    out.push(']');
+
+    out.push_str(",\"solvers\":[");
+    for (i, (site, s)) in analysis.solvers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"site\":");
+        write_str(&mut out, site);
+        out.push_str(&format!(",\"solves\":{}", s.solves()));
+        for (key, value) in [
+            ("iters_p50", s.iters.percentile(50.0)),
+            ("iters_p95", s.iters.percentile(95.0)),
+            ("iters_max", s.iters.max()),
+            ("residual_max", s.residuals.max()),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            opt(&mut out, value);
+        }
+        out.push('}');
+    }
+    out.push(']');
+
+    out.push_str(",\"gating\":");
+    if analysis.gating.decisions > 0 {
+        out.push_str(&format!(
+            "{{\"decisions\":{},\"turned_on\":{},\"turned_off\":{},\"churn\":{},\"churn_per_decision\":",
+            analysis.gating.decisions,
+            analysis.gating.turned_on,
+            analysis.gating.turned_off,
+            analysis.gating.churn(),
+        ));
+        opt(&mut out, analysis.gating.churn_per_decision());
+        out.push_str(",\"mean_active\":");
+        opt(&mut out, analysis.gating.active.mean());
+        out.push('}');
+    } else {
+        out.push_str("null");
+    }
+
+    out.push_str(",\"emergency\":");
+    if analysis.emergency.checks > 0 {
+        out.push_str(&format!(
+            "{{\"checks\":{},\"with_emergency\":{},\"flagged_domains\":{},\"true_domains\":{},\"mispredicted\":{},\"rate\":",
+            analysis.emergency.checks,
+            analysis.emergency.with_emergency,
+            analysis.emergency.flagged_domains,
+            analysis.emergency.true_domains,
+            analysis.emergency.mispredicted,
+        ));
+        opt(&mut out, analysis.emergency.emergency_rate());
+        out.push('}');
+    } else {
+        out.push_str("null");
+    }
+
+    out.push_str(",\"manifest\":");
+    match manifest {
+        Some(m) => {
+            out.push_str("{\"created_by\":");
+            write_str(&mut out, &m.created_by);
+            out.push_str(&format!(
+                ",\"config_hash\":\"{:016x}\",\"threads\":{},\"cells\":{},\"events_total\":{}}}",
+                m.config_hash(),
+                m.threads,
+                m.cells.len(),
+                m.total_events(),
+            ));
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Downsamples a series to at most `points` bucket means (for compact
 /// printing of long traces).
 pub fn downsample(series: &[f64], points: usize) -> Vec<f64> {
@@ -528,5 +710,52 @@ mod tests {
     fn heatmap_handles_flat_input() {
         let map = vec![vec![60.0; 3]; 2];
         assert_eq!(render_heatmap(&map), "");
+    }
+
+    #[test]
+    fn analysis_json_is_parseable_and_stable() {
+        use simkit::telemetry::analyze::ParsedEvent;
+        use simkit::telemetry::{EventKind, Telemetry};
+
+        let (tel, sink) = Telemetry::recorder();
+        {
+            let _run = tel.span("engine.run");
+            tel.counter("engine.decisions", 2);
+            tel.gauge("thermal.max_c", 81.5);
+            tel.solve("thermal.gs", 12, 1e-9);
+            tel.event(EventKind::Gating, "engine.gating")
+                .field_u64("active", 9)
+                .field_u64("turned_on", 1)
+                .field_u64("turned_off", 0)
+                .emit();
+        }
+        let mut analysis = TraceAnalysis::new();
+        for event in sink.events() {
+            let parsed = ParsedEvent::from_line(&event.to_json()).unwrap();
+            analysis.observe(&parsed);
+        }
+
+        let doc = analysis_json(&analysis, None);
+        assert_eq!(doc, analysis_json(&analysis, None), "byte-stable");
+        let parsed = simkit::telemetry::json::parse(doc.trim()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(SUMMARY_SCHEMA)
+        );
+        assert_eq!(
+            parsed.get("events").and_then(|v| v.as_f64()),
+            Some(analysis.events as f64)
+        );
+        let counters = parsed.get("counters").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            counters[0].get("name").and_then(|v| v.as_str()),
+            Some("engine.decisions")
+        );
+        assert!(parsed.get("gating").unwrap().get("decisions").is_some());
+        assert!(parsed.get("emergency").unwrap().is_null());
+        assert!(parsed.get("manifest").unwrap().is_null());
+        // Key order is fixed: schema first, manifest last.
+        assert!(doc.starts_with("{\"schema\":"));
+        assert!(doc.trim_end().ends_with("\"manifest\":null}"));
     }
 }

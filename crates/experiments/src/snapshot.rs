@@ -119,6 +119,31 @@ impl TelemetryOverhead {
     }
 }
 
+/// The live-aggregation overhead axis: one pinned fast-config run with
+/// the in-process streaming aggregator ([`simkit::telemetry::live::LiveSink`])
+/// fanned in next to the recorder sink, against one with the recorder
+/// alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveOverhead {
+    /// Events the live sink folded (deterministic for the pinned
+    /// config; the run's `telemetry.live.events` counter).
+    pub events: u64,
+    /// Sink self-reported fold time, whole µs (the run's
+    /// `telemetry.live.overhead` counter).
+    pub overhead_us: u64,
+    /// Wall seconds of the live-sink run.
+    pub live_wall_s: f64,
+    /// Wall seconds of the recorder-only run.
+    pub base_wall_s: f64,
+}
+
+impl LiveOverhead {
+    /// Fold overhead as a share of the live run's wall time.
+    pub fn overhead_share(&self) -> f64 {
+        (self.overhead_us as f64 / 1e6) / self.live_wall_s.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// A schema-tagged performance snapshot (one `BENCH_<label>.json`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchSnapshot {
@@ -133,6 +158,9 @@ pub struct BenchSnapshot {
     /// Frame-recorder overhead axis (`None` in snapshots written
     /// before it existed or captured without it).
     pub telemetry: Option<TelemetryOverhead>,
+    /// Live-aggregation overhead axis (`None` in snapshots written
+    /// before it existed or captured without it).
+    pub live: Option<LiveOverhead>,
     /// One entry per measured policy.
     pub entries: Vec<PolicyEntry>,
     /// Steady-solve grid-scaling axis (empty when not captured).
@@ -252,8 +280,50 @@ pub fn measure_telemetry_overhead() -> Result<TelemetryOverhead, String> {
     })
 }
 
+/// Measures the live-aggregation overhead axis: the pinned fast-config
+/// workload once with a [`LiveSink`] fanned in next to the recorder
+/// sink, once with the recorder alone. The live run's sink provides
+/// the deterministic folded-event count and its self-timed fold cost —
+/// the same numbers a `--live` run writes into its trace as
+/// `telemetry.live.events` / `telemetry.live.overhead`.
+///
+/// # Errors
+///
+/// Propagates engine failures as a rendered message.
+pub fn measure_live_overhead() -> Result<LiveOverhead, String> {
+    use simkit::telemetry::live::LiveSink;
+    use simkit::telemetry::{FanoutSink, MemorySink, TelemetrySink};
+    use std::sync::Arc;
+
+    let chip = floorplan::reference::power8_like();
+    let run = |live: Option<Arc<LiveSink>>| -> Result<f64, String> {
+        let mut engine = SimulationEngine::new(&chip, EngineConfig::fast());
+        let recorder: Arc<dyn TelemetrySink> = Arc::new(MemorySink::default());
+        let sink: Arc<dyn TelemetrySink> = match live {
+            Some(live) => Arc::new(FanoutSink::new(vec![recorder, live])),
+            None => recorder,
+        };
+        engine.set_telemetry(Telemetry::with_sink(sink));
+        let started = Instant::now();
+        engine
+            .run(SNAPSHOT_BENCH, PolicyKind::PracVT)
+            .map_err(|e| format!("live overhead run failed: {e}"))?;
+        Ok(started.elapsed().as_secs_f64())
+    };
+    let live = Arc::new(simkit::telemetry::live::LiveSink::new());
+    let live_wall_s = run(Some(live.clone()))?;
+    let base_wall_s = run(None)?;
+    Ok(LiveOverhead {
+        events: live.events(),
+        overhead_us: live.overhead_us(),
+        live_wall_s,
+        base_wall_s,
+    })
+}
+
 /// Captures a full snapshot: one [`measure_policy`] run per `policies`
-/// entry, the frame-recorder overhead axis, plus the process peak RSS.
+/// entry, the frame-recorder and live-aggregation overhead axes, plus
+/// the process peak RSS.
 ///
 /// # Errors
 ///
@@ -264,12 +334,14 @@ pub fn capture(label: &str, policies: &[PolicyKind]) -> Result<BenchSnapshot, St
         .map(|&p| measure_policy(p))
         .collect::<Result<Vec<_>, _>>()?;
     let telemetry = Some(measure_telemetry_overhead()?);
+    let live = Some(measure_live_overhead()?);
     Ok(BenchSnapshot {
         label: label.to_string(),
         config: "fast".to_string(),
         bench: SNAPSHOT_BENCH.label().to_string(),
         peak_rss_bytes: peak_rss_bytes(),
         telemetry,
+        live,
         entries,
         scaling: Vec::new(),
     })
@@ -382,6 +454,21 @@ impl BenchSnapshot {
                 out.push('}');
             }
             None => out.push_str(",\"telemetry\":null"),
+        }
+        match &self.live {
+            Some(l) => {
+                let _ = write!(
+                    out,
+                    ",\"live\":{{\"events\":{},\"overhead_us\":{}",
+                    l.events, l.overhead_us
+                );
+                out.push_str(",\"live_wall_s\":");
+                json::write_f64(&mut out, l.live_wall_s);
+                out.push_str(",\"base_wall_s\":");
+                json::write_f64(&mut out, l.base_wall_s);
+                out.push('}');
+            }
+            None => out.push_str(",\"live\":null"),
         }
         out.push_str(",\"entries\":[");
         for (i, entry) in self.entries.iter().enumerate() {
@@ -507,6 +594,23 @@ impl BenchSnapshot {
                 })
             }
         };
+        // Same tolerance for the younger live-aggregation axis.
+        let live = match doc.get("live") {
+            None | Some(JsonValue::Null) => None,
+            Some(l) => {
+                let num = |key: &str| {
+                    l.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("\"live\" missing number \"{key}\""))
+                };
+                Some(LiveOverhead {
+                    events: num("events")? as u64,
+                    overhead_us: num("overhead_us")? as u64,
+                    live_wall_s: num("live_wall_s")?,
+                    base_wall_s: num("base_wall_s")?,
+                })
+            }
+        };
         let mut entries = Vec::new();
         for (index, entry) in doc
             .get("entries")
@@ -607,6 +711,7 @@ impl BenchSnapshot {
             bench: str_member("bench")?,
             peak_rss_bytes,
             telemetry,
+            live,
             entries,
             scaling,
         })
@@ -628,6 +733,12 @@ pub(crate) mod tests {
                 frames: 6,
                 overhead_us: 800,
                 frames_wall_s: 0.5,
+                base_wall_s: 0.49,
+            }),
+            live: Some(LiveOverhead {
+                events: 1800,
+                overhead_us: 300,
+                live_wall_s: 0.5,
                 base_wall_s: 0.49,
             }),
             entries: vec![PolicyEntry {
@@ -748,6 +859,54 @@ pub(crate) mod tests {
         // 300 fast-config steps sampled every 50 (step 0 included).
         assert!(t.frames >= 5, "too few frames: {}", t.frames);
         assert!(t.frames_wall_s > 0.0 && t.base_wall_s > 0.0);
+    }
+
+    #[test]
+    fn pre_live_documents_still_parse() {
+        // Snapshots written before the live-aggregation axis existed
+        // must keep loading, with the axis simply absent.
+        let snap = sample("old", 4.0);
+        let text = snap.to_json();
+        let start = text.find(",\"live\"").expect("live member");
+        let end = text[start + 1..].find(",\"entries\"").expect("entries") + start + 1;
+        let mut cut = text.clone();
+        cut.replace_range(start..end, "");
+        let back = BenchSnapshot::from_json(&cut).expect("old document parses");
+        assert_eq!(back.live, None);
+        assert_eq!(back.telemetry, snap.telemetry, "sibling axis untouched");
+        // Explicit null also maps to absent.
+        let mut null = text.clone();
+        null.replace_range(start..end, ",\"live\":null");
+        assert_eq!(BenchSnapshot::from_json(&null).unwrap().live, None);
+        // And the full document round-trips the axis intact.
+        let back = BenchSnapshot::from_json(&text).expect("round trip");
+        assert_eq!(back.live, snap.live);
+    }
+
+    #[test]
+    fn live_overhead_share_is_well_defined() {
+        let l = LiveOverhead {
+            events: 1800,
+            overhead_us: 1000,
+            live_wall_s: 0.1,
+            base_wall_s: 0.1,
+        };
+        assert!((l.overhead_share() - 0.01).abs() < 1e-12);
+        let zero_wall = LiveOverhead {
+            live_wall_s: 0.0,
+            ..l
+        };
+        assert!(zero_wall.overhead_share().is_finite());
+    }
+
+    #[test]
+    fn measure_live_overhead_folds_every_engine_event() {
+        let l = measure_live_overhead().expect("overhead runs succeed");
+        // The fast config emits at minimum gating + emergency + solve
+        // events per decision window; the live sink must have folded a
+        // substantial stream, not a handful.
+        assert!(l.events > 100, "too few folded events: {}", l.events);
+        assert!(l.live_wall_s > 0.0 && l.base_wall_s > 0.0);
     }
 
     #[test]

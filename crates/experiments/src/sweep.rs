@@ -241,6 +241,20 @@ fn record_for_cell(
     (record, cell)
 }
 
+/// Emits a `sweep.heartbeat` progress event (`done` of `total` cells)
+/// through the run-level handle. Fields are pure functions of the
+/// completion count, so heartbeats stay deterministic.
+fn heartbeat(ctx: Option<&TelemetryCtx>, done: usize, total: usize) {
+    if let Some(ctx) = ctx {
+        ctx.telemetry()
+            .event(EventKind::Progress, "sweep.heartbeat")
+            .field_u64("done", done as u64)
+            .field_u64("total", total as u64)
+            .field_f64("frac", done as f64 / total.max(1) as f64)
+            .emit();
+    }
+}
+
 /// All records of a benchmark × policy grid (cached per cell), in
 /// benchmark-major order.
 ///
@@ -271,6 +285,7 @@ pub fn grid(
             .map(|(i, &(b, p))| {
                 let (record, cell) = record_for_cell(opts, b, p, ctx.as_ref());
                 cell_manifests[i] = cell;
+                heartbeat(ctx.as_ref(), i + 1, cells.len());
                 record
             })
             .collect()
@@ -299,16 +314,23 @@ pub fn grid(
                 });
             }
             drop(tx);
-        });
 
-        let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
-        for (i, record, cell) in rx {
-            out[i] = Some(record);
-            cell_manifests[i] = cell;
-        }
-        out.into_iter()
-            .map(|r| r.expect("every claimed cell sends exactly one record"))
-            .collect()
+            // Drain results on the main thread while workers run, so
+            // the `sweep.heartbeat` progress events land in the trace
+            // as cells complete — a tailing watcher sees the sweep
+            // advance instead of a burst at the end.
+            let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
+            let mut done = 0usize;
+            for (i, record, cell) in rx {
+                out[i] = Some(record);
+                cell_manifests[i] = cell;
+                done += 1;
+                heartbeat(ctx.as_ref(), done, cells.len());
+            }
+            out.into_iter()
+                .map(|r| r.expect("every claimed cell sends exactly one record"))
+                .collect()
+        })
     };
 
     if let Some(ctx) = &ctx {

@@ -233,6 +233,7 @@ fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
         bench: "lu_ncb".to_string(),
         peak_rss_bytes: Some(32 * 1024 * 1024),
         telemetry: None,
+        live: None,
         entries: vec![PolicyEntry {
             policy: "oract".to_string(),
             grid_n: 32,
@@ -422,5 +423,238 @@ fn telemetry_check_pairs_spans_per_track() {
         "stderr: {}",
         stderr(&out)
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn rules_fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn summarize_json_is_stable_and_schema_tagged() {
+    let run = fixture_run();
+    let a = tg_obs(&["summarize", run.to_str().unwrap(), "--json"]);
+    let b = tg_obs(&["summarize", run.to_str().unwrap(), "--json"]);
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    assert_eq!(a.stdout, b.stdout, "JSON summary must not drift");
+    let text = stdout(&a);
+    let doc = simkit::telemetry::json::parse(text.trim()).expect("parseable JSON");
+    let obj = doc.as_object().expect("an object");
+    let schema = obj.iter().find(|(k, _)| k == "schema").expect("schema tag");
+    assert_eq!(schema.1.as_str(), Some("thermogater.summary/v1"));
+    // Key order is fixed by the hand-rolled writer, so the raw text
+    // starts with the schema tag — stable for textual diffing.
+    assert!(
+        text.starts_with("{\"schema\":\"thermogater.summary/v1\",\"events\":14,"),
+        "{text}"
+    );
+    // --out writes the same bytes to a file.
+    let dir = temp_dir("sumjson");
+    let path = dir.join("summary.json");
+    let out = tg_obs(&[
+        "summarize",
+        run.to_str().unwrap(),
+        "--json",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_passes_smoke_rules_and_gates_failing_rules() {
+    let run = fixture_run();
+    let rules = rules_fixture("rules_smoke.json");
+    let out = tg_obs(&[
+        "check",
+        run.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("trace-parses-clean"), "{text}");
+    assert!(text.contains("0 fail"), "{text}");
+
+    // The deliberately-failing rules file must exit 1 (not 2: the
+    // rules parsed fine, the trace violated them) and name each
+    // failed rule on stderr, mirroring diff's `regression:` contract.
+    let rules = rules_fixture("rules_failing.json");
+    let out = tg_obs(&[
+        "check",
+        run.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("failed: unreachable-event-count"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("failed: ghost-counter"), "stderr: {err}");
+
+    // --strict promotes warnings to gate failures: the smoke rules
+    // warn on the fixture's 100 % emergency rate, so strict mode
+    // flips the exit to 1.
+    let rules = rules_fixture("rules_smoke.json");
+    let out = tg_obs(&[
+        "check",
+        run.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stderr(&out).contains("failed: emergency-rate-sane"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn check_rejects_malformed_rules_files_as_usage_errors() {
+    let run = fixture_run();
+    let dir = temp_dir("badrules");
+    let path = dir.join("rules.json");
+    std::fs::write(&path, "{\"schema\":\"wrong/v9\",\"rules\":[]}").unwrap();
+    let out = tg_obs(&[
+        "check",
+        run.to_str().unwrap(),
+        "--rules",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stdout: {}", stdout(&out));
+    assert!(
+        stderr(&out).contains("invalid rules file"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_once_summary_tail_matches_batch_summarize_exactly() {
+    let run = fixture_run();
+    let watch = tg_obs(&[
+        "watch",
+        run.to_str().unwrap(),
+        "--once",
+        "--status-every",
+        "5",
+    ]);
+    assert!(watch.status.success(), "stderr: {}", stderr(&watch));
+    let text = stdout(&watch);
+    // Status lines fire at exact event counts (5, 10) plus the final
+    // 14-event line, each a pure function of the trace prefix.
+    assert!(text.contains("[watch] events=5 "), "{text}");
+    assert!(text.contains("[watch] events=10 "), "{text}");
+    assert!(text.contains("[watch] events=14 "), "{text}");
+    let marker = "--- summary ---\n";
+    let tail = &text[text.find(marker).expect("summary marker") + marker.len()..];
+    let summarize = tg_obs(&["summarize", run.to_str().unwrap()]);
+    assert!(summarize.status.success());
+    assert_eq!(
+        tail,
+        stdout(&summarize),
+        "watch's final summary must be byte-identical to batch summarize"
+    );
+}
+
+#[test]
+fn watch_renders_are_byte_identical_across_invocations() {
+    let run = fixture_run();
+    let rules = rules_fixture("rules_smoke.json");
+    let args = [
+        "watch",
+        run.to_str().unwrap(),
+        "--once",
+        "--status-every",
+        "3",
+        "--rules",
+        rules.to_str().unwrap(),
+    ];
+    let a = tg_obs(&args);
+    let b = tg_obs(&args);
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    assert_eq!(a.stdout, b.stdout, "watch render must not drift");
+    // Rules are evaluated incrementally on each status line and once
+    // at the end as a full report.
+    let text = stdout(&a);
+    assert!(text.contains(" rules="), "{text}");
+    assert!(text.contains("rule(s):"), "{text}");
+}
+
+#[test]
+fn watch_follows_a_growing_trace_to_completion() {
+    let run = fixture_run();
+    let dir = temp_dir("watchlive");
+    let trace = std::fs::read_to_string(run.join("trace.jsonl")).unwrap();
+    let lines: Vec<&str> = trace.lines().collect();
+    // Seed the file with the first few lines; the manifest arrives
+    // only after the writer finishes, which is what ends the watch.
+    std::fs::write(
+        dir.join("trace.jsonl"),
+        format!("{}\n", lines[..4].join("\n")),
+    )
+    .unwrap();
+
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_tg-obs"))
+        .args([
+            "watch",
+            dir.to_str().unwrap(),
+            "--status-every",
+            "7",
+            "--interval-ms",
+            "20",
+            "--timeout-s",
+            "30",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("watch spawns");
+
+    // Append the rest while the watcher polls, splitting one append
+    // mid-line to exercise partial-tail handling, then land the
+    // manifest to signal completion.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("trace.jsonl"))
+            .unwrap();
+        let rest = format!("{}\n", lines[4..].join("\n"));
+        let split = rest.len() / 2;
+        file.write_all(&rest.as_bytes()[..split]).unwrap();
+        file.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        file.write_all(&rest.as_bytes()[split..]).unwrap();
+        file.flush().unwrap();
+    }
+    std::fs::copy(run.join("manifest.json"), dir.join("manifest.json")).unwrap();
+
+    let out = child.wait_with_output().expect("watch finishes");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("[watch] events=7 "), "{text}");
+    assert!(text.contains("[watch] events=14 "), "{text}");
+    assert!(text.contains("events: 14"), "{text}");
+    // The live fold and the batch analysis agree on the final line.
+    let marker = "--- summary ---\n";
+    let tail = &text[text.find(marker).expect("summary marker") + marker.len()..];
+    let summarize = tg_obs(&["summarize", dir.to_str().unwrap()]);
+    assert_eq!(tail, stdout(&summarize));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -53,8 +53,10 @@
 
 pub mod analyze;
 pub mod json;
+pub mod live;
 pub mod manifest;
 pub mod prof;
+pub mod rules;
 pub mod timeline;
 
 use std::borrow::Cow;
@@ -284,6 +286,7 @@ pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
     lines: AtomicU64,
     errors: AtomicU64,
+    flush_every: u64,
 }
 
 impl JsonlSink {
@@ -298,7 +301,19 @@ impl JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
             lines: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            flush_every: 0,
         })
+    }
+
+    /// Flushes the writer every `n` recorded events (`0` disables —
+    /// the default), so a tailing reader (`tg-obs watch`) sees fresh
+    /// events instead of waiting for the run's final flush. Small `n`
+    /// trades syscalls for latency; the buffered write itself stays
+    /// batched.
+    #[must_use]
+    pub fn flush_every(mut self, n: u64) -> Self {
+        self.flush_every = n;
+        self
     }
 
     /// Number of lines successfully handed to the writer.
@@ -319,7 +334,10 @@ impl TelemetrySink for JsonlSink {
         let mut writer = self.writer.lock().expect("jsonl sink poisoned");
         match writer.write_all(line.as_bytes()) {
             Ok(()) => {
-                self.lines.fetch_add(1, Ordering::Relaxed);
+                let written = self.lines.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.flush_every > 0 && written.is_multiple_of(self.flush_every) {
+                    let _ = writer.flush();
+                }
             }
             Err(_) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -1206,6 +1224,30 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("trace readable after drop");
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("crash.test"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flush_every_makes_events_visible_mid_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "tg_jsonl_flush_every_{}_{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).expect("create").flush_every(4);
+        let tel = Telemetry::with_sink(Arc::new(sink));
+        for k in 0..10 {
+            tel.counter("tick", k);
+        }
+        // 10 events with flush_every(4): the first 8 are on disk while
+        // the run is still alive; the last 2 wait in the buffer.
+        let text = std::fs::read_to_string(&path).expect("readable mid-run");
+        assert_eq!(text.lines().count(), 8);
+        drop(tel);
+        let text = std::fs::read_to_string(&path).expect("readable after drop");
+        assert_eq!(text.lines().count(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
 

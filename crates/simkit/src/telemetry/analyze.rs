@@ -216,6 +216,112 @@ impl TraceReader<BufReader<File>> {
     }
 }
 
+/// Incremental reader following a trace file that is still being
+/// written — the tailing mode of [`TraceReader`].
+///
+/// Each [`TraceTailer::poll`] drains the complete (`\n`-terminated)
+/// lines appended since the last poll and leaves anything after the
+/// final newline untouched: the committed [`offset`](TraceTailer::offset)
+/// only ever advances past whole lines, so a writer cut mid-record is
+/// re-read — intact — on the next poll once the rest of the line lands.
+/// A watcher can therefore persist the offset and
+/// [`resume`](TraceTailer::resume) later; the resumed stream yields
+/// exactly the events a one-shot read of the finished file would.
+///
+/// Malformed *complete* lines are counted and skipped, mirroring
+/// [`TraceReader`]'s recovery behaviour.
+#[derive(Debug)]
+pub struct TraceTailer {
+    file: File,
+    offset: u64,
+    malformed: u64,
+    partial_tail: bool,
+}
+
+impl TraceTailer {
+    /// Starts tailing `path` from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure (e.g. the writer has not created the
+    /// file yet — callers typically retry).
+    pub fn follow(path: &Path) -> io::Result<Self> {
+        TraceTailer::resume(path, 0)
+    }
+
+    /// Resumes tailing `path` from a previously committed byte
+    /// `offset`. Resuming at [`TraceTailer::offset`] of an earlier
+    /// tailer continues the stream without loss or duplication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn resume(path: &Path, offset: u64) -> io::Result<Self> {
+        Ok(TraceTailer {
+            file: File::open(path)?,
+            offset,
+            malformed: 0,
+            partial_tail: false,
+        })
+    }
+
+    /// Drains the complete lines currently available past the committed
+    /// offset, in file order. An empty vector means no complete new
+    /// line has landed yet — poll again later.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; format problems (malformed complete
+    /// lines, invalid UTF-8, partial tails) never error.
+    pub fn poll(&mut self) -> io::Result<Vec<ParsedEvent>> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        let mut events = Vec::new();
+        let mut consumed = 0usize;
+        while let Some(len) = buf[consumed..].iter().position(|&b| b == b'\n') {
+            let bytes = &buf[consumed..consumed + len];
+            consumed += len + 1;
+            let line = match std::str::from_utf8(bytes) {
+                Ok(text) => text.trim(),
+                Err(_) => {
+                    self.malformed += 1;
+                    continue;
+                }
+            };
+            if line.is_empty() {
+                continue;
+            }
+            match ParsedEvent::from_line(line) {
+                Ok(event) => events.push(event),
+                Err(_) => self.malformed += 1,
+            }
+        }
+        self.offset += consumed as u64;
+        self.partial_tail = consumed < buf.len();
+        Ok(events)
+    }
+
+    /// The committed byte offset: the start of the first line not yet
+    /// returned as a complete event. Safe to persist and
+    /// [`resume`](TraceTailer::resume) from.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Malformed complete lines skipped so far.
+    pub fn malformed_lines(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Whether the last poll saw bytes after the final newline — a
+    /// line still being written (or a writer that died mid-record).
+    pub fn partial_tail(&self) -> bool {
+        self.partial_tail
+    }
+}
+
 /// Distribution rollup of one named value stream.
 ///
 /// Keeps every finite observation so percentiles are exact (traces are
@@ -832,5 +938,131 @@ mod tests {
         assert_eq!(a.duration_s(), 0.0);
         assert_eq!(a.first_t_s, None);
         assert!(a.counters.is_empty() && a.rollups.is_empty());
+    }
+
+    /// A scratch directory unique to the calling test.
+    fn tail_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tg_tail_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn event_line(name: &str, value: u64) -> String {
+        format!("{{\"t\":0.5,\"kind\":\"counter\",\"name\":\"{name}\",\"delta\":{value}}}\n")
+    }
+
+    #[test]
+    fn tailer_holds_a_partial_final_line_until_it_completes() {
+        use std::io::Write;
+        let dir = tail_dir("partial");
+        let path = dir.join("trace.jsonl");
+        let full = event_line("a", 1);
+        let (head, rest) = full.split_at(20);
+        std::fs::write(&path, head).expect("write partial");
+
+        let mut tailer = TraceTailer::follow(&path).expect("open");
+        assert!(tailer.poll().expect("poll").is_empty());
+        assert!(tailer.partial_tail());
+        assert_eq!(tailer.offset(), 0, "partial bytes stay uncommitted");
+
+        // The writer finishes the record (and appends another).
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("reopen");
+        write!(file, "{rest}{}", event_line("b", 2)).expect("complete line");
+        drop(file);
+
+        let events = tailer.poll().expect("poll");
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(!tailer.partial_tail());
+        assert_eq!(tailer.malformed_lines(), 0);
+        assert_eq!(
+            tailer.offset() as usize,
+            full.len() + event_line("b", 2).len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tailer_sees_appends_between_polls() {
+        use std::io::Write;
+        let dir = tail_dir("append");
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, event_line("first", 1)).expect("seed");
+        let mut tailer = TraceTailer::follow(&path).expect("open");
+        assert_eq!(tailer.poll().expect("poll").len(), 1);
+        assert!(tailer.poll().expect("idle poll").is_empty());
+
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("reopen");
+        for k in 0..5 {
+            write!(file, "{}", event_line("more", k)).expect("append");
+            file.flush().expect("flush");
+            let events = tailer.poll().expect("poll");
+            assert_eq!(events.len(), 1, "append {k} visible immediately");
+            assert_eq!(events[0].field_u64("delta"), Some(k));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tailer_resume_at_offset_matches_a_one_shot_read() {
+        let dir = tail_dir("resume");
+        let path = dir.join("trace.jsonl");
+        let mut trace = String::new();
+        trace.push_str(&event_line("a", 1));
+        trace.push_str("this line is garbage\n");
+        trace.push_str(&event_line("b", 2));
+        trace.push_str(&event_line("c", 3));
+        std::fs::write(&path, &trace).expect("write");
+
+        // Tail part of the file, remember the offset, then resume.
+        let mut first = TraceTailer::follow(&path).expect("open");
+        let mut streamed: Vec<String> = first
+            .poll()
+            .expect("poll")
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        let malformed = first.malformed_lines();
+        let offset = first.offset();
+        drop(first);
+        let mut resumed = TraceTailer::resume(&path, offset).expect("resume");
+        streamed.extend(resumed.poll().expect("poll").iter().map(|e| e.name.clone()));
+
+        // One-shot batch read of the finished file.
+        let mut reader = TraceReader::open(&path).expect("open");
+        let mut batch = Vec::new();
+        while let Some(event) = reader.next_event().expect("read") {
+            batch.push(event.name.clone());
+        }
+        assert_eq!(streamed, batch);
+        assert_eq!(
+            malformed + resumed.malformed_lines(),
+            reader.malformed_lines()
+        );
+
+        // Resuming mid-stream (after just the first line) also loses
+        // nothing: offset commits are per-line.
+        let first_line = event_line("a", 1).len() as u64;
+        let mut mid = TraceTailer::resume(&path, first_line).expect("resume");
+        let names: Vec<String> = mid
+            .poll()
+            .expect("poll")
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
