@@ -135,6 +135,24 @@ SIMKIT_SOLVER=cg cargo run --release -q -p experiments --bin tg-verify -- \
 SIMKIT_SOLVER=mgcg cargo run --release -q -p experiments --bin tg-verify -- \
     --fast --seed=0xC1 --threads=2 --report=target/ci/verify_mgcg.txt
 
+echo "== tg-verify: control oracles under mgcg/direct (double-run cmp) =="
+# The closed-loop governor oracles (govern.tracking / no_oscillation /
+# anti_windup / gain_monotone) must pass, replay their pinned corpus
+# boundaries, and render byte-identical reports across two runs under
+# each pinned solver backend.
+for backend in mgcg direct; do
+    SIMKIT_SOLVER=$backend cargo run --release -q -p experiments --bin tg-verify -- \
+        --fast --no-sweep --seed=0xC9 --threads=2 \
+        --report="target/ci/verify_govern_${backend}_a.txt"
+    SIMKIT_SOLVER=$backend cargo run --release -q -p experiments --bin tg-verify -- \
+        --fast --no-sweep --seed=0xC9 --threads=2 \
+        --report="target/ci/verify_govern_${backend}_b.txt"
+    cmp "target/ci/verify_govern_${backend}_a.txt" "target/ci/verify_govern_${backend}_b.txt"
+    for oracle in tracking no_oscillation anti_windup gain_monotone; do
+        grep -q "^ok   govern.${oracle}" "target/ci/verify_govern_${backend}_a.txt"
+    done
+done
+
 echo "== engine equivalence under mgcg (the pinned backend test leg) =="
 # run_emits_telemetry_and_solver_profile asserts the solve events carry
 # the backend SIMKIT_SOLVER resolves to (thermal.transient_mgcg /

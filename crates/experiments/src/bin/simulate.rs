@@ -55,6 +55,7 @@ fn usage() -> &'static str {
      benchmarks: barnes chol fft fmm lu_cb lu_ncb oc_cp oc_ncp radio\n\
      \u{20}           radix rayt volr water_n water_s\n\
      policies:   allon offchip naive oract oracv oracvt pract pracvt\n\
+     \u{20}           integralt integralp\n\
      telemetry:  --telemetry=<dir> (or SIMKIT_TELEMETRY=<dir>) writes a\n\
      \u{20}           structured trace.jsonl + manifest.json into <dir>;\n\
      \u{20}           --frames <n> records a spatial thermal frame every\n\
@@ -81,6 +82,8 @@ fn parse_policy(tag: &str) -> Result<PolicyKind, String> {
         "oracvt" => Ok(PolicyKind::OracVT),
         "pract" => Ok(PolicyKind::PracT),
         "pracvt" => Ok(PolicyKind::PracVT),
+        "integralt" => Ok(PolicyKind::IntegralT),
+        "integralp" => Ok(PolicyKind::IntegralP),
         other => Err(format!("unknown policy {other:?}")),
     }
 }

@@ -100,7 +100,8 @@ USAGE:
         Run the pinned fast-config workload per policy and write
         BENCH_<label>.json (schema thermogater.bench/v1). Default
         label `local`, directory `.`, policies allon,oract,pracvt;
-        `--policies all` measures all eight. `--grids 64,128` also
+        `--policies all` measures all ten (the paper's eight plus
+        the integralt/integralp governors). `--grids 64,128` also
         measures the steady-solve grid-scaling axis (cg/mgcg/direct
         per grid edge, `--scaling-solves` cache-warm solves each,
         default 3) into the snapshot's `scaling` member.
@@ -722,7 +723,7 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
                     .next()
                     .ok_or_else(|| "--policies needs a comma-separated list".to_string())?;
                 if spec == "all" {
-                    policies = PolicyKind::ALL.to_vec();
+                    policies = PolicyKind::EXTENDED.to_vec();
                 } else {
                     policies = spec
                         .split(',')

@@ -133,6 +133,8 @@ pub fn policy_tag(policy: PolicyKind) -> &'static str {
         PolicyKind::OracVT => "oracvt",
         PolicyKind::PracT => "pract",
         PolicyKind::PracVT => "pracvt",
+        PolicyKind::IntegralT => "integralt",
+        PolicyKind::IntegralP => "integralp",
         _ => "unknown",
     }
 }
@@ -140,7 +142,9 @@ pub fn policy_tag(policy: PolicyKind) -> &'static str {
 /// The inverse of [`policy_tag`] (used by `tg-obs bench-snapshot
 /// --policies`).
 pub fn policy_from_tag(tag: &str) -> Option<PolicyKind> {
-    PolicyKind::ALL.into_iter().find(|&p| policy_tag(p) == tag)
+    PolicyKind::EXTENDED
+        .into_iter()
+        .find(|&p| policy_tag(p) == tag)
 }
 
 fn benchmark_from_label(label: &str) -> Option<Benchmark> {
@@ -412,8 +416,12 @@ mod tests {
 
     #[test]
     fn policy_tags_are_unique_and_reversible() {
-        for p in PolicyKind::ALL {
-            assert_eq!(policy_from_tag(policy_tag(p)), Some(p));
+        let mut seen = std::collections::HashSet::new();
+        for p in PolicyKind::EXTENDED {
+            let tag = policy_tag(p);
+            assert_ne!(tag, "unknown", "{p}");
+            assert!(seen.insert(tag), "duplicate tag {tag}");
+            assert_eq!(policy_from_tag(tag), Some(p));
         }
     }
 

@@ -1,0 +1,136 @@
+//! Edge-case tests for the closed-loop governors at controller
+//! saturation: setpoints no plant trajectory can reach, in either
+//! direction. The integrator must clamp (anti-windup), the actuation
+//! must pin at the corresponding extreme, and every metric must stay
+//! finite — no NaN, no oscillation between extremes.
+
+use floorplan::reference::power8_like;
+use simkit::units::Seconds;
+use thermal::ThermalConfig;
+use thermogater::{EngineConfig, GovernorConfig, PolicyKind, SimulationEngine};
+use workload::Benchmark;
+
+fn edge_config(governor: GovernorConfig) -> EngineConfig {
+    EngineConfig {
+        duration: Seconds::from_millis(3.0),
+        noise_window_count: 4,
+        profiling_decisions: 4,
+        thermal: ThermalConfig::coarse(),
+        governor,
+        ..EngineConfig::standard()
+    }
+}
+
+fn assert_finite_metrics(r: &thermogater::SimulationResult, label: &str) {
+    assert!(
+        r.max_temperature().get().is_finite(),
+        "{label}: T_max not finite"
+    );
+    assert!(r.max_gradient().is_finite(), "{label}: gradient not finite");
+    assert!(
+        r.mean_efficiency().is_finite() && r.mean_efficiency() > 0.0,
+        "{label}: efficiency not finite"
+    );
+    if let Some(noise) = r.max_noise_percent() {
+        assert!(noise.is_finite(), "{label}: noise not finite");
+    }
+}
+
+/// An unreachably low temperature setpoint (0 °C on a chip that idles
+/// near 45 °C) drives the integrator to its lower clamp: the governor
+/// sheds to the efficiency floor — the same per-domain active counts a
+/// Naïve run settles on — and stays there without NaN or oscillation.
+#[test]
+fn unreachably_low_temp_setpoint_clamps_to_the_floor() {
+    let chip = power8_like();
+    let governor = GovernorConfig {
+        temp_setpoint_c: 0.0,
+        ..GovernorConfig::standard()
+    };
+    let engine = SimulationEngine::new(&chip, edge_config(governor));
+    let governed = engine.run(Benchmark::LuNcb, PolicyKind::IntegralT).unwrap();
+    let naive = engine.run(Benchmark::LuNcb, PolicyKind::Naive).unwrap();
+    assert_finite_metrics(&governed, "IntegralT@0C");
+    assert_eq!(governed.decisions().len(), naive.decisions().len());
+    for (k, (dg, dn)) in governed
+        .decisions()
+        .iter()
+        .zip(naive.decisions())
+        .enumerate()
+    {
+        // u clamps at 0 → the actuation floor is exactly the efficiency
+        // n_on the Naïve policy uses, domain by domain.
+        for domain in chip.domains() {
+            assert_eq!(
+                dg.gating.active_among(domain.vrs()),
+                dn.gating.active_among(domain.vrs()),
+                "decision {k}, domain D{}: governed floor differs from Naïve",
+                domain.id().0
+            );
+        }
+    }
+}
+
+/// An unreachably high setpoint (1000 °C) saturates the controller the
+/// other way: every domain converges to all-on — immediately, given the
+/// initial error dwarfs the gain clamp — and stays there.
+#[test]
+fn unreachably_high_temp_setpoint_converges_to_all_on() {
+    let chip = power8_like();
+    let governor = GovernorConfig {
+        temp_setpoint_c: 1000.0,
+        ..GovernorConfig::standard()
+    };
+    let engine = SimulationEngine::new(&chip, edge_config(governor));
+    let r = engine.run(Benchmark::Fft, PolicyKind::IntegralT).unwrap();
+    assert_finite_metrics(&r, "IntegralT@1000C");
+    let n_vrs = chip.vr_sites().len();
+    for (k, d) in r.decisions().iter().enumerate() {
+        assert_eq!(
+            d.gating.active_count(),
+            n_vrs,
+            "decision {k}: not all-on under an unreachably high setpoint"
+        );
+    }
+}
+
+/// The power governor at a 0 W cap sheds to the floor exactly like the
+/// temperature governor at 0 °C.
+#[test]
+fn unreachably_low_power_cap_clamps_to_the_floor() {
+    let chip = power8_like();
+    let governor = GovernorConfig {
+        power_cap_w: 0.0,
+        ..GovernorConfig::standard()
+    };
+    let engine = SimulationEngine::new(&chip, edge_config(governor));
+    let governed = engine.run(Benchmark::Radix, PolicyKind::IntegralP).unwrap();
+    let naive = engine.run(Benchmark::Radix, PolicyKind::Naive).unwrap();
+    assert_finite_metrics(&governed, "IntegralP@0W");
+    for (dg, dn) in governed.decisions().iter().zip(naive.decisions()) {
+        for domain in chip.domains() {
+            assert_eq!(
+                dg.gating.active_among(domain.vrs()),
+                dn.gating.active_among(domain.vrs())
+            );
+        }
+    }
+}
+
+/// The power governor under an absurdly generous cap (1 MW) spends all
+/// its headroom: all-on from the first decision onward.
+#[test]
+fn unreachably_high_power_cap_converges_to_all_on() {
+    let chip = power8_like();
+    let governor = GovernorConfig {
+        power_cap_w: 1e6,
+        ..GovernorConfig::standard()
+    };
+    let engine = SimulationEngine::new(&chip, edge_config(governor));
+    let r = engine.run(Benchmark::Radix, PolicyKind::IntegralP).unwrap();
+    assert_finite_metrics(&r, "IntegralP@1MW");
+    let n_vrs = chip.vr_sites().len();
+    for (k, d) in r.decisions().iter().enumerate() {
+        assert_eq!(d.gating.active_count(), n_vrs, "decision {k}: not all-on");
+    }
+}
