@@ -106,13 +106,40 @@ cargo run --release -q -p experiments --bin tg-obs -- top "$TELEMETRY_DIR/rerun"
     --out "$TELEMETRY_DIR/top_b.txt"
 cmp "$TELEMETRY_DIR/top_a.txt" "$TELEMETRY_DIR/top_b.txt"
 
+echo "== tg-serve: content-addressed scenario service (cold vs warm batch) =="
+# The full 14 × 8 tiny grid as a request file: the cold pass simulates
+# all 112 scenarios, the warm pass must answer every one from the
+# content-addressed cache — byte-identical stdout and, per the trace's
+# serve.* counters, zero engine executions.
+SERVE_DIR="$TELEMETRY_DIR/serve"
+mkdir -p "$SERVE_DIR"
+for b in barnes chol fft fmm lu_cb lu_ncb oc_cp oc_ncp radio radix rayt volr water_n water_s; do
+    for p in naive oract oracv oracvt pract pracvt allon offchip; do
+        echo "$b $p"
+    done
+done > "$SERVE_DIR/batch.txt"
+TG_SERVE="$PWD/target/release/tg-serve"
+"$TG_SERVE" --batch="$SERVE_DIR/batch.txt" --tiny --quiet \
+    --cache="$SERVE_DIR/cache" --telemetry="$SERVE_DIR/cold" \
+    > "$SERVE_DIR/cold.txt" 2> "$SERVE_DIR/cold.err"
+grep -q 'scenarios=112 hits=0 misses=112' "$SERVE_DIR/cold.err"
+"$TG_SERVE" --batch="$SERVE_DIR/batch.txt" --tiny --quiet \
+    --cache="$SERVE_DIR/cache" --telemetry="$SERVE_DIR/warm" \
+    > "$SERVE_DIR/warm.txt" 2> "$SERVE_DIR/warm.err"
+cmp "$SERVE_DIR/cold.txt" "$SERVE_DIR/warm.txt"
+grep -q 'scenarios=112 hits=112 misses=0 coalesced=0 invalid=0' "$SERVE_DIR/warm.err"
+# The warm trace itself proves zero engine runs.
+grep -q '"name":"serve.misses","delta":0' "$SERVE_DIR/warm/trace.jsonl"
+grep -q '"name":"serve.hits","delta":112' "$SERVE_DIR/warm/trace.jsonl"
+
 echo "== tg-obs: perf snapshot (CI artifact at target/ci/BENCH_ci.json) =="
 # --grids adds the steady-solve grid-scaling axis (cg/mgcg/direct per
-# grid edge) to the snapshot; the self-diff covers its regression gate.
+# grid edge) to the snapshot; --serve the scenario-service cache-hit
+# axis; the self-diff covers their regression gates.
 mkdir -p target/ci
 cargo run --release -q -p experiments --bin tg-obs -- bench-snapshot \
     --label ci --policies allon,oract,pracvt --out target/ci \
-    --grids 64,128 --scaling-solves 2
+    --grids 64,128 --scaling-solves 2 --serve
 cargo run --release -q -p experiments --bin tg-obs -- \
     diff target/ci/BENCH_ci.json target/ci/BENCH_ci.json
 

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use experiments::context::ExpOptions;
-use experiments::sweep::{cache_dir, grid, policy_tag};
+use experiments::sweep::{cache_path, grid};
 use std::fs;
 use std::hint::black_box;
 use thermogater::PolicyKind;
@@ -18,10 +18,9 @@ const BENCHMARKS: [Benchmark; 2] = [Benchmark::Fft, Benchmark::Volrend];
 const POLICIES: [PolicyKind; 2] = [PolicyKind::AllOn, PolicyKind::Naive];
 
 fn wipe_cells(opts: &ExpOptions) {
-    let dir = cache_dir(opts);
     for b in BENCHMARKS {
         for p in POLICIES {
-            let _ = fs::remove_file(dir.join(format!("{}-{}.csv", b.label(), policy_tag(p))));
+            let _ = fs::remove_file(cache_path(opts, b, p));
         }
     }
 }

@@ -134,6 +134,45 @@ impl EngineConfig {
             ..EngineConfig::standard()
         }
     }
+
+    /// Every configuration field as canonical, ordered
+    /// `(name, value)` pairs — the substrate of scenario content
+    /// hashing. Floats render with `{:e}` (the shortest representation
+    /// that parses back to the same bits), so two configs produce the
+    /// same pair list iff every field is bit-identical; any change to a
+    /// field, however nested (a package resistance, one efficiency-curve
+    /// point, the solver backend), changes the list and therefore the
+    /// hash built over it.
+    pub fn config_fields(&self) -> Vec<(String, String)> {
+        let mut out = Vec::with_capacity(64);
+        for (name, value) in [
+            ("duration", self.duration.get()),
+            ("decision_interval", self.decision_interval.get()),
+            ("thermal_step", self.thermal_step.get()),
+            ("sensor_latency", self.sensor_latency.get()),
+            ("predictor_accuracy", self.predictor_accuracy),
+        ] {
+            out.push((name.to_string(), format!("{value:e}")));
+        }
+        out.push((
+            "noise_window_count".to_string(),
+            self.noise_window_count.to_string(),
+        ));
+        out.push(("solver".to_string(), self.solver.name().to_string()));
+        out.push((
+            "profiling_decisions".to_string(),
+            self.profiling_decisions.to_string(),
+        ));
+        out.push(("frame_every".to_string(), self.frame_every.to_string()));
+        out.push(("frame_grid".to_string(), self.frame_grid.to_string()));
+        out.push(("seed".to_string(), self.seed.to_string()));
+        self.design.config_fields("design.", &mut out);
+        self.thermal.config_fields("thermal.", &mut out);
+        self.pdn.config_fields("pdn.", &mut out);
+        self.tech.config_fields("tech.", &mut out);
+        self.governor.config_fields("governor.", &mut out);
+        out
+    }
 }
 
 impl Default for EngineConfig {

@@ -22,8 +22,12 @@ use vreg::GatingState;
 
 /// The eight gating policies evaluated in the paper, extended with the
 /// closed-loop integral governors (`IntegralT`, `IntegralP`).
+///
+/// Deliberately *not* `#[non_exhaustive]`: downstream matches (policy
+/// cache tags, report columns) must break at compile time when a
+/// variant is added, so two future policies can never silently share a
+/// fallback tag and collide on the same cache file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[non_exhaustive]
 pub enum PolicyKind {
     /// Baseline: every regulator on all the time. Best-case voltage
     /// noise, but conversion efficiency drifts below the peak.
@@ -386,6 +390,22 @@ impl GovernorConfig {
             max_gain: 0.1,
             sensitivity_floor: 0.5,
             sensitivity_smoothing: 0.25,
+        }
+    }
+
+    /// Appends every field as canonical `(<prefix><name>, value)` pairs
+    /// for content hashing (floats render with `{:e}`).
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        for (name, value) in [
+            ("temp_setpoint_c", self.temp_setpoint_c),
+            ("power_cap_w", self.power_cap_w),
+            ("base_gain", self.base_gain),
+            ("min_gain", self.min_gain),
+            ("max_gain", self.max_gain),
+            ("sensitivity_floor", self.sensitivity_floor),
+            ("sensitivity_smoothing", self.sensitivity_smoothing),
+        ] {
+            out.push((format!("{prefix}{name}"), format!("{value:e}")));
         }
     }
 }

@@ -190,6 +190,17 @@ fn main() -> ExitCode {
     let duration = config.duration;
     let noise_windows = config.noise_window_count;
     let grid_n = config.thermal.nx;
+    // A single-benchmark run is exactly one scenario of the service
+    // layer; stamping its content hash into the manifest ties the run
+    // to the matching `ScenarioCache` entry (mixes and trace replays
+    // have no scenario identity).
+    let scenario_hash = match (&args.spec, &args.trace_path) {
+        (WorkloadSpec::Single(bench), None) => Some(
+            experiments::service::ScenarioSpec::new(*bench, args.policy, config.clone())
+                .content_hash(),
+        ),
+        _ => None,
+    };
     let mut engine = SimulationEngine::new(&chip, config);
 
     // Telemetry: the engine runs with a per-cell counted handle so the
@@ -270,6 +281,9 @@ fn main() -> ExitCode {
         manifest.push_config("grid", grid_n);
         if let Some(path) = &args.trace_path {
             manifest.push_config("trace", path);
+        }
+        if let Some(hash) = scenario_hash {
+            manifest.push_config("scenario_hash", format!("{hash:016x}"));
         }
         manifest.cells.push(CellManifest {
             label: format!(

@@ -96,7 +96,7 @@ USAGE:
         on solve counts only, simulation metrics gate at 1e-6 relative.
 
     tg-obs bench-snapshot [--label <l>] [--out <dir>] [--policies <t,t>]
-                          [--grids <n,n>] [--scaling-solves <k>]
+                          [--grids <n,n>] [--scaling-solves <k>] [--serve]
         Run the pinned fast-config workload per policy and write
         BENCH_<label>.json (schema thermogater.bench/v1). Default
         label `local`, directory `.`, policies allon,oract,pracvt;
@@ -104,7 +104,9 @@ USAGE:
         the integralt/integralp governors). `--grids 64,128` also
         measures the steady-solve grid-scaling axis (cg/mgcg/direct
         per grid edge, `--scaling-solves` cache-warm solves each,
-        default 3) into the snapshot's `scaling` member.
+        default 3) into the snapshot's `scaling` member. `--serve`
+        measures the scenario-service cache-hit-throughput axis (a
+        repeated tiny batch, cold vs warm) into the `serve` member.
 
 A <run-dir> is a directory holding trace.jsonl (and usually
 manifest.json), as written by any experiment binary under
@@ -678,9 +680,11 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
     let mut policies = vec![PolicyKind::AllOn, PolicyKind::OracT, PolicyKind::PracVT];
     let mut grids: Vec<usize> = Vec::new();
     let mut scaling_solves = 3usize;
+    let mut serve = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--serve" => serve = true,
             "--grids" => {
                 let spec = iter
                     .next()
@@ -754,6 +758,10 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
         );
         snap.scaling = snapshot::capture_scaling(&grids, scaling_solves)?;
     }
+    if serve {
+        eprintln!("measuring the scenario-service cache-hit-throughput axis…");
+        snap.serve = Some(snapshot::measure_serve_throughput()?);
+    }
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = snap
@@ -803,6 +811,16 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
             l.events,
             l.overhead_us,
             l.overhead_share() * 100.0
+        );
+    }
+    if let Some(s) = &snap.serve {
+        println!(
+            "scenario service: {} scenarios ({} unique), cold {:.3} s, warm {:.3} s ({:.0} answers/s from cache)",
+            s.scenarios,
+            s.unique,
+            s.cold_wall_s,
+            s.warm_wall_s,
+            s.warm_per_sec()
         );
     }
     println!("wrote {}", path.display());

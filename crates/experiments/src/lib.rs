@@ -10,6 +10,10 @@
 //! * [`report`] — plain-text tables, series and heat-map rendering;
 //! * [`sweep`] — cached benchmark × policy sweeps (the 14 × 8 grid that
 //!   Figs. 9/10/11 and Table 2 share);
+//! * [`service`] — the scenario layer under the sweep: content-hashed
+//!   [`service::ScenarioSpec`]s, the content-addressed
+//!   [`service::ScenarioCache`], and the bounded-memory batch executor
+//!   behind the `tg-serve` bin;
 //! * [`telemetry`] — per-run JSONL traces, metrics registries, and
 //!   `manifest.json` writing (`--telemetry=<dir>`);
 //! * [`figures`] — the per-artefact data builders;
@@ -34,6 +38,7 @@ pub mod context;
 pub mod figures;
 pub mod obs;
 pub mod report;
+pub mod service;
 pub mod snapshot;
 pub mod sweep;
 pub mod telemetry;

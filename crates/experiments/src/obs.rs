@@ -626,6 +626,78 @@ pub fn diff_snapshots(a: &BenchSnapshot, b: &BenchSnapshot, config: &DiffConfig)
             Direction::Informational,
         );
     }
+    // Scenario-service cache-hit axis: the counters are deterministic
+    // for the pinned batch (cold engine runs = unique hashes, warm
+    // answers = all from cache) and gate exactly — any drift means the
+    // cache key or the executor's coalescing semantics changed. Walls
+    // and the derived warm throughput are env-sensitive, so they stay
+    // informational like every other wall-clock metric here.
+    if let (Some(sa), Some(sb)) = (&a.serve, &b.serve) {
+        report.push(
+            config,
+            "snap.serve.scenarios".into(),
+            sa.scenarios as f64,
+            sb.scenarios as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.serve.unique".into(),
+            sa.unique as f64,
+            sb.unique as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.serve.cold_misses".into(),
+            sa.cold_misses as f64,
+            sb.cold_misses as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.serve.cold_served".into(),
+            sa.cold_served as f64,
+            sb.cold_served as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.serve.warm_hits".into(),
+            sa.warm_hits as f64,
+            sb.warm_hits as f64,
+            0.0,
+            Direction::BothWays,
+        );
+        report.push(
+            config,
+            "snap.serve.cold_wall_s".into(),
+            sa.cold_wall_s,
+            sb.cold_wall_s,
+            0.0,
+            Direction::Informational,
+        );
+        report.push(
+            config,
+            "snap.serve.warm_wall_s".into(),
+            sa.warm_wall_s,
+            sb.warm_wall_s,
+            0.0,
+            Direction::Informational,
+        );
+        report.push(
+            config,
+            "snap.serve.warm_per_sec".into(),
+            sa.warm_per_sec(),
+            sb.warm_per_sec(),
+            0.0,
+            Direction::Informational,
+        );
+    }
     for ea in &a.entries {
         let Some(eb) = b.entries.iter().find(|e| e.policy == ea.policy) else {
             continue;
@@ -989,6 +1061,48 @@ mod tests {
             .deltas
             .iter()
             .all(|d| !d.metric.starts_with("snap.telemetry")));
+    }
+
+    #[test]
+    fn serve_axis_gates_on_counters_not_walls() {
+        let base = crate::snapshot::tests::sample("a", 4.0);
+
+        // An extra cold engine run means the cache key drifted.
+        let mut leaky = base.clone();
+        leaky.serve.as_mut().unwrap().cold_misses += 1;
+        let report = diff_snapshots(&base, &leaky, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.serve.cold_misses"));
+
+        // A warm pass that fell short of pure cache hits gates — in
+        // either direction.
+        let mut cold = base.clone();
+        cold.serve.as_mut().unwrap().warm_hits -= 1;
+        let report = diff_snapshots(&base, &cold, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.serve.warm_hits"));
+        let report = diff_snapshots(&cold, &base, &DiffConfig::new());
+        assert!(report
+            .regressions()
+            .any(|d| d.metric == "snap.serve.warm_hits"));
+
+        // Wall-clock (and hence throughput) drift stays informational.
+        let mut slower = base.clone();
+        slower.serve.as_mut().unwrap().warm_wall_s *= 10.0;
+        slower.serve.as_mut().unwrap().cold_wall_s *= 10.0;
+        let report = diff_snapshots(&base, &slower, &DiffConfig::new());
+        assert!(!report.has_regression(), "{}", report.render(true));
+
+        // A side without the axis skips it instead of failing.
+        let mut absent = base.clone();
+        absent.serve = None;
+        let report = diff_snapshots(&base, &absent, &DiffConfig::new());
+        assert!(report
+            .deltas
+            .iter()
+            .all(|d| !d.metric.starts_with("snap.serve")));
     }
 
     #[test]

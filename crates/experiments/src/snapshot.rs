@@ -144,6 +144,40 @@ impl LiveOverhead {
     }
 }
 
+/// The scenario-service cache-hit-throughput axis: one repeated tiny
+/// batch pushed through [`crate::service::run_batch`] twice against a
+/// fresh cache — the cold pass simulates each unique hash once
+/// (duplicates coalesce or hit), the warm pass must answer every
+/// scenario from cache. The counters are deterministic and gate
+/// exactly; the walls (and the derived throughput) are env-sensitive
+/// and informational.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeThroughput {
+    /// Scenarios per pass (`unique × repeats`).
+    pub scenarios: u64,
+    /// Distinct scenario hashes in the batch.
+    pub unique: u64,
+    /// Engine executions in the cold pass (must equal `unique`).
+    pub cold_misses: u64,
+    /// Cold-pass answers that avoided the engine (cache hits of
+    /// already-stored duplicates plus coalesced waiters —
+    /// `scenarios − unique`; the hit/coalesce split depends on timing).
+    pub cold_served: u64,
+    /// Warm-pass cache hits (must equal `scenarios`: zero engine runs).
+    pub warm_hits: u64,
+    /// Wall seconds of the cold pass.
+    pub cold_wall_s: f64,
+    /// Wall seconds of the warm pass.
+    pub warm_wall_s: f64,
+}
+
+impl ServeThroughput {
+    /// Warm-pass cache-hit throughput, answers per second.
+    pub fn warm_per_sec(&self) -> f64 {
+        self.scenarios as f64 / self.warm_wall_s.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// A schema-tagged performance snapshot (one `BENCH_<label>.json`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchSnapshot {
@@ -161,6 +195,9 @@ pub struct BenchSnapshot {
     /// Live-aggregation overhead axis (`None` in snapshots written
     /// before it existed or captured without it).
     pub live: Option<LiveOverhead>,
+    /// Scenario-service cache-hit-throughput axis (`None` in snapshots
+    /// written before it existed or captured without `--serve`).
+    pub serve: Option<ServeThroughput>,
     /// One entry per measured policy.
     pub entries: Vec<PolicyEntry>,
     /// Steady-solve grid-scaling axis (empty when not captured).
@@ -321,6 +358,101 @@ pub fn measure_live_overhead() -> Result<LiveOverhead, String> {
     })
 }
 
+/// Benchmarks of the serve-throughput batch (small but not singular,
+/// so the batch exercises distinct hashes).
+pub const SERVE_BENCHMARKS: [Benchmark; 4] = [
+    Benchmark::LuNcb,
+    Benchmark::Fft,
+    Benchmark::Barnes,
+    Benchmark::Radix,
+];
+
+/// Policies of the serve-throughput batch.
+pub const SERVE_POLICIES: [PolicyKind; 3] =
+    [PolicyKind::AllOn, PolicyKind::OracT, PolicyKind::PracVT];
+
+/// Repeats of the unique-cell block in the serve-throughput batch —
+/// every unique scenario appears this many times, so the cold pass
+/// must serve `repeats − 1` of each without touching the engine.
+pub const SERVE_REPEATS: usize = 25;
+
+/// Measures the scenario-service axis: a batch of
+/// `|SERVE_BENCHMARKS| × |SERVE_POLICIES| × SERVE_REPEATS` tiny-config
+/// scenarios streamed through the batch executor against a fresh
+/// temporary cache (cold), then again (warm). The cold pass may answer
+/// a duplicate either from the just-written cache or by coalescing
+/// onto the in-flight simulation — both bypass the engine, so
+/// `cold_misses` (= unique hashes) and `cold_served` (= the rest) are
+/// deterministic even though the split is not. The warm pass must be
+/// all hits.
+///
+/// # Errors
+///
+/// Reports counter inconsistencies (an engine run where none was
+/// allowed) as a rendered message.
+pub fn measure_serve_throughput() -> Result<ServeThroughput, String> {
+    use crate::service::{run_batch, BatchOptions, ScenarioCache, ScenarioSpec, ServeCounters};
+    use std::sync::atomic::Ordering;
+
+    let dir = std::env::temp_dir().join(format!("tg-serve-bench-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cache = ScenarioCache::new(&dir);
+    let config = crate::context::ExpOptions::tiny().engine_config();
+    let block: Vec<ScenarioSpec> = SERVE_BENCHMARKS
+        .iter()
+        .flat_map(|&b| SERVE_POLICIES.iter().map(move |&p| (b, p)))
+        .map(|(b, p)| ScenarioSpec::new(b, p, config.clone()))
+        .collect();
+    let unique = block.len() as u64;
+    let scenarios = unique * SERVE_REPEATS as u64;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let batch = BatchOptions {
+        quiet: true,
+        ..BatchOptions::for_threads(threads)
+    };
+    let pass = |counters: &ServeCounters| -> (u64, f64) {
+        let specs = (0..SERVE_REPEATS).flat_map(|_| block.iter().cloned());
+        let started = Instant::now();
+        let answered = run_batch(&cache, specs, &batch, None, counters, |_| {});
+        (answered as u64, started.elapsed().as_secs_f64())
+    };
+
+    let cold = ServeCounters::default();
+    let (cold_answered, cold_wall_s) = pass(&cold);
+    let warm = ServeCounters::default();
+    let (warm_answered, warm_wall_s) = pass(&warm);
+    let _ = fs::remove_dir_all(&dir);
+
+    let cold_misses = cold.misses.load(Ordering::Relaxed);
+    let cold_served = cold.hits.load(Ordering::Relaxed) + cold.coalesced.load(Ordering::Relaxed);
+    let warm_hits = warm.hits.load(Ordering::Relaxed);
+    if cold_answered != scenarios || warm_answered != scenarios {
+        return Err(format!(
+            "serve axis answered {cold_answered}/{warm_answered} of {scenarios} scenarios"
+        ));
+    }
+    if cold_misses != unique {
+        return Err(format!(
+            "cold pass simulated {cold_misses} scenarios, expected the {unique} unique hashes"
+        ));
+    }
+    if warm.misses.load(Ordering::Relaxed) != 0 || warm_hits != scenarios {
+        return Err(format!(
+            "warm pass was not pure cache hits: {}",
+            warm.summary()
+        ));
+    }
+    Ok(ServeThroughput {
+        scenarios,
+        unique,
+        cold_misses,
+        cold_served,
+        warm_hits,
+        cold_wall_s,
+        warm_wall_s,
+    })
+}
+
 /// Captures a full snapshot: one [`measure_policy`] run per `policies`
 /// entry, the frame-recorder and live-aggregation overhead axes, plus
 /// the process peak RSS.
@@ -342,6 +474,7 @@ pub fn capture(label: &str, policies: &[PolicyKind]) -> Result<BenchSnapshot, St
         peak_rss_bytes: peak_rss_bytes(),
         telemetry,
         live,
+        serve: None,
         entries,
         scaling: Vec::new(),
     })
@@ -470,6 +603,21 @@ impl BenchSnapshot {
             }
             None => out.push_str(",\"live\":null"),
         }
+        match &self.serve {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ",\"serve\":{{\"scenarios\":{},\"unique\":{},\"cold_misses\":{},\"cold_served\":{},\"warm_hits\":{}",
+                    s.scenarios, s.unique, s.cold_misses, s.cold_served, s.warm_hits
+                );
+                out.push_str(",\"cold_wall_s\":");
+                json::write_f64(&mut out, s.cold_wall_s);
+                out.push_str(",\"warm_wall_s\":");
+                json::write_f64(&mut out, s.warm_wall_s);
+                out.push('}');
+            }
+            None => out.push_str(",\"serve\":null"),
+        }
         out.push_str(",\"entries\":[");
         for (i, entry) in self.entries.iter().enumerate() {
             if i > 0 {
@@ -594,6 +742,26 @@ impl BenchSnapshot {
                 })
             }
         };
+        // Same tolerance for the younger serve-throughput axis.
+        let serve = match doc.get("serve") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => {
+                let num = |key: &str| {
+                    s.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("\"serve\" missing number \"{key}\""))
+                };
+                Some(ServeThroughput {
+                    scenarios: num("scenarios")? as u64,
+                    unique: num("unique")? as u64,
+                    cold_misses: num("cold_misses")? as u64,
+                    cold_served: num("cold_served")? as u64,
+                    warm_hits: num("warm_hits")? as u64,
+                    cold_wall_s: num("cold_wall_s")?,
+                    warm_wall_s: num("warm_wall_s")?,
+                })
+            }
+        };
         // Same tolerance for the younger live-aggregation axis.
         let live = match doc.get("live") {
             None | Some(JsonValue::Null) => None,
@@ -712,6 +880,7 @@ impl BenchSnapshot {
             peak_rss_bytes,
             telemetry,
             live,
+            serve,
             entries,
             scaling,
         })
@@ -740,6 +909,15 @@ pub(crate) mod tests {
                 overhead_us: 300,
                 live_wall_s: 0.5,
                 base_wall_s: 0.49,
+            }),
+            serve: Some(ServeThroughput {
+                scenarios: 300,
+                unique: 12,
+                cold_misses: 12,
+                cold_served: 288,
+                warm_hits: 300,
+                cold_wall_s: 2.0,
+                warm_wall_s: 0.02,
             }),
             entries: vec![PolicyEntry {
                 policy: "oract".to_string(),
@@ -881,6 +1059,41 @@ pub(crate) mod tests {
         // And the full document round-trips the axis intact.
         let back = BenchSnapshot::from_json(&text).expect("round trip");
         assert_eq!(back.live, snap.live);
+    }
+
+    #[test]
+    fn pre_serve_documents_still_parse() {
+        // Snapshots written before the serve axis existed must keep
+        // loading, with the axis simply absent.
+        let snap = sample("old", 4.0);
+        let text = snap.to_json();
+        let start = text.find(",\"serve\"").expect("serve member");
+        let end = text[start + 1..].find(",\"entries\"").expect("entries") + start + 1;
+        let mut cut = text.clone();
+        cut.replace_range(start..end, "");
+        let back = BenchSnapshot::from_json(&cut).expect("old document parses");
+        assert_eq!(back.serve, None);
+        assert_eq!(back.live, snap.live, "sibling axis untouched");
+        // Explicit null also maps to absent.
+        let mut null = text.clone();
+        null.replace_range(start..end, ",\"serve\":null");
+        assert_eq!(BenchSnapshot::from_json(&null).unwrap().serve, None);
+        // And the full document round-trips the axis intact.
+        let back = BenchSnapshot::from_json(&text).expect("round trip");
+        assert_eq!(back.serve, snap.serve);
+    }
+
+    #[test]
+    fn warm_per_sec_is_well_defined() {
+        let s = sample("x", 4.0).serve.unwrap();
+        assert!((s.warm_per_sec() - 300.0 / 0.02).abs() < 1e-9);
+        // A degenerate zero wall must not poison the report with NaN
+        // (an infinite throughput prints as `inf`, which is honest).
+        let zero_wall = ServeThroughput {
+            warm_wall_s: 0.0,
+            ..s
+        };
+        assert!(!zero_wall.warm_per_sec().is_nan());
     }
 
     #[test]

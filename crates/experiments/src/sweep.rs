@@ -1,34 +1,35 @@
-//! Cached benchmark × policy sweeps with a parallel executor.
+//! Cached benchmark × policy sweeps over the scenario service.
 //!
 //! The headline figures (9, 10, 11) and Table 2 all read the same
 //! 14-benchmark × 8-policy grid; on a single core that sweep takes tens
 //! of minutes at the paper-faithful configuration, so each
 //! (benchmark, policy) cell is cached on disk after its first run. The
-//! cache lives under `target/experiments/<tag>/` and is keyed by the
-//! configuration tag (`full`/`quick`/`tiny`); delete the directory to
-//! force re-runs.
+//! cache lives under `target/experiments/<tag>/` and is
+//! content-addressed: every entry is keyed by the scenario's FNV hash
+//! over the *full* [`EngineConfig`](thermogater::EngineConfig) (see
+//! [`crate::service::ScenarioSpec`]), so changing any configuration
+//! field — solver backend, governor gains, frame recording — forces a
+//! re-run instead of silently serving stale records. Delete the
+//! directory to force re-runs wholesale.
 //!
-//! [`grid`] distributes uncached cells over worker threads: each cell
-//! is an independent simulation (its engine, thermal model, and PDN are
-//! built thread-locally), so workers claim cells from a shared atomic
-//! counter and the grid completes in roughly
-//! `cells / min(threads, cells)` serial-cell times. The worker count
-//! comes from [`ExpOptions::resolved_threads`] (`--threads=N`, then
+//! [`grid`] streams the cells through the
+//! [`service`](crate::service) batch executor: each cell is an
+//! independent simulation (its engine, thermal model, and PDN are built
+//! thread-locally), workers steal from a bounded queue, and the grid
+//! completes in roughly `cells / min(threads, cells)` serial-cell
+//! times. The worker count comes from
+//! [`ExpOptions::resolved_threads`] (`--threads=N`, then
 //! `SIMKIT_THREADS`, then the machine's parallelism); the produced
-//! records — and the per-cell CSV cache files — are byte-identical to a
+//! records — and the per-cell cache files — are byte-identical to a
 //! serial run regardless of thread count.
 
 use crate::context::ExpOptions;
+use crate::service::{self, BatchOptions, ScenarioCache, ScenarioSpec, ServeCounters};
 use crate::telemetry::TelemetryCtx;
-use floorplan::reference::power8_like;
 use simkit::telemetry::manifest::{CellManifest, RunManifest};
 use simkit::telemetry::EventKind;
-use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::Instant;
-use thermogater::{PolicyKind, SimulationEngine, SimulationResult};
+use thermogater::{PolicyKind, SimulationResult};
 use workload::Benchmark;
 
 /// The scalar metrics of one benchmark × policy run.
@@ -73,10 +74,11 @@ impl SweepRecord {
         }
     }
 
-    // `{:e}` prints the shortest representation that parses back to the
-    // exact same f64, so a cache round-trip is lossless and a cache-read
-    // record equals the freshly computed one bit for bit.
-    fn to_csv(&self) -> String {
+    /// Lossless one-line CSV encoding: `{:e}` prints the shortest
+    /// representation that parses back to the exact same f64, so a
+    /// cache round-trip is lossless and a cache-read record equals the
+    /// freshly computed one bit for bit.
+    pub fn to_csv(&self) -> String {
         fn opt(v: Option<f64>) -> String {
             v.map_or("-".into(), |x| format!("{x:e}"))
         }
@@ -95,7 +97,8 @@ impl SweepRecord {
         )
     }
 
-    fn from_csv(line: &str) -> Option<Self> {
+    /// Parses one [`SweepRecord::to_csv`] line (`None` when malformed).
+    pub fn from_csv(line: &str) -> Option<Self> {
         let parts: Vec<&str> = line.trim().split(',').collect();
         if parts.len() != 10 {
             return None;
@@ -122,7 +125,10 @@ impl SweepRecord {
     }
 }
 
-/// ASCII cache tag of a policy (labels contain non-filename characters).
+/// ASCII cache tag of a policy (labels contain non-filename
+/// characters). The match is exhaustive on purpose: adding a
+/// `PolicyKind` variant without a unique tag is a compile error, never
+/// a silent cache-file collision.
 pub fn policy_tag(policy: PolicyKind) -> &'static str {
     match policy {
         PolicyKind::AllOn => "allon",
@@ -135,7 +141,6 @@ pub fn policy_tag(policy: PolicyKind) -> &'static str {
         PolicyKind::PracVT => "pracvt",
         PolicyKind::IntegralT => "integralt",
         PolicyKind::IntegralP => "integralp",
-        _ => "unknown",
     }
 }
 
@@ -147,7 +152,9 @@ pub fn policy_from_tag(tag: &str) -> Option<PolicyKind> {
         .find(|&p| policy_tag(p) == tag)
 }
 
-fn benchmark_from_label(label: &str) -> Option<Benchmark> {
+/// Resolves a benchmark from its [`Benchmark::label`] (used by the
+/// record codec and the `tg-serve` request parser).
+pub fn benchmark_from_label(label: &str) -> Option<Benchmark> {
     Benchmark::ALL.into_iter().find(|b| b.label() == label)
 }
 
@@ -159,90 +166,41 @@ pub fn cache_dir(opts: &ExpOptions) -> PathBuf {
         .join(opts.tag())
 }
 
-fn cache_path(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> PathBuf {
-    cache_dir(opts).join(format!("{}-{}.csv", benchmark.label(), policy_tag(policy)))
+/// The content-addressed cache of a configuration: the directory above,
+/// entries keyed by scenario hash (see [`crate::service::ScenarioCache`]).
+pub fn cache(opts: &ExpOptions) -> ScenarioCache {
+    ScenarioCache::new(cache_dir(opts))
+}
+
+/// The scenario of one sweep cell under `opts`' engine configuration.
+pub fn scenario(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> ScenarioSpec {
+    ScenarioSpec::new(benchmark, policy, opts.engine_config())
+}
+
+/// The cache-entry path of one cell (tests and tooling use this to
+/// inspect or delete individual entries).
+pub fn cache_path(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> PathBuf {
+    cache(opts).path(&scenario(opts, benchmark, policy))
 }
 
 /// Returns the cached record for one cell, running the simulation when
-/// no cache entry exists.
+/// no cache entry exists (or loudly re-running when the entry is
+/// invalid).
 ///
 /// # Panics
 ///
 /// Panics when the simulation itself fails (physical configurations do
 /// not) or the cache directory cannot be created.
 pub fn record_for(opts: &ExpOptions, benchmark: Benchmark, policy: PolicyKind) -> SweepRecord {
-    record_for_cell(opts, benchmark, policy, None).0
-}
-
-/// [`record_for`] plus the cell's manifest entry when a telemetry
-/// context is active: the simulation runs with a per-cell counted
-/// telemetry handle, and a `sweep.cell` progress event marks its
-/// completion (cache hits report zero cell events).
-fn record_for_cell(
-    opts: &ExpOptions,
-    benchmark: Benchmark,
-    policy: PolicyKind,
-    ctx: Option<&TelemetryCtx>,
-) -> (SweepRecord, Option<CellManifest>) {
-    let label = format!("{}-{}", benchmark.label(), policy_tag(policy));
-    let started = Instant::now();
-    let progress = |cached: bool, events: u64| {
-        if let Some(ctx) = ctx {
-            let seconds = started.elapsed().as_secs_f64();
-            ctx.telemetry()
-                .event(EventKind::Progress, "sweep.cell")
-                .field_str("cell", label.clone())
-                .field_bool("cached", cached)
-                .field_f64("seconds", seconds)
-                .emit();
-            Some(CellManifest {
-                label: label.clone(),
-                seconds,
-                events,
-                cached,
-            })
-        } else {
-            None
-        }
-    };
-
-    let path = cache_path(opts, benchmark, policy);
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Some(record) = SweepRecord::from_csv(&text) {
-            let cell = progress(true, 0);
-            return (record, cell);
-        }
-    }
-    if !opts.quiet {
-        eprintln!(
-            "[sweep] running {} × {} …",
-            benchmark.label(),
-            policy.label()
-        );
-    }
-    let chip = power8_like();
-    let mut engine = SimulationEngine::new(&chip, opts.engine_config());
-    let cell_counter = ctx.map(|ctx| {
-        let (telemetry, counter) = ctx.cell_handle();
-        engine.set_telemetry(telemetry);
-        counter
-    });
-    let result = engine
-        .run(benchmark, policy)
-        .expect("simulation of a physical configuration succeeds");
-    if !opts.quiet {
-        eprintln!(
-            "[sweep] {} × {} phase times:\n{}",
-            benchmark.label(),
-            policy.label(),
-            crate::report::phase_report(result.phase_times()),
-        );
-    }
-    let record = SweepRecord::from_result(&result);
-    fs::create_dir_all(cache_dir(opts)).expect("create cache directory");
-    fs::write(&path, record.to_csv()).expect("write cache entry");
-    let cell = progress(false, cell_counter.map_or(0, |c| c.count()));
-    (record, cell)
+    let counters = ServeCounters::default();
+    service::answer_one(
+        &cache(opts),
+        &scenario(opts, benchmark, policy),
+        None,
+        &counters,
+        opts.quiet,
+    )
+    .record
 }
 
 /// Emits a `sweep.heartbeat` progress event (`done` of `total` cells)
@@ -259,12 +217,15 @@ fn heartbeat(ctx: Option<&TelemetryCtx>, done: usize, total: usize) {
     }
 }
 
-/// All records of a benchmark × policy grid (cached per cell), in
-/// benchmark-major order.
+/// All records of a benchmark × policy grid (content-addressed cache
+/// per cell), in benchmark-major order.
 ///
-/// Cells run on [`ExpOptions::resolved_threads`] workers; every cell is
-/// simulated by exactly one worker and cached under its own file, so
-/// the output is independent of the thread count.
+/// Cells stream through the [`service`](crate::service) batch
+/// executor on [`ExpOptions::resolved_threads`] workers: cached hashes
+/// never touch the engine, every missing hash is simulated by exactly
+/// one worker (identical in-flight cells coalesce), and the records
+/// come back in submission order, so the output is independent of the
+/// thread count.
 ///
 /// # Panics
 ///
@@ -281,63 +242,37 @@ pub fn grid(
         .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
         .collect();
     let threads = opts.resolved_threads().min(cells.len().max(1));
-    let mut cell_manifests: Vec<Option<CellManifest>> = vec![None; cells.len()];
-    let records: Vec<SweepRecord> = if threads <= 1 || cells.len() <= 1 {
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, &(b, p))| {
-                let (record, cell) = record_for_cell(opts, b, p, ctx.as_ref());
-                cell_manifests[i] = cell;
-                heartbeat(ctx.as_ref(), i + 1, cells.len());
-                record
-            })
-            .collect()
-    } else {
-        // Work stealing over an atomic claim counter: cells vary widely
-        // in cost (policy and cache state), so static partitioning would
-        // leave workers idle behind the slowest stripe.
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, SweepRecord, Option<CellManifest>)>();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let next = &next;
-                let cells = &cells;
-                let ctx = ctx.as_ref();
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (benchmark, policy) = cells[i];
-                    let (record, cell) = record_for_cell(opts, benchmark, policy, ctx);
-                    if tx.send((i, record, cell)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-
-            // Drain results on the main thread while workers run, so
-            // the `sweep.heartbeat` progress events land in the trace
-            // as cells complete — a tailing watcher sees the sweep
-            // advance instead of a burst at the end.
-            let mut out: Vec<Option<SweepRecord>> = vec![None; cells.len()];
-            let mut done = 0usize;
-            for (i, record, cell) in rx {
-                out[i] = Some(record);
-                cell_manifests[i] = cell;
-                done += 1;
-                heartbeat(ctx.as_ref(), done, cells.len());
-            }
-            out.into_iter()
-                .map(|r| r.expect("every claimed cell sends exactly one record"))
-                .collect()
-        })
+    let config = opts.engine_config();
+    let specs = cells
+        .iter()
+        .map(|&(b, p)| ScenarioSpec::new(b, p, config.clone()));
+    let counters = ServeCounters::default();
+    let batch = BatchOptions {
+        quiet: opts.quiet,
+        ..BatchOptions::for_threads(threads)
     };
+    let mut records: Vec<SweepRecord> = Vec::with_capacity(cells.len());
+    let mut cell_manifests: Vec<CellManifest> = Vec::with_capacity(cells.len());
+    let total = cells.len();
+    service::run_batch(
+        &cache(opts),
+        specs,
+        &batch,
+        ctx.as_ref(),
+        &counters,
+        |outcome| {
+            if ctx.is_some() {
+                let (b, p) = cells[outcome.index];
+                let label = format!("{}-{}", b.label(), policy_tag(p));
+                cell_manifests.push(service::cell_manifest(&outcome, label));
+            }
+            records.push(outcome.record);
+            heartbeat(ctx.as_ref(), records.len(), total);
+        },
+    );
 
     if let Some(ctx) = &ctx {
+        counters.emit(ctx);
         let mut manifest = RunManifest::new("sweep");
         manifest.push_config("tag", opts.tag());
         let bench_list: Vec<&str> = benchmarks.iter().map(|b| b.label()).collect();
@@ -345,10 +280,7 @@ pub fn grid(
         manifest.push_config("benchmarks", bench_list.join(","));
         manifest.push_config("policies", policy_list.join(","));
         manifest.threads = threads;
-        manifest.cells = cell_manifests
-            .into_iter()
-            .map(|c| c.expect("telemetry-enabled cells report a manifest entry"))
-            .collect();
+        manifest.cells = cell_manifests;
         if let Err(e) = ctx.finish(&mut manifest) {
             eprintln!(
                 "warning: cannot write sweep manifest into {}: {e}",

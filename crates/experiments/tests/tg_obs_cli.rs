@@ -234,6 +234,7 @@ fn sample_snapshot(label: &str, iters_p95: f64) -> BenchSnapshot {
         peak_rss_bytes: Some(32 * 1024 * 1024),
         telemetry: None,
         live: None,
+        serve: None,
         entries: vec![PolicyEntry {
             policy: "oract".to_string(),
             grid_n: 32,

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `tg-serve` binary: batch mode answers a
+//! request file deterministically cold versus warm (the warm pass from
+//! cache alone), the stdin loop answers interactively, override keys
+//! change the scenario hash, and malformed requests are skipped loudly
+//! with a non-zero exit.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tg-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir creatable");
+    dir
+}
+
+fn tg_serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tg-serve"))
+        .args(args)
+        .output()
+        .expect("tg-serve runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn batch_mode_cold_then_warm_is_byte_identical() {
+    let dir = temp_dir("batch");
+    let cache = dir.join("cache");
+    let batch = dir.join("requests.txt");
+    std::fs::write(
+        &batch,
+        "# two cells, one duplicate, one seed override\n\
+         fft allon\n\
+         fft allon\n\
+         fft oract\n\
+         fft allon seed=7\n",
+    )
+    .unwrap();
+    let cache_arg = format!("--cache={}", cache.display());
+    let batch_arg = format!("--batch={}", batch.display());
+    let args = [batch_arg.as_str(), cache_arg.as_str(), "--tiny", "--quiet"];
+
+    let cold = tg_serve(&args);
+    assert!(cold.status.success(), "stderr: {}", stderr(&cold));
+    let cold_answers = stdout(&cold);
+    let lines: Vec<&str> = cold_answers.lines().collect();
+    assert_eq!(lines.len(), 4, "one answer line per request");
+    // The duplicate shares its hash and bytes; the overridden seed and
+    // the different policy do not.
+    assert_eq!(lines[0], lines[1]);
+    assert_ne!(lines[0], lines[2]);
+    assert_ne!(lines[0], lines[3]);
+    // Three distinct scenarios were simulated, one answer coalesced or
+    // hit the fresh entry.
+    let summary = stderr(&cold);
+    assert!(summary.contains("misses=3"), "stderr: {summary}");
+    assert!(summary.contains("scenarios=4"), "stderr: {summary}");
+
+    // Warm: byte-identical stdout, zero engine runs.
+    let warm = tg_serve(&args);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    assert_eq!(stdout(&warm), cold_answers);
+    let summary = stderr(&warm);
+    assert!(summary.contains("hits=4"), "stderr: {summary}");
+    assert!(summary.contains("misses=0"), "stderr: {summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stdin_loop_answers_and_reports_stats() {
+    let dir = temp_dir("stdin");
+    let cache = dir.join("cache");
+    let cache_arg = format!("--cache={}", cache.display());
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tg-serve"))
+        .args([cache_arg.as_str(), "--tiny", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("tg-serve spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"fft allon\nstats\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("tg-serve exits");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let answer = lines.next().expect("one answer line");
+    // `<hash:016x> <record-csv>` — the CSV starts with the cell label.
+    assert!(answer.split_whitespace().next().unwrap().len() == 16);
+    assert!(answer.contains("fft,allon"), "answer: {answer}");
+    let stats = lines.next().expect("stats line");
+    assert!(stats.starts_with("# scenarios=1"), "stats: {stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_are_skipped_loudly_with_exit_2() {
+    let dir = temp_dir("malformed");
+    let cache = dir.join("cache");
+    let batch = dir.join("requests.txt");
+    std::fs::write(&batch, "fft allon\nnot-a-benchmark allon\nfft allon\n").unwrap();
+    let cache_arg = format!("--cache={}", cache.display());
+    let batch_arg = format!("--batch={}", batch.display());
+    let out = tg_serve(&[batch_arg.as_str(), cache_arg.as_str(), "--tiny", "--quiet"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    // The good requests were still answered.
+    assert_eq!(stdout(&out).lines().count(), 2);
+    let err = stderr(&out);
+    assert!(err.contains("malformed"), "stderr: {err}");
+    assert!(err.contains("not-a-benchmark"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -63,6 +63,25 @@ impl PdnConfig {
             solver: SolverBackend::env_default(),
         }
     }
+
+    /// Appends every field as canonical `(<prefix><name>, value)` pairs
+    /// for content hashing (floats render with `{:e}`).
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        for (name, value) in [
+            ("vdd", self.vdd.get()),
+            ("cell_mm", self.cell_mm),
+            ("r_sheet_ohm", self.r_sheet_ohm),
+            ("r_vr_ohm", self.r_vr_ohm),
+            ("r_global_ohm", self.r_global_ohm),
+            ("z_transient_ohm", self.z_transient_ohm),
+            ("z_reference_active", self.z_reference_active),
+            ("ring_period_cycles", self.ring_period_cycles),
+            ("passive_decay_cycles", self.passive_decay_cycles),
+        ] {
+            out.push((format!("{prefix}{name}"), format!("{value:e}")));
+        }
+        out.push((format!("{prefix}solver"), self.solver.name().to_string()));
+    }
 }
 
 impl Default for PdnConfig {

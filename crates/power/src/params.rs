@@ -34,6 +34,27 @@ impl TechnologyParams {
             leakage_temp_coeff: std::f64::consts::LN_2 / 20.0,
         }
     }
+
+    /// Appends every field as canonical `(<prefix><name>, value)` pairs
+    /// for content hashing (floats render with `{:e}`).
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        for (name, value) in [
+            ("vdd", self.vdd.get()),
+            ("frequency", self.frequency.get()),
+            ("tdp", self.tdp.get()),
+            (
+                "calibration_temperature",
+                self.calibration_temperature.get(),
+            ),
+            (
+                "static_share_at_calibration",
+                self.static_share_at_calibration,
+            ),
+            ("leakage_temp_coeff", self.leakage_temp_coeff),
+        ] {
+            out.push((format!("{prefix}{name}"), format!("{value:e}")));
+        }
+    }
 }
 
 impl Default for TechnologyParams {

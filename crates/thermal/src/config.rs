@@ -65,6 +65,28 @@ impl PackageParams {
             ..PackageParams::hotspot_default()
         }
     }
+
+    /// Appends every parameter as `(<prefix><name>, value)` pairs for
+    /// content hashing; floats render with `{:e}` so the canonical
+    /// string round-trips bit-exactly.
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        for (name, value) in [
+            ("k_silicon", self.k_silicon),
+            ("c_silicon", self.c_silicon),
+            ("t_silicon", self.t_silicon),
+            ("k_tim", self.k_tim),
+            ("t_tim", self.t_tim),
+            ("k_spreader", self.k_spreader),
+            ("c_spreader", self.c_spreader),
+            ("t_spreader", self.t_spreader),
+            ("sink_base_resistance", self.sink_base_resistance),
+            ("convection_resistance", self.convection_resistance),
+            ("sink_capacitance", self.sink_capacitance),
+            ("ambient_c", self.ambient.get()),
+        ] {
+            out.push((format!("{prefix}{name}"), format!("{value:e}")));
+        }
+    }
 }
 
 impl Default for PackageParams {
@@ -126,6 +148,20 @@ impl ThermalConfig {
             ny: 32,
             ..ThermalConfig::standard()
         }
+    }
+
+    /// Appends every field (grid, solver, package) as canonical
+    /// `(<prefix><name>, value)` pairs for content hashing.
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        out.push((format!("{prefix}nx"), self.nx.to_string()));
+        out.push((format!("{prefix}ny"), self.ny.to_string()));
+        out.push((
+            format!("{prefix}vr_self_resistance"),
+            format!("{:e}", self.vr_self_resistance),
+        ));
+        out.push((format!("{prefix}solver"), self.solver.name().to_string()));
+        self.package
+            .config_fields(&format!("{prefix}package."), out);
     }
 }
 

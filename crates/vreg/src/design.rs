@@ -16,6 +16,17 @@ pub enum RegulatorTopology {
     LowDropout,
 }
 
+impl RegulatorTopology {
+    /// Stable lowercase tag (content hashing, telemetry field values).
+    pub fn tag(self) -> &'static str {
+        match self {
+            RegulatorTopology::Buck => "buck",
+            RegulatorTopology::SwitchedCapacitor => "sc",
+            RegulatorTopology::LowDropout => "ldo",
+        }
+    }
+}
+
 /// One component regulator design: the electrical parameters ThermoGater
 /// and the thermal/noise models need.
 ///
@@ -131,6 +142,33 @@ impl RegulatorDesign {
     /// Control-loop response time to a load transient.
     pub fn response_time(&self) -> Seconds {
         self.response_time
+    }
+
+    /// Appends every parameter — including the full efficiency-curve
+    /// point list — as canonical `(<prefix><name>, value)` pairs for
+    /// content hashing (floats render with `{:e}`).
+    pub fn config_fields(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        out.push((format!("{prefix}name"), self.name.clone()));
+        out.push((format!("{prefix}topology"), self.topology.tag().to_string()));
+        out.push((
+            format!("{prefix}pout_per_area_w_mm2"),
+            format!("{:e}", self.pout_per_area_w_mm2),
+        ));
+        out.push((
+            format!("{prefix}response_time"),
+            format!("{:e}", self.response_time.get()),
+        ));
+        let points: Vec<String> = self
+            .curve
+            .points()
+            .iter()
+            .map(|&(i, eta)| format!("{i:e}:{eta:e}"))
+            .collect();
+        out.push((format!("{prefix}curve.points"), points.join(" ")));
+        out.push((
+            format!("{prefix}curve.peak_current"),
+            format!("{:e}", self.curve.peak_current().get()),
+        ));
     }
 }
 

@@ -1,29 +1,31 @@
 //! The parallel sweep executor must be invisible in the results: the
-//! records and the per-cell CSV cache files produced with N worker
-//! threads are byte-identical to a single-threaded run.
+//! records and the per-cell content-addressed cache files produced with
+//! N worker threads are byte-identical to a single-threaded run.
 
 use experiments::context::ExpOptions;
-use experiments::sweep::{cache_dir, grid, policy_tag};
+use experiments::sweep::{cache_dir, cache_path, grid};
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::Path;
 use thermogater::PolicyKind;
 use workload::Benchmark;
 
-fn read_cells(dir: &Path, cells: &[(Benchmark, PolicyKind)]) -> BTreeMap<String, Vec<u8>> {
+fn read_cells(opts: &ExpOptions, cells: &[(Benchmark, PolicyKind)]) -> BTreeMap<String, Vec<u8>> {
     cells
         .iter()
         .map(|&(b, p)| {
-            let name = format!("{}-{}.csv", b.label(), policy_tag(p));
-            let bytes = fs::read(dir.join(&name)).expect("cache file written for every cell");
-            (name, bytes)
+            let path = cache_path(opts, b, p);
+            let bytes = fs::read(&path).expect("cache file written for every cell");
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                bytes,
+            )
         })
         .collect()
 }
 
-fn wipe_cells(dir: &Path, cells: &[(Benchmark, PolicyKind)]) {
+fn wipe_cells(opts: &ExpOptions, cells: &[(Benchmark, PolicyKind)]) {
     for &(b, p) in cells {
-        let _ = fs::remove_file(dir.join(format!("{}-{}.csv", b.label(), policy_tag(p))));
+        let _ = fs::remove_file(cache_path(opts, b, p));
     }
 }
 
@@ -37,21 +39,27 @@ fn parallel_sweep_matches_serial_byte_for_byte() {
         .collect();
     let serial_opts = ExpOptions::tiny().with_threads(1);
     let parallel_opts = ExpOptions::tiny().with_threads(4);
-    let dir = cache_dir(&serial_opts);
     assert_eq!(
-        dir,
+        cache_dir(&serial_opts),
         cache_dir(&parallel_opts),
         "thread count must not move the cache"
     );
+    for &(b, p) in &cells {
+        assert_eq!(
+            cache_path(&serial_opts, b, p),
+            cache_path(&parallel_opts, b, p),
+            "thread count must not change a scenario hash"
+        );
+    }
 
-    wipe_cells(&dir, &cells);
+    wipe_cells(&serial_opts, &cells);
     let serial = grid(&serial_opts, &benchmarks, &policies);
-    let serial_files = read_cells(&dir, &cells);
+    let serial_files = read_cells(&serial_opts, &cells);
     assert_eq!(serial.len(), cells.len());
 
-    wipe_cells(&dir, &cells);
+    wipe_cells(&parallel_opts, &cells);
     let parallel = grid(&parallel_opts, &benchmarks, &policies);
-    let parallel_files = read_cells(&dir, &cells);
+    let parallel_files = read_cells(&parallel_opts, &cells);
 
     assert_eq!(serial, parallel, "records differ between 1 and 4 threads");
     assert_eq!(
@@ -62,7 +70,7 @@ fn parallel_sweep_matches_serial_byte_for_byte() {
     // A warm re-run (any thread count) reads the cache and agrees too.
     let cached = grid(&parallel_opts, &benchmarks, &policies);
     assert_eq!(serial, cached);
-    wipe_cells(&dir, &cells);
+    wipe_cells(&parallel_opts, &cells);
 }
 
 /// Wall-clock speedup needs real cores; CI containers may expose only
@@ -82,18 +90,18 @@ fn parallel_sweep_speeds_up_on_multicore() {
         .iter()
         .flat_map(|&b| policies.iter().map(move |&p| (b, p)))
         .collect();
-    let dir = cache_dir(&ExpOptions::tiny());
+    let opts = ExpOptions::tiny();
 
-    wipe_cells(&dir, &cells);
+    wipe_cells(&opts, &cells);
     let t = std::time::Instant::now();
-    let serial = grid(&ExpOptions::tiny().with_threads(1), &benchmarks, &policies);
+    let serial = grid(&opts.clone().with_threads(1), &benchmarks, &policies);
     let serial_secs = t.elapsed().as_secs_f64();
 
-    wipe_cells(&dir, &cells);
+    wipe_cells(&opts, &cells);
     let t = std::time::Instant::now();
-    let parallel = grid(&ExpOptions::tiny().with_threads(4), &benchmarks, &policies);
+    let parallel = grid(&opts.clone().with_threads(4), &benchmarks, &policies);
     let parallel_secs = t.elapsed().as_secs_f64();
-    wipe_cells(&dir, &cells);
+    wipe_cells(&opts, &cells);
 
     assert_eq!(serial, parallel);
     let speedup = serial_secs / parallel_secs;

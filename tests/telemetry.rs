@@ -160,11 +160,7 @@ fn parallel_sweep_produces_per_worker_tracks_with_paired_spans() {
     // Cached cells replay results without tracing, so force both cells
     // to run live: drop any cache left behind by earlier test runs.
     for policy in policies {
-        let cache = experiments::sweep::cache_dir(&opts).join(format!(
-            "{}-{}.csv",
-            Benchmark::LuNcb.label(),
-            experiments::sweep::policy_tag(policy)
-        ));
+        let cache = experiments::sweep::cache_path(&opts, Benchmark::LuNcb, policy);
         let _ = std::fs::remove_file(cache);
     }
     let records = experiments::sweep::grid(&opts, &benchmarks, &policies);
